@@ -1,0 +1,361 @@
+// Benchmarks regenerating the paper's evaluation (Figure 1 and the
+// Section 3–8 constructions), one benchmark per experiment of DESIGN.md;
+// run with `go test -bench=. -benchmem`. The wall-clock *shapes* across
+// the sub-benchmarks are the reproduction target; see EXPERIMENTS.md.
+package pathquery
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ecrpq"
+	"repro/internal/graph"
+	"repro/internal/ilp"
+	"repro/internal/lenabs"
+	"repro/internal/linconstr"
+	"repro/internal/neg"
+	"repro/internal/relations"
+	"repro/internal/workload"
+)
+
+var benchSigma = []rune{'a', 'b'}
+
+func benchEnv() ecrpq.Env { return ecrpq.Env{Sigma: benchSigma} }
+
+// E1 — Figure 1(a), CRPQ data complexity: fixed query, growing graph.
+func BenchmarkFig1a_CRPQ_Data(b *testing.B) {
+	q := ecrpq.MustParse("Ans(x,y) <- (x,p,y), (a|b)*a(p)", benchEnv())
+	for _, n := range []int{128, 512, 2048} {
+		g := workload.Random(rand.New(rand.NewSource(1)), n, 2.0, benchSigma)
+		bind := map[ecrpq.NodeVar]graph.Node{"x": 0, "y": graph.Node(n - 1)}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ecrpq.Eval(q, g, ecrpq.Options{Bind: bind}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E2 — Figure 1(a), ECRPQ data complexity: aⁿbⁿ query, growing graph.
+func BenchmarkFig1a_ECRPQ_Data(b *testing.B) {
+	q := ecrpq.MustParse("Ans(x,y) <- (x,p1,z), (z,p2,y), a+(p1), b+(p2), el(p1,p2)", benchEnv())
+	for _, n := range []int{8, 16, 32} {
+		g := workload.Random(rand.New(rand.NewSource(2)), n, 1.5, benchSigma)
+		bind := map[ecrpq.NodeVar]graph.Node{"x": 0, "y": graph.Node(n - 1)}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ecrpq.Eval(q, g, ecrpq.Options{Bind: bind, MaxProductStates: 50_000_000}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E3 — Figure 1(a), CRPQ combined complexity: cyclic query, growing m.
+func BenchmarkFig1a_CRPQ_Combined(b *testing.B) {
+	g := workload.Random(rand.New(rand.NewSource(3)), 24, 2.0, benchSigma)
+	for _, m := range []int{2, 4, 6} {
+		q, err := workload.CycleCRPQ(m, []string{"a*", "b*", "(a|b)a*"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ecrpq.Eval(q, g, ecrpq.Options{Join: ecrpq.JoinBacktrack}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E4/E6 — Figure 1(a), ECRPQ combined complexity on the Theorem 6.3 REI
+// family (the queries are acyclic, covering the acyclic-ECRPQ cell too).
+func BenchmarkFig1a_ECRPQ_Combined(b *testing.B) {
+	g := workload.REIGraph(benchSigma)
+	exprsAll := []string{"(a|b)*a", "a+|b+", "(ab|ba)*(a|b)?"}
+	for _, m := range []int{1, 2, 3} {
+		q, err := workload.REIQuery(exprsAll[:m], benchSigma)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ecrpq.Eval(q, g, ecrpq.Options{MaxProductStates: 50_000_000}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E5 — Figure 1(a), acyclic CRPQ combined complexity (Theorem 6.5).
+func BenchmarkFig1a_AcyclicCRPQ(b *testing.B) {
+	g := workload.Random(rand.New(rand.NewSource(5)), 32, 2.0, benchSigma)
+	for _, m := range []int{2, 8, 16} {
+		q, err := workload.ChainCRPQ(m, []string{"a*", "b*"})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ecrpq.Eval(q, g, ecrpq.Options{Join: ecrpq.JoinYannakakis}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E7 — Figure 1(a), Q_len (Theorem 6.7): the modulus family with both
+// endpoints bound, mirroring the benchtables crossover experiment (the
+// concrete engine's cost follows the lcm, Q_len's the sum of periods).
+func BenchmarkFig1a_Qlen(b *testing.B) {
+	g := workload.REIGraph(benchSigma)
+	primes := []int{2, 3, 5}
+	for m := 1; m <= 3; m++ {
+		qb := ecrpq.NewBuilder()
+		bind := map[ecrpq.NodeVar]graph.Node{}
+		exprs := []string{"a+"}
+		for i := 0; i < m; i++ {
+			pow := ""
+			for j := 0; j < primes[i]; j++ {
+				pow += "(a|b)"
+			}
+			exprs = append(exprs, "("+pow+")*")
+		}
+		for i, src := range exprs {
+			qb.Path(fmt.Sprintf("x%d", i), fmt.Sprintf("p%d", i), fmt.Sprintf("y%d", i))
+			qb.Lang(fmt.Sprintf("p%d", i), src)
+			bind[ecrpq.NodeVar(fmt.Sprintf("x%d", i))] = 0
+			bind[ecrpq.NodeVar(fmt.Sprintf("y%d", i))] = 0
+			if i > 0 {
+				qb.Rel(relations.EqualLength(benchSigma), fmt.Sprintf("p%d", i-1), fmt.Sprintf("p%d", i))
+			}
+		}
+		q, err := qb.Build()
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := lenabs.EvalLen(q, g, lenabs.Options{Bind: bind, VarBound: 4096, MaxNodes: 20000}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E8 — Figure 1(b), CRPQ with repeated path variables (Prop 6.8).
+func BenchmarkFig1b_Repetition(b *testing.B) {
+	g := workload.REIGraph(benchSigma)
+	primes := []int{2, 3, 5, 7}
+	for m := 1; m <= 3; m++ {
+		exprs := []string{"a+"}
+		for i := 0; i < m; i++ {
+			pow := ""
+			for j := 0; j < primes[i]; j++ {
+				pow += "(a|b)"
+			}
+			exprs = append(exprs, "("+pow+")*")
+		}
+		q, err := workload.REIRepetitionQuery(exprs, benchSigma)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("m=%d", m), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ecrpq.Eval(q, g, ecrpq.Options{MaxProductStates: 50_000_000}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E9 — Figure 1(b), CRPQ¬ data complexity.
+func BenchmarkFig1b_CRPQNeg(b *testing.B) {
+	f := neg.ExistsNode{X: "x", F: neg.ExistsNode{X: "y", F: neg.And{
+		F: neg.Not{F: neg.ExistsPath{P: "p", F: neg.And{F: neg.Edge{X: "x", P: "p", Y: "y"}, G: neg.Lang("a+", "p")}}},
+		G: neg.ExistsPath{P: "q", F: neg.And{F: neg.Edge{X: "x", P: "q", Y: "y"}, G: neg.Lang("b+", "q")}},
+	}}}
+	for _, n := range []int{3, 6, 12} {
+		g := workload.Random(rand.New(rand.NewSource(9)), n, 1.5, benchSigma)
+		e := neg.NewEvaluator(g)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Holds(f); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E10 — Figure 1(b), ECRPQ¬ negation-depth growth (Theorem 8.2).
+func BenchmarkFig1b_ECRPQNeg(b *testing.B) {
+	g := workload.REIGraph(benchSigma)
+	e := neg.NewEvaluator(g)
+	el := relations.EqualLength(benchSigma)
+	for depth := 1; depth <= 2; depth++ {
+		f := negDepthFormula(el, depth)
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := e.Holds(f); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func negDepthFormula(el *relations.Relation, depth int) neg.Formula {
+	var build func(d int, outer ecrpq.PathVar) neg.Formula
+	build = func(d int, outer ecrpq.PathVar) neg.Formula {
+		inner := ecrpq.PathVar(fmt.Sprintf("q%d", d))
+		base := neg.And{
+			F: neg.ExistsNode{X: ecrpq.NodeVar(fmt.Sprintf("u%d", d)), F: neg.ExistsNode{X: ecrpq.NodeVar(fmt.Sprintf("w%d", d)), F: neg.Edge{X: ecrpq.NodeVar(fmt.Sprintf("u%d", d)), P: inner, Y: ecrpq.NodeVar(fmt.Sprintf("w%d", d))}}},
+			G: neg.Rel{R: el, Args: []ecrpq.PathVar{outer, inner}},
+		}
+		if d == 0 {
+			return neg.ExistsPath{P: inner, F: base}
+		}
+		return neg.Not{F: neg.ExistsPath{P: inner, F: neg.And{F: base.F, G: neg.Not{F: build(d-1, inner)}}}}
+	}
+	return neg.ExistsNode{X: "x", F: neg.ExistsNode{X: "y", F: neg.ExistsPath{P: "p",
+		F: neg.And{F: neg.Edge{X: "x", P: "p", Y: "y"}, G: build(depth-1, "p")}}}}
+}
+
+// E11 — Figure 1(b), CRPQ with linear constraints (Theorem 8.5).
+func BenchmarkFig1b_LinConstraints(b *testing.B) {
+	airlines := []rune{'s', 'q'}
+	q := ecrpq.MustParse("Ans() <- (x,p,y), (s|q)+(p)", ecrpq.Env{Sigma: airlines})
+	cons := []linconstr.Constraint{{
+		Terms: []linconstr.Term{{Path: "p", Label: 's', Coef: 1}, {Path: "p", Label: 'q', Coef: -4}},
+		Rel:   ilp.GE, RHS: 0,
+	}}
+	for _, n := range []int{6, 12, 24} {
+		g := workload.FlightNetwork(rand.New(rand.NewSource(11)), n, airlines)
+		bind := map[ecrpq.NodeVar]graph.Node{"x": 0, "y": graph.Node(n - 1)}
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := linconstr.Feasible(q, cons, g, airlines, bind, linconstr.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E12 — Proposition 3.2: the aⁿbⁿ ECRPQ on string graphs.
+func BenchmarkProp32_Separation(b *testing.B) {
+	q := ecrpq.MustParse("Ans(x,y) <- (x,p1,z), (z,p2,y), a+(p1), b+(p2), el(p1,p2)", benchEnv())
+	for _, n := range []int{8, 16, 32} {
+		s := ""
+		for i := 0; i < n/2; i++ {
+			s += "a"
+		}
+		for i := 0; i < n/2; i++ {
+			s += "b"
+		}
+		g, _, _ := workload.StringGraph(s)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ecrpq.Eval(q, g, ecrpq.Options{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E13 — Section 4: edit-distance relation construction and evaluation.
+func BenchmarkSec4_EditDistance(b *testing.B) {
+	for _, k := range []int{1, 2, 3} {
+		b.Run(fmt.Sprintf("construct/k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				relations.EditDistance(benchSigma, k)
+			}
+		})
+		rel := relations.EditDistance(benchSigma, k)
+		x, y := []rune("abbabab"), []rune("ababbab")
+		b.Run(fmt.Sprintf("contains/k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rel.Contains(x, y)
+			}
+		})
+	}
+}
+
+// E14 — Proposition 5.2: answer-automaton construction vs graph size.
+func BenchmarkProp52_AnswerAutomaton(b *testing.B) {
+	q := ecrpq.MustParse("Ans(x, y, p1, p2) <- (x,p1,z), (z,p2,y), a+(p1), b+(p2), el(p1,p2)", benchEnv())
+	for _, n := range []int{8, 16, 32} {
+		s := ""
+		for i := 0; i < n/2; i++ {
+			s += "a"
+		}
+		for i := 0; i < n/2; i++ {
+			s += "b"
+		}
+		g, from, to := workload.StringGraph(s)
+		b.Run(fmt.Sprintf("E=%d", g.NumEdges()), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ecrpq.BuildPathAutomaton(q, g, []graph.Node{from, to}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E15 — ablation: component decomposition vs monolithic product.
+func BenchmarkAblation_Decomposition(b *testing.B) {
+	q := ecrpq.MustParse("Ans(x,y) <- (x,p1,z), (z,p2,y), a+(p1), b+(p2)", benchEnv())
+	g := workload.Random(rand.New(rand.NewSource(15)), 24, 1.5, benchSigma)
+	bind := map[ecrpq.NodeVar]graph.Node{"x": 0}
+	b.Run("decomposed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ecrpq.Eval(q, g, ecrpq.Options{Bind: bind}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("monolithic", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ecrpq.Eval(q, g, ecrpq.Options{Bind: bind, NoDecompose: true, MaxProductStates: 50_000_000}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// E16 — ablation: Yannakakis vs backtracking join.
+func BenchmarkAblation_Yannakakis(b *testing.B) {
+	g := workload.Random(rand.New(rand.NewSource(16)), 48, 2.0, benchSigma)
+	// m = 5: large enough to show the semijoin advantage, small enough
+	// that the exponential backtracking baseline still terminates.
+	q, err := workload.ChainCRPQ(5, []string{"a*", "b*"})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("yannakakis", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ecrpq.Eval(q, g, ecrpq.Options{Join: ecrpq.JoinYannakakis}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("backtrack", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ecrpq.Eval(q, g, ecrpq.Options{Join: ecrpq.JoinBacktrack}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

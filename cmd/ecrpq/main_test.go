@@ -1,0 +1,61 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleGraph = `
+edge alice k bob
+edge bob k carol
+edge alice f carol
+`
+
+func TestRunNodeQuery(t *testing.T) {
+	var out, errw strings.Builder
+	err := run(config{query: "Ans(x,y) <- (x,p,y), kk(p)"},
+		strings.NewReader(sampleGraph), &out, &errw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "alice, carol") {
+		t.Errorf("output = %q", out.String())
+	}
+	if !strings.Contains(errw.String(), "1 answers") {
+		t.Errorf("stderr = %q", errw.String())
+	}
+}
+
+func TestRunBooleanQuery(t *testing.T) {
+	var out, errw strings.Builder
+	err := run(config{query: "Ans() <- (x,p,y), f(p)"},
+		strings.NewReader(sampleGraph), &out, &errw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out.String()) != "true" {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestRunPathEnumeration(t *testing.T) {
+	var out, errw strings.Builder
+	err := run(config{query: "Ans(x,y,p) <- (x,p,y), k+(p)", nPaths: 5, maxLen: 5},
+		strings.NewReader(sampleGraph), &out, &errw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `paths: "kk"`) {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errw strings.Builder
+	if err := run(config{query: "not a query"}, strings.NewReader(sampleGraph), &out, &errw); err == nil {
+		t.Error("bad query should error")
+	}
+	if err := run(config{query: "Ans() <- (x,p,y), k(p)"}, strings.NewReader("junk line"), &out, &errw); err == nil {
+		t.Error("bad graph should error")
+	}
+}

@@ -1,0 +1,62 @@
+// Route finding with linear occurrence constraints (Section 8.2 of the
+// paper): find itineraries where at least 80% of the legs are with a
+// preferred airline — the constraint a − 4b ≥ 0 over leg counts, which is
+// not expressible with regular relations alone.
+//
+//	go run ./examples/flights
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/ilp"
+	"repro/internal/linconstr"
+	"repro/internal/workload"
+
+	"repro"
+)
+
+func main() {
+	// s = Singapore Airlines, q = anything else.
+	airlines := []rune{'s', 'q'}
+	g := workload.FlightNetwork(rand.New(rand.NewSource(7)), 12, airlines)
+	origin := pathquery.Node(0)
+	dest := pathquery.Node(g.NumNodes() - 1)
+
+	env := pathquery.Env{Sigma: airlines}
+	q, err := pathquery.ParseQuery("Ans() <- (x,p,y), (s|q)+(p)", env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bind := map[pathquery.NodeVar]pathquery.Node{"x": origin, "y": dest}
+
+	check := func(label string, cons []linconstr.Constraint) {
+		ok, err := linconstr.Feasible(q, cons, g, airlines, bind, linconstr.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-55s : %v\n", label, ok)
+	}
+
+	check("any itinerary London→Sydney", nil)
+	check("≥80% Singapore Airlines (s − 4q ≥ 0)", []linconstr.Constraint{{
+		Terms: []linconstr.Term{{Path: "p", Label: 's', Coef: 1}, {Path: "p", Label: 'q', Coef: -4}},
+		Rel:   ilp.GE, RHS: 0,
+	}})
+	check("≥80% Singapore AND at most 6 legs", []linconstr.Constraint{
+		{
+			Terms: []linconstr.Term{{Path: "p", Label: 's', Coef: 1}, {Path: "p", Label: 'q', Coef: -4}},
+			Rel:   ilp.GE, RHS: 0,
+		},
+		{
+			Terms: []linconstr.Term{{Path: "p", Coef: 1}}, // Label 0 = length
+			Rel:   ilp.LE, RHS: 6,
+		},
+	})
+	check("100% other airlines (s = 0) with ≥1 leg", []linconstr.Constraint{
+		{Terms: []linconstr.Term{{Path: "p", Label: 's', Coef: 1}}, Rel: ilp.EQ, RHS: 0},
+		{Terms: []linconstr.Term{{Path: "p", Label: 'q', Coef: 1}}, Rel: ilp.GE, RHS: 1},
+	})
+}

@@ -1,0 +1,85 @@
+// Quickstart: build a small graph database, run CRPQs and ECRPQs, and
+// inspect node answers, witness paths, and the answer automaton.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// A small graph: two a-chains meeting a b-chain.
+	//
+	//	v0 -a-> v1 -a-> v2 -b-> v3 -b-> v4
+	g := pathquery.NewGraph()
+	var nodes []pathquery.Node
+	for i := 0; i <= 4; i++ {
+		nodes = append(nodes, g.AddNode(fmt.Sprintf("v%d", i)))
+	}
+	g.AddEdge(nodes[0], 'a', nodes[1])
+	g.AddEdge(nodes[1], 'a', nodes[2])
+	g.AddEdge(nodes[2], 'b', nodes[3])
+	g.AddEdge(nodes[3], 'b', nodes[4])
+
+	env := pathquery.Env{Sigma: []rune{'a', 'b'}}
+
+	// A plain CRPQ: which pairs are connected by a path in a+b+?
+	crpq, err := pathquery.ParseQuery("Ans(x, y) <- (x,p,y), a+b+(p)", env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := pathquery.Eval(crpq, g, pathquery.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("CRPQ a+b+ answers:")
+	for _, a := range res.Answers {
+		fmt.Printf("  (%s, %s)\n", g.Name(a.Nodes[0]), g.Name(a.Nodes[1]))
+	}
+
+	// The ECRPQ of Proposition 3.2: pairs connected by aⁿbⁿ — beyond any
+	// CRPQ, using the equal-length relation el.
+	ecrpq, err := pathquery.ParseQuery(
+		"Ans(x, y, p1, p2) <- (x,p1,z), (z,p2,y), a+(p1), b+(p2), el(p1,p2)", env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err = pathquery.Eval(ecrpq, g, pathquery.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nECRPQ aⁿbⁿ answers with witness paths:")
+	for _, a := range res.Answers {
+		fmt.Printf("  (%s, %s): %s | %s\n",
+			g.Name(a.Nodes[0]), g.Name(a.Nodes[1]),
+			a.Paths[0].Format(g), a.Paths[1].Format(g))
+	}
+
+	// The full (possibly infinite) set of path answers for one node pair,
+	// per Proposition 5.2.
+	pa, err := pathquery.BuildPathAutomaton(ecrpq, g, []pathquery.Node{nodes[0], nodes[4]})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nAll path pairs for (v0, v4):")
+	for _, tuple := range pa.Enumerate(10, 10) {
+		fmt.Printf("  %q, %q\n", tuple[0].LabelString(), tuple[1].LabelString())
+	}
+
+	// Membership (the ECRPQ-EVAL decision problem): is (v1, v3) an answer
+	// of the Boolean projection?
+	boolQ, err := pathquery.ParseQuery(
+		"Ans(x, y) <- (x,p1,z), (z,p2,y), a+(p1), b+(p2), el(p1,p2)", env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ok, err := pathquery.Member(boolQ, g, []pathquery.Node{nodes[1], nodes[3]}, nil, pathquery.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nMember((v1,v3)) = %v\n", ok)
+}

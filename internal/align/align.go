@@ -1,0 +1,199 @@
+// Package align implements approximate string matching and sequence
+// alignment with ECRPQs, following Section 4 of the paper.
+//
+// Two strings x, y have an alignment at distance k iff their edit
+// distance is at most k; the paper expresses both the decision (via the
+// regular relation D≤k) and the extraction of the actual gaps and
+// mismatches (via an ECRPQ whose body splits both strings into k+1
+// matching segments interleaved with k single-symbol mismatch/gap
+// segments, returning the mismatch segments in the head).
+//
+// This package builds both queries over a two-string graph database and
+// runs them through the production evaluator, with the textbook dynamic
+// program as the correctness oracle.
+package align
+
+import (
+	"fmt"
+
+	"repro/internal/ecrpq"
+	"repro/internal/graph"
+	"repro/internal/relations"
+)
+
+// Distance is the exact edit distance (insert/delete/substitute), the
+// dynamic-programming oracle.
+func Distance(x, y string) int {
+	return relations.EditDistanceDP([]rune(x), []rune(y))
+}
+
+// WithinK decides de(x,y) ≤ k via the regular relation D≤k of Section 4
+// evaluated as an ECRPQ over the two-string graph database: Boolean
+// query Ans() ← (x₀,π,xₙ), (y₀,π',yₘ), D≤k(π,π').
+func WithinK(x, y string, k int, sigma []rune) (bool, error) {
+	g, xs, xe, ys, ye := twoStringGraph(x, y)
+	dk := relations.EditDistance(sigma, k)
+	q, err := ecrpq.NewBuilder().
+		Path("sx", "px", "ex").
+		Path("sy", "py", "ey").
+		Rel(dk, "px", "py").
+		Build()
+	if err != nil {
+		return false, err
+	}
+	res, err := ecrpq.Eval(q, g, ecrpq.Options{Bind: map[ecrpq.NodeVar]graph.Node{
+		"sx": xs, "ex": xe, "sy": ys, "ey": ye,
+	}})
+	if err != nil {
+		return false, err
+	}
+	return res.Bool(), nil
+}
+
+// Edit is one mismatch or gap in an alignment: the symbols contributed
+// by x and y at that alignment position ("" denotes a gap).
+type Edit struct {
+	X, Y string
+}
+
+// Alignment is a witness alignment at distance ≤ k: the Edits in order.
+// Positions where both strings agree are not listed.
+type Alignment struct {
+	K     int
+	Edits []Edit
+}
+
+// Extract builds the Section 4 alignment-extraction ECRPQ for distance
+// exactly ≤ k and returns the gaps and mismatches of one witness
+// alignment, or ok=false if de(x,y) > k.
+//
+// The query's body is ⋀_{0≤i≤k}(xᵢ,πᵢ,xᵢ₊₁)… with π₂ᵢ = ρ₂ᵢ (equal
+// matching segments) and R(π₂ᵢ₋₁, ρ₂ᵢ₋₁) for the mismatch relation R of
+// the paper (single symbols or gaps); the mismatch segments appear in
+// the head. Alignments with fewer than k edits are found too, because a
+// "mismatch" segment pair may also be two equal empty paths when R is
+// relaxed; we instead search k' = 0..k and return the first success,
+// which also yields the edit distance.
+func Extract(x, y string, k int, sigma []rune) (*Alignment, bool, error) {
+	for kk := 0; kk <= k; kk++ {
+		al, ok, err := extractExact(x, y, kk, sigma)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			return al, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+func extractExact(x, y string, k int, sigma []rune) (*Alignment, bool, error) {
+	g, xs, xe, ys, ye := twoStringGraph(x, y)
+	b := ecrpq.NewBuilder()
+	eq := relations.Equality(sigma)
+	mg := relations.MismatchOrGap(sigma)
+	bind := map[ecrpq.NodeVar]graph.Node{
+		"x0": xs, "y0": ys,
+		ecrpq.NodeVar(fmt.Sprintf("x%d", 2*k+1)): xe,
+		ecrpq.NodeVar(fmt.Sprintf("y%d", 2*k+1)): ye,
+	}
+	var headPaths []string
+	for i := 0; i <= 2*k; i++ {
+		b.Path(fmt.Sprintf("x%d", i), fmt.Sprintf("pi%d", i), fmt.Sprintf("x%d", i+1))
+		b.Path(fmt.Sprintf("y%d", i), fmt.Sprintf("rho%d", i), fmt.Sprintf("y%d", i+1))
+		if i%2 == 0 {
+			b.Rel(eq, fmt.Sprintf("pi%d", i), fmt.Sprintf("rho%d", i))
+		} else {
+			b.Rel(mg, fmt.Sprintf("pi%d", i), fmt.Sprintf("rho%d", i))
+			headPaths = append(headPaths, fmt.Sprintf("pi%d", i), fmt.Sprintf("rho%d", i))
+		}
+	}
+	b.HeadPaths(headPaths...)
+	q, err := b.Build()
+	if err != nil {
+		return nil, false, err
+	}
+	res, err := ecrpq.Eval(q, g, ecrpq.Options{Bind: bind})
+	if err != nil {
+		return nil, false, err
+	}
+	if !res.Bool() {
+		return nil, false, nil
+	}
+	ans := res.Answers[0]
+	al := &Alignment{K: k}
+	for i := 0; i+1 < len(ans.Paths); i += 2 {
+		al.Edits = append(al.Edits, Edit{
+			X: ans.Paths[i].LabelString(),
+			Y: ans.Paths[i+1].LabelString(),
+		})
+	}
+	return al, true, nil
+}
+
+// twoStringGraph builds one database holding the string graphs of x and
+// y, returning their endpoints.
+func twoStringGraph(x, y string) (g *graph.DB, xs, xe, ys, ye graph.Node) {
+	g = graph.NewDB()
+	xs = g.AddNode("x0")
+	prev := xs
+	for i, r := range x {
+		next := g.AddNode(fmt.Sprintf("xn%d", i+1))
+		g.AddEdge(prev, r, next)
+		prev = next
+	}
+	xe = prev
+	ys = g.AddNode("y0")
+	prev = ys
+	for i, r := range y {
+		next := g.AddNode(fmt.Sprintf("yn%d", i+1))
+		g.AddEdge(prev, r, next)
+		prev = next
+	}
+	ye = prev
+	return g, xs, xe, ys, ye
+}
+
+// MultiWithinK decides whether every pair among the given sequences is
+// within edit distance k — the multiple-sequence-alignment decision the
+// paper sketches at the end of Section 4 ("we can use ECRPQs to align
+// not only pairs but arbitrary tuples of sequences"). One path variable
+// per sequence, with a D≤k atom per pair, evaluated as a single ECRPQ
+// whose relation component spans all sequences.
+func MultiWithinK(seqs []string, k int, sigma []rune) (bool, error) {
+	if len(seqs) < 2 {
+		return true, nil
+	}
+	g := graph.NewDB()
+	bind := map[ecrpq.NodeVar]graph.Node{}
+	b := ecrpq.NewBuilder()
+	dk := relations.EditDistance(sigma, k)
+	for i, s := range seqs {
+		start := g.AddNode(fmt.Sprintf("s%d_0", i))
+		prev := start
+		for j, r := range s {
+			next := g.AddNode(fmt.Sprintf("s%d_%d", i, j+1))
+			g.AddEdge(prev, r, next)
+			prev = next
+		}
+		sv := ecrpq.NodeVar(fmt.Sprintf("x%d", i))
+		ev := ecrpq.NodeVar(fmt.Sprintf("y%d", i))
+		bind[sv] = start
+		bind[ev] = prev
+		b.Path(string(sv), fmt.Sprintf("p%d", i), string(ev))
+	}
+	for i := 0; i < len(seqs); i++ {
+		for j := i + 1; j < len(seqs); j++ {
+			b.Rel(dk, fmt.Sprintf("p%d", i), fmt.Sprintf("p%d", j))
+		}
+	}
+	q, err := b.Build()
+	if err != nil {
+		return false, err
+	}
+	res, err := ecrpq.Eval(q, g, ecrpq.Options{Bind: bind, MaxProductStates: 50_000_000})
+	if err != nil {
+		return false, err
+	}
+	return res.Bool(), nil
+}

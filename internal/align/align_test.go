@@ -1,0 +1,171 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var dna = []rune{'a', 'c', 'g', 't'}
+
+func TestDistance(t *testing.T) {
+	cases := []struct {
+		x, y string
+		d    int
+	}{
+		{"", "", 0}, {"acgt", "acgt", 0}, {"acgt", "agt", 1},
+		{"kitten", "sitting", 3}, {"ac", "ca", 2},
+	}
+	for _, c := range cases {
+		if got := Distance(c.x, c.y); got != c.d {
+			t.Errorf("Distance(%q,%q) = %d, want %d", c.x, c.y, got, c.d)
+		}
+	}
+}
+
+func TestWithinK(t *testing.T) {
+	sigma := []rune{'a', 'c'}
+	cases := []struct {
+		x, y string
+		k    int
+		want bool
+	}{
+		{"ac", "ac", 0, true},
+		{"ac", "aa", 0, false},
+		{"ac", "aa", 1, true},
+		{"ac", "ca", 1, false},
+		{"ac", "ca", 2, true},
+		{"", "aa", 1, false},
+		{"", "aa", 2, true},
+	}
+	for _, c := range cases {
+		got, err := WithinK(c.x, c.y, c.k, sigma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("WithinK(%q,%q,%d) = %v, want %v", c.x, c.y, c.k, got, c.want)
+		}
+	}
+}
+
+func TestPropertyWithinKMatchesDP(t *testing.T) {
+	sigma := []rune{'a', 'c'}
+	r := rand.New(rand.NewSource(8))
+	f := func(uint8) bool {
+		x := randStr(r, 4, sigma)
+		y := randStr(r, 4, sigma)
+		k := r.Intn(3)
+		want := Distance(x, y) <= k
+		got, err := WithinK(x, y, k, sigma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Logf("x=%q y=%q k=%d dp=%d got=%v", x, y, k, Distance(x, y), got)
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randStr(r *rand.Rand, maxLen int, sigma []rune) string {
+	n := r.Intn(maxLen + 1)
+	out := make([]rune, n)
+	for i := range out {
+		out[i] = sigma[r.Intn(len(sigma))]
+	}
+	return string(out)
+}
+
+func TestExtractIdentical(t *testing.T) {
+	al, ok, err := Extract("acg", "acg", 2, dna)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || al.K != 0 || len(al.Edits) != 0 {
+		t.Errorf("identical strings: %+v ok=%v", al, ok)
+	}
+}
+
+func TestExtractSubstitution(t *testing.T) {
+	al, ok, err := Extract("acg", "atg", 2, dna)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || al.K != 1 {
+		t.Fatalf("want distance 1, got %+v ok=%v", al, ok)
+	}
+	if len(al.Edits) != 1 || al.Edits[0].X != "c" || al.Edits[0].Y != "t" {
+		t.Errorf("edits = %+v, want c→t", al.Edits)
+	}
+}
+
+func TestExtractGap(t *testing.T) {
+	al, ok, err := Extract("acg", "ag", 2, dna)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || al.K != 1 {
+		t.Fatalf("want distance 1, got %+v ok=%v", al, ok)
+	}
+	e := al.Edits[0]
+	if !(e.X == "c" && e.Y == "") {
+		t.Errorf("edit = %+v, want deletion of c", e)
+	}
+}
+
+func TestExtractTooFar(t *testing.T) {
+	_, ok, err := Extract("aaaa", "tttt", 2, dna)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("distance 4 should not extract at k=2")
+	}
+}
+
+func TestExtractDistanceMatchesDP(t *testing.T) {
+	sigma := []rune{'a', 'c'}
+	r := rand.New(rand.NewSource(12))
+	for trial := 0; trial < 12; trial++ {
+		x := randStr(r, 3, sigma)
+		y := randStr(r, 3, sigma)
+		d := Distance(x, y)
+		al, ok, err := Extract(x, y, 2, sigma)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d <= 2 {
+			if !ok || al.K != d {
+				t.Errorf("x=%q y=%q: extract K=%v ok=%v, dp=%d", x, y, al, ok, d)
+			}
+		} else if ok {
+			t.Errorf("x=%q y=%q: extract succeeded beyond k", x, y)
+		}
+	}
+}
+
+func TestMultiWithinK(t *testing.T) {
+	sigma := []rune{'a', 'c'}
+	ok, err := MultiWithinK([]string{"aca", "ata", "aa"}, 1, []rune{'a', 'c', 't'})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("all pairs are within distance 1")
+	}
+	ok, err = MultiWithinK([]string{"aaaa", "cccc", "aaaa"}, 2, sigma)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("aaaa vs cccc needs 4 edits")
+	}
+	ok, err = MultiWithinK([]string{"ac"}, 0, sigma)
+	if err != nil || !ok {
+		t.Error("single sequence is trivially aligned")
+	}
+}

@@ -1,0 +1,109 @@
+package automata
+
+import "fmt"
+
+// LengthSet is an exact, ultimately periodic representation of the set of
+// word lengths accepted by an automaton: Claim 6.7.2 of the paper rests on
+// the fact (Chrobak 1986, corrected by To 2009) that a unary NFA accepts a
+// union of arithmetic progressions. We compute the representation by
+// iterating the boolean reachability vector "states reachable by words of
+// length exactly L" until it cycles; this yields the exact preperiod μ and
+// period p of the length set.
+type LengthSet struct {
+	// Accept[L] for L < Mu+Period records membership of length L;
+	// for L ≥ Mu, membership equals Accept[Mu + (L-Mu) mod Period].
+	Accept []bool
+	Mu     int // preperiod
+	Period int // period ≥ 1
+}
+
+// Lengths computes the LengthSet of n: the set { |w| : w ∈ L(n) }.
+// ε-transitions are allowed. The computation is exact; its cost is the
+// number of distinct reachability vectors, which is small for the graph
+// and relation automata arising in practice (worst case exponential, as
+// the theory demands).
+func Lengths[S comparable](n *NFA[S]) LengthSet {
+	// Successor sets by one symbol (any symbol), after ε-closure.
+	cur := n.EpsClosure(n.start)
+	key := func(states []int) string { return fmt.Sprint(states) }
+	seen := map[string]int{} // vector -> first index L
+	var accepts []bool
+	var states [][]int
+	for {
+		k := key(cur)
+		if first, ok := seen[k]; ok {
+			return LengthSet{Accept: accepts, Mu: first, Period: len(accepts) - first}
+		}
+		seen[k] = len(accepts)
+		accepts = append(accepts, n.containsFinal(cur))
+		states = append(states, cur)
+		// one step by any symbol
+		succ := map[int]bool{}
+		for _, q := range cur {
+			for _, tos := range n.trans[q] {
+				for _, to := range tos {
+					succ[to] = true
+				}
+			}
+		}
+		cur = n.EpsClosure(sortedKeys(succ))
+		_ = states
+	}
+}
+
+// Contains reports whether length L ≥ 0 is in the set.
+func (s LengthSet) Contains(L int) bool {
+	if L < len(s.Accept) {
+		return s.Accept[L]
+	}
+	return s.Accept[s.Mu+(L-s.Mu)%s.Period]
+}
+
+// IsEmpty reports whether no length is accepted.
+func (s LengthSet) IsEmpty() bool {
+	for _, a := range s.Accept {
+		if a {
+			return false
+		}
+	}
+	return true
+}
+
+// Progression is the arithmetic progression Base + Step·ℕ; Step = 0
+// denotes the singleton {Base}.
+type Progression struct {
+	Base, Step int
+}
+
+// Contains reports membership of x in the progression.
+func (p Progression) Contains(x int) bool {
+	if p.Step == 0 {
+		return x == p.Base
+	}
+	return x >= p.Base && (x-p.Base)%p.Step == 0
+}
+
+// Progressions decomposes the length set into finitely many arithmetic
+// progressions whose union is exactly the set (the form used by
+// Claim 6.7.2 and by the Presburger encodings of Section 6.3).
+func (s LengthSet) Progressions() []Progression {
+	var out []Progression
+	// Finite part: lengths < Mu.
+	for L := 0; L < s.Mu; L++ {
+		if s.Accept[L] {
+			out = append(out, Progression{Base: L, Step: 0})
+		}
+	}
+	// Periodic part: residues r with Accept[Mu+r].
+	for r := 0; r < s.Period; r++ {
+		if s.Accept[s.Mu+r] {
+			out = append(out, Progression{Base: s.Mu + r, Step: s.Period})
+		}
+	}
+	return out
+}
+
+// MaxFiniteProbe returns a length B such that probing membership for all
+// L ≤ B fully determines the set (one full period past the preperiod);
+// used by tests to compare against brute force.
+func (s LengthSet) MaxFiniteProbe() int { return s.Mu + 2*s.Period }

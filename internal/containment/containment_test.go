@@ -1,0 +1,164 @@
+package containment
+
+import (
+	"testing"
+
+	"repro/internal/ecrpq"
+	"repro/internal/pattern"
+)
+
+var sigmaAB = []rune{'a', 'b'}
+
+func env() ecrpq.Env { return ecrpq.Env{Sigma: sigmaAB} }
+
+func TestRPQContained(t *testing.T) {
+	cases := []struct {
+		r1, r2 string
+		want   bool
+	}{
+		{"a+", "(a|b)*", true},
+		{"(a|b)*", "a+", false},
+		{"(ab)*", "(a|b)*", true},
+		{"a*b*", "a*|b*", false},
+		{"aa|bb", "(aa|bb)+", true},
+	}
+	for _, c := range cases {
+		got, err := RPQContained(c.r1, c.r2, sigmaAB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("%s ⊆ %s: got %v want %v", c.r1, c.r2, got, c.want)
+		}
+	}
+}
+
+func TestCRPQCounterexample(t *testing.T) {
+	q1 := ecrpq.MustParse("Ans(x,y) <- (x,p,y), a(p)", env())
+	q2 := ecrpq.MustParse("Ans(x,y) <- (x,p,y), b(p)", env())
+	res, err := Check(q1, q2, sigmaAB, 3, 1000, ecrpq.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ContainedUpTo || res.Counter == nil {
+		t.Fatal("a(p) ⊄ b(p): counterexample expected")
+	}
+	if res.Counter.Words[0] != "a" {
+		t.Errorf("counterexample word = %q, want a", res.Counter.Words[0])
+	}
+}
+
+func TestCRPQContainedUpTo(t *testing.T) {
+	q1 := ecrpq.MustParse("Ans(x,y) <- (x,p,y), a+(p)", env())
+	q2 := ecrpq.MustParse("Ans(x,y) <- (x,p,y), (a|b)+(p)", env())
+	res, err := Check(q1, q2, sigmaAB, 4, 5000, ecrpq.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ContainedUpTo {
+		t.Errorf("a+ ⊆ (a|b)+ should have no counterexample; got %+v", res.Counter)
+	}
+}
+
+func TestMultiAtomContainment(t *testing.T) {
+	// (x,p,z),(z,q,y) with a(p), b(q) ⊆ (x,r,y), ab(r)? The canonical db
+	// is the line a·b from x to y: yes.
+	q1 := ecrpq.MustParse("Ans(x,y) <- (x,p,z), (z,q,y), a(p), b(q)", env())
+	q2 := ecrpq.MustParse("Ans(x,y) <- (x,r,y), ab(r)", env())
+	res, err := Check(q1, q2, sigmaAB, 3, 1000, ecrpq.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ContainedUpTo {
+		t.Error("chain a·b should be contained in ab")
+	}
+	// Reverse direction also holds semantically (any ab-path splits).
+	res2, err := Check(q2, q1, sigmaAB, 3, 1000, ecrpq.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.ContainedUpTo {
+		t.Error("ab should be contained in the a·b chain")
+	}
+}
+
+func TestECRPQInCRPQ(t *testing.T) {
+	// Theorem 7.2 setting: Q1 an ECRPQ, Q2 a CRPQ.
+	q1 := ecrpq.MustParse("Ans(x,y) <- (x,p1,z), (z,p2,y), a+(p1), b+(p2), el(p1,p2)", env())
+	q2in := ecrpq.MustParse("Ans(x,y) <- (x,r,y), a+b+(r)", env())
+	res, err := Check(q1, q2in, sigmaAB, 6, 20000, ecrpq.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ContainedUpTo {
+		t.Errorf("aⁿbⁿ ⊆ a+b+ should hold; counter %+v", res.Counter)
+	}
+	q2out := ecrpq.MustParse("Ans(x,y) <- (x,r,y), (ab)+(r)", env())
+	res2, err := Check(q1, q2out, sigmaAB, 6, 20000, ecrpq.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.ContainedUpTo {
+		t.Error("a²b² ∉ (ab)+ — counterexample expected")
+	} else if res2.Counter != nil {
+		if res2.Counter.Words[0]+res2.Counter.Words[1] == "ab" {
+			t.Error("ab itself IS in (ab)+; counterexample must be longer")
+		}
+	}
+}
+
+func TestBooleanContainment(t *testing.T) {
+	q1 := ecrpq.MustParse("Ans() <- (x,p,y), aa(p)", env())
+	q2 := ecrpq.MustParse("Ans() <- (x,p,y), a+(p)", env())
+	res, err := Check(q1, q2, sigmaAB, 4, 1000, ecrpq.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ContainedUpTo {
+		t.Error("any graph with an aa-path has an a+-path")
+	}
+}
+
+func TestPatternReduction(t *testing.T) {
+	// Theorem 7.1 machinery: α = "X" (Σ*) vs β = "XX" (squares). The
+	// marked queries are not contained; a counterexample appears at the
+	// single-letter word.
+	alpha := pattern.Parse("X")
+	beta := pattern.Parse("XX")
+	qa, err := alpha.MarkedQuery(sigmaAB, 'p', 'q')
+	if err != nil {
+		t.Fatal(err)
+	}
+	qb, err := beta.MarkedQuery(sigmaAB, 'p', 'q')
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := []rune{'a', 'b', 'p', 'q'}
+	res, err := Check(qa, qb, full, 3, 50000, ecrpq.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ContainedUpTo {
+		t.Error("Σ* ⊄ squares: counterexample expected")
+	}
+	// And the converse containment (squares ⊆ Σ*) has no counterexample.
+	res2, err := Check(qb, qa, full, 3, 50000, ecrpq.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.ContainedUpTo {
+		t.Errorf("squares ⊆ Σ* should hold; counter %+v", res2.Counter)
+	}
+}
+
+func TestCheckValidation(t *testing.T) {
+	q1 := ecrpq.MustParse("Ans(x,y) <- (x,p,y), a(p)", env())
+	qPath := ecrpq.MustParse("Ans(x,p) <- (x,p,y), a(p)", env())
+	if _, err := Check(q1, qPath, sigmaAB, 2, 10, ecrpq.Options{}); err == nil {
+		t.Error("path heads should be rejected")
+	}
+	qBool := ecrpq.MustParse("Ans() <- (x,p,y), a(p)", env())
+	if _, err := Check(q1, qBool, sigmaAB, 2, 10, ecrpq.Options{}); err == nil {
+		t.Error("head arity mismatch should be rejected")
+	}
+}

@@ -1,0 +1,98 @@
+package ecrpq
+
+import (
+	"fmt"
+
+	"repro/internal/regex"
+	"repro/internal/relations"
+)
+
+// Builder assembles a Query fluently; errors accumulate and surface at
+// Build:
+//
+//	q, err := ecrpq.NewBuilder().
+//		Path("x", "p1", "z").
+//		Path("z", "p2", "y").
+//		Lang("p1", "a+").
+//		Rel(relations.EqualLength(sigma), "p1", "p2").
+//		HeadNodes("x", "y").
+//		Build()
+type Builder struct {
+	q   Query
+	err error
+}
+
+// NewBuilder returns an empty builder.
+func NewBuilder() *Builder { return &Builder{} }
+
+// Path adds the path atom (x, pi, y).
+func (b *Builder) Path(x, pi, y string) *Builder {
+	b.q.PathAtoms = append(b.q.PathAtoms, PathAtom{X: NodeVar(x), Pi: PathVar(pi), Y: NodeVar(y)})
+	return b
+}
+
+// Rel adds the relation atom rel(args...).
+func (b *Builder) Rel(rel *relations.Relation, args ...string) *Builder {
+	vars := make([]PathVar, len(args))
+	for i, a := range args {
+		vars[i] = PathVar(a)
+	}
+	b.q.RelAtoms = append(b.q.RelAtoms, RelAtom{Rel: rel, Args: vars})
+	return b
+}
+
+// Lang adds the unary language atom src(pi), with src a regular
+// expression in the syntax of regex.Parse.
+func (b *Builder) Lang(pi, src string) *Builder {
+	node, err := regex.Parse(src)
+	if err != nil {
+		if b.err == nil {
+			b.err = fmt.Errorf("ecrpq: language atom for %s: %w", pi, err)
+		}
+		return b
+	}
+	return b.Rel(relations.FromLanguage(src, node), pi)
+}
+
+// HeadNodes appends node variables to the head.
+func (b *Builder) HeadNodes(vars ...string) *Builder {
+	for _, v := range vars {
+		b.q.HeadNodes = append(b.q.HeadNodes, NodeVar(v))
+	}
+	return b
+}
+
+// HeadPaths appends path variables to the head.
+func (b *Builder) HeadPaths(vars ...string) *Builder {
+	for _, v := range vars {
+		b.q.HeadPaths = append(b.q.HeadPaths, PathVar(v))
+	}
+	return b
+}
+
+// AllowRepeatedPathVars enables the repetition extension of Prop 6.8.
+func (b *Builder) AllowRepeatedPathVars() *Builder {
+	b.q.AllowRepeatedPathVars = true
+	return b
+}
+
+// Build validates and returns the query.
+func (b *Builder) Build() (*Query, error) {
+	if b.err != nil {
+		return nil, b.err
+	}
+	if err := b.q.Validate(); err != nil {
+		return nil, err
+	}
+	q := b.q // copy
+	return &q, nil
+}
+
+// MustBuild is Build that panics on error.
+func (b *Builder) MustBuild() *Query {
+	q, err := b.Build()
+	if err != nil {
+		panic(err)
+	}
+	return q
+}

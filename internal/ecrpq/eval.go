@@ -1,0 +1,502 @@
+package ecrpq
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/graph"
+	"repro/internal/regex"
+	"repro/internal/relations"
+)
+
+// JoinMode selects how component results are joined on shared node
+// variables.
+type JoinMode int
+
+const (
+	// JoinAuto uses Yannakakis semijoins when the component hypergraph is
+	// acyclic and backtracking otherwise.
+	JoinAuto JoinMode = iota
+	// JoinBacktrack always uses backtracking join.
+	JoinBacktrack
+	// JoinYannakakis requires an acyclic hypergraph and fails otherwise.
+	JoinYannakakis
+)
+
+// Options tune evaluation.
+type Options struct {
+	// Bind fixes node variables to constants before evaluation; the
+	// data-complexity decision problem ECRPQ-EVAL(Q) binds all head
+	// variables this way.
+	Bind map[NodeVar]graph.Node
+	// MaxProductStates bounds the total number of product states explored
+	// across all components; evaluation fails with ErrBudget beyond it.
+	// Zero means the default of 4,000,000.
+	MaxProductStates int
+	// Join selects the join algorithm (see JoinMode).
+	Join JoinMode
+	// NoDecompose disables the component decomposition and evaluates the
+	// full m-tape product, as in the paper's monolithic construction; used
+	// by the decomposition ablation benchmark.
+	NoDecompose bool
+}
+
+// ErrBudget is returned when evaluation exceeds MaxProductStates.
+var ErrBudget = fmt.Errorf("ecrpq: product state budget exceeded")
+
+// Answer is one tuple in the query output: values for the head node
+// variables (in HeadNodes order) and witness paths for the head path
+// variables (in HeadPaths order). When the query can return infinitely
+// many paths for the same node tuple, Paths holds one shortest witness;
+// use Result.PathAutomaton for the full regular set (Proposition 5.2).
+type Answer struct {
+	Nodes []graph.Node
+	Paths []graph.Path
+}
+
+// Key returns a hashable encoding of the node part of the answer.
+func (a Answer) Key() string {
+	var b strings.Builder
+	for _, v := range a.Nodes {
+		fmt.Fprintf(&b, "%d,", v)
+	}
+	return b.String()
+}
+
+// Result is the output of Eval.
+type Result struct {
+	Query   *Query
+	Graph   *graph.DB
+	Answers []Answer
+	// bindings holds, per answer, the full node binding (not just the
+	// head projection); used by PathAutomaton.
+	bindings []map[NodeVar]graph.Node
+}
+
+// Bool reports the boolean result (nonempty output).
+func (r *Result) Bool() bool { return len(r.Answers) > 0 }
+
+// Eval evaluates the query over g per the semantics of Definition 3.1.
+//
+// The algorithm follows Section 5: each connected component of the
+// relation hypergraph is evaluated as an on-the-fly product of the
+// component's convolution power G^c with the joined relation automaton
+// (never materialized; see relations.Joint), and component results are
+// joined relationally on shared node variables. For every answer a
+// shortest witness path per head path variable is produced.
+func Eval(q *Query, g *graph.DB, opts Options) (*Result, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.MaxProductStates == 0 {
+		opts.MaxProductStates = 4_000_000
+	}
+	comps, err := decompose(q, opts.NoDecompose)
+	if err != nil {
+		return nil, err
+	}
+	budget := opts.MaxProductStates
+	rels := make([]*varRelation, len(comps))
+	for i, c := range comps {
+		vr, used, err := evalComponent(g, c, opts.Bind, budget)
+		if err != nil {
+			return nil, err
+		}
+		budget -= used
+		rels[i] = vr
+	}
+	joined, err := joinAll(rels, opts.Join, q.HeadNodes, q.HeadPaths)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Query: q, Graph: g}
+	seen := map[string]int{}
+	for _, row := range joined {
+		ans := Answer{}
+		for _, z := range q.HeadNodes {
+			ans.Nodes = append(ans.Nodes, row.nodes[z])
+		}
+		k := ans.Key()
+		if idx, ok := seen[k]; ok {
+			// Keep the shortest witnesses among duplicates.
+			old := &res.Answers[idx]
+			for pi, chi := range q.HeadPaths {
+				if p, ok := row.paths[chi]; ok && p.Len() < old.Paths[pi].Len() {
+					old.Paths[pi] = p
+				}
+			}
+			continue
+		}
+		for _, chi := range q.HeadPaths {
+			ans.Paths = append(ans.Paths, row.paths[chi])
+		}
+		seen[k] = len(res.Answers)
+		res.Answers = append(res.Answers, ans)
+		res.bindings = append(res.bindings, row.nodes)
+	}
+	sort.Slice(res.Answers, func(i, j int) bool {
+		return res.Answers[i].Key() < res.Answers[j].Key()
+	})
+	return res, nil
+}
+
+// component groups the path variables connected by relation atoms of
+// arity ≥ 2; unary atoms attach to their variable's component.
+type component struct {
+	vars   []PathVar
+	varIdx map[PathVar]int
+	// atomsOf[i] lists the path atoms binding vars[i] (several under
+	// AllowRepeatedPathVars).
+	atomsOf [][]PathAtom
+	joint   *relations.Joint
+}
+
+func decompose(q *Query, monolithic bool) ([]*component, error) {
+	pathVars := []PathVar{}
+	seen := map[PathVar]bool{}
+	for _, a := range q.PathAtoms {
+		if !seen[a.Pi] {
+			seen[a.Pi] = true
+			pathVars = append(pathVars, a.Pi)
+		}
+	}
+	// Union-find over path variables.
+	parent := map[PathVar]PathVar{}
+	var find func(v PathVar) PathVar
+	find = func(v PathVar) PathVar {
+		if parent[v] == "" || parent[v] == v {
+			parent[v] = v
+			return v
+		}
+		r := find(parent[v])
+		parent[v] = r
+		return r
+	}
+	union := func(a, b PathVar) { parent[find(a)] = find(b) }
+	if monolithic {
+		for i := 1; i < len(pathVars); i++ {
+			union(pathVars[0], pathVars[i])
+		}
+	}
+	for _, ra := range q.RelAtoms {
+		for i := 1; i < len(ra.Args); i++ {
+			union(ra.Args[0], ra.Args[i])
+		}
+	}
+	groups := map[PathVar][]PathVar{}
+	for _, v := range pathVars {
+		r := find(v)
+		groups[r] = append(groups[r], v)
+	}
+	var comps []*component
+	var roots []PathVar
+	for _, v := range pathVars { // deterministic order
+		if find(v) == v {
+			roots = append(roots, v)
+		}
+	}
+	for _, root := range roots {
+		vars := groups[root]
+		c := &component{vars: vars, varIdx: map[PathVar]int{}, atomsOf: make([][]PathAtom, len(vars))}
+		for i, v := range vars {
+			c.varIdx[v] = i
+		}
+		for _, a := range q.PathAtoms {
+			if i, ok := c.varIdx[a.Pi]; ok {
+				c.atomsOf[i] = append(c.atomsOf[i], a)
+			}
+		}
+		var atoms []relations.Atom
+		for _, ra := range q.RelAtoms {
+			if _, ok := c.varIdx[ra.Args[0]]; !ok {
+				continue
+			}
+			pos := make([]int, len(ra.Args))
+			for i, v := range ra.Args {
+				pos[i] = c.varIdx[v]
+			}
+			atoms = append(atoms, relations.Atom{Rel: ra.Rel, Pos: pos})
+		}
+		j, err := relations.NewJoint(len(vars), atoms)
+		if err != nil {
+			return nil, err
+		}
+		c.joint = j
+		comps = append(comps, c)
+	}
+	return comps, nil
+}
+
+// nodeVarsOf returns the distinct node variables of the component in
+// first-occurrence order, and those occurring in X position.
+func (c *component) nodeVars() (all []NodeVar, xvars []NodeVar) {
+	seenAll := map[NodeVar]bool{}
+	seenX := map[NodeVar]bool{}
+	for _, atoms := range c.atomsOf {
+		for _, a := range atoms {
+			if !seenAll[a.X] {
+				seenAll[a.X] = true
+				all = append(all, a.X)
+			}
+			if !seenX[a.X] {
+				seenX[a.X] = true
+				xvars = append(xvars, a.X)
+			}
+			if !seenAll[a.Y] {
+				seenAll[a.Y] = true
+				all = append(all, a.Y)
+			}
+		}
+	}
+	return all, xvars
+}
+
+// row is one component answer: a binding of the component's node
+// variables plus one shortest witness path per path variable.
+type row struct {
+	nodes map[NodeVar]graph.Node
+	paths map[PathVar]graph.Path
+}
+
+// varRelation is a relation over node variables: the result of one
+// component, input to the relational join.
+type varRelation struct {
+	vars []NodeVar
+	rows []row
+}
+
+// evalComponent runs the product BFS for one component, for every start
+// assignment consistent with bind. It returns the component's relation
+// and the number of product states explored.
+func evalComponent(g *graph.DB, c *component, bind map[NodeVar]graph.Node, budget int) (*varRelation, int, error) {
+	allVars, xvars := c.nodeVars()
+	candidates := func(v NodeVar) []graph.Node {
+		if n, ok := bind[v]; ok {
+			return []graph.Node{n}
+		}
+		out := make([]graph.Node, g.NumNodes())
+		for i := range out {
+			out[i] = graph.Node(i)
+		}
+		return out
+	}
+	vr := &varRelation{vars: allVars}
+	used := 0
+	seenRows := map[string]int{}
+
+	assign := make(map[NodeVar]graph.Node, len(xvars))
+	var enumerate func(i int) error
+	enumerate = func(i int) error {
+		if i == len(xvars) {
+			u, err := bfsComponent(g, c, assign, bind, budget-used, vr, seenRows)
+			used += u
+			return err
+		}
+		for _, n := range candidates(xvars[i]) {
+			assign[xvars[i]] = n
+			if err := enumerate(i + 1); err != nil {
+				return err
+			}
+		}
+		delete(assign, xvars[i])
+		return nil
+	}
+	if err := enumerate(0); err != nil {
+		return nil, used, err
+	}
+	return vr, used, nil
+}
+
+// prodState is one state of the component product BFS.
+type prodState struct {
+	cur   []graph.Node
+	joint relations.JointState
+}
+
+// prodParent records how a product state was first reached.
+type prodParent struct {
+	key string // parent state key; "" at the root
+	sym string // c-tuple symbol taken from the parent
+}
+
+func prodKey(cur []graph.Node, js relations.JointState) string {
+	var b strings.Builder
+	for _, v := range cur {
+		fmt.Fprintf(&b, "%d,", v)
+	}
+	b.WriteByte('|')
+	b.WriteString(js.Key())
+	return b.String()
+}
+
+// bfsComponent explores the product of G⊥^c with the component's joint
+// relation automaton from the start tuple given by assign, collecting
+// accepting bindings into vr.
+func bfsComponent(g *graph.DB, c *component, assign, bind map[NodeVar]graph.Node, budget int, vr *varRelation, seenRows map[string]int) (int, error) {
+	cnt := len(c.vars)
+	// Start tuple: each variable's atoms must agree on the start node.
+	start := make([]graph.Node, cnt)
+	for i, atoms := range c.atomsOf {
+		s := assign[atoms[0].X]
+		for _, a := range atoms[1:] {
+			if assign[a.X] != s {
+				return 0, nil // inconsistent start for repeated path var
+			}
+		}
+		start[i] = s
+	}
+	parents := map[string]prodParent{}
+	states := map[string]prodState{}
+	var queue []string
+
+	js0 := c.joint.Start()
+	k0 := prodKey(start, js0)
+	states[k0] = prodState{cur: start, joint: js0}
+	parents[k0] = prodParent{}
+	queue = append(queue, k0)
+	used := 0
+
+	accept := func(k string, s prodState) {
+		if !c.joint.Accepting(s.joint) {
+			return
+		}
+		// Check Y-consistency and build the node binding.
+		nodes := make(map[NodeVar]graph.Node, 4)
+		for v, n := range assign {
+			nodes[v] = n
+		}
+		for i, atoms := range c.atomsOf {
+			for _, a := range atoms {
+				if prev, ok := nodes[a.Y]; ok {
+					if prev != s.cur[i] {
+						return
+					}
+				} else {
+					if b, ok := bind[a.Y]; ok && b != s.cur[i] {
+						return
+					}
+					nodes[a.Y] = s.cur[i]
+				}
+			}
+		}
+		paths := reconstruct(c, k, parents, states)
+		r := row{nodes: nodes, paths: paths}
+		rk := rowKey(vr.vars, nodes)
+		if idx, ok := seenRows[rk]; ok {
+			// keep shortest witnesses
+			for pv, p := range paths {
+				if old, ok := vr.rows[idx].paths[pv]; !ok || p.Len() < old.Len() {
+					vr.rows[idx].paths[pv] = p
+				}
+			}
+			return
+		}
+		seenRows[rk] = len(vr.rows)
+		vr.rows = append(vr.rows, r)
+	}
+
+	type move struct {
+		label rune
+		to    graph.Node
+	}
+	for head := 0; head < len(queue); head++ {
+		k := queue[head]
+		s := states[k]
+		accept(k, s)
+		// Per-coordinate moves: real edges plus the ⊥ stay-move.
+		moves := make([][]move, cnt)
+		for i, v := range s.cur {
+			ms := []move{{regex.Bot, v}}
+			g.EdgesFrom(v, func(a rune, to graph.Node) {
+				ms = append(ms, move{a, to})
+			})
+			moves[i] = ms
+		}
+		syms := make([]rune, cnt)
+		next := make([]graph.Node, cnt)
+		var rec func(i int) error
+		rec = func(i int) error {
+			if i == cnt {
+				js, ok := c.joint.Step(s.joint, string(syms))
+				if !ok {
+					return nil
+				}
+				nk := prodKey(next, js)
+				if _, ok := states[nk]; ok {
+					return nil
+				}
+				used++
+				if used > budget {
+					return ErrBudget
+				}
+				states[nk] = prodState{cur: append([]graph.Node(nil), next...), joint: js}
+				parents[nk] = prodParent{key: k, sym: string(syms)}
+				queue = append(queue, nk)
+				return nil
+			}
+			for _, m := range moves[i] {
+				syms[i] = m.label
+				next[i] = m.to
+				if err := rec(i + 1); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		if err := rec(0); err != nil {
+			return used, err
+		}
+	}
+	return used, nil
+}
+
+// reconstruct walks parent pointers back to the start and extracts the
+// per-variable witness paths, stripping ⊥ stay-moves (the stripping
+// operation ρ̄s(j) of Section 5).
+func reconstruct(c *component, k string, parents map[string]prodParent, states map[string]prodState) map[PathVar]graph.Path {
+	var symsRev []string
+	var tuplesRev [][]graph.Node
+	cur := k
+	for {
+		p := parents[cur]
+		tuplesRev = append(tuplesRev, states[cur].cur)
+		if p.key == "" {
+			break
+		}
+		symsRev = append(symsRev, p.sym)
+		cur = p.key
+	}
+	n := len(tuplesRev)
+	tuples := make([][]graph.Node, n)
+	for i := range tuplesRev {
+		tuples[n-1-i] = tuplesRev[i]
+	}
+	syms := make([]string, len(symsRev))
+	for i := range symsRev {
+		syms[len(symsRev)-1-i] = symsRev[i]
+	}
+	out := make(map[PathVar]graph.Path, len(c.vars))
+	for i, v := range c.vars {
+		p := graph.Path{Nodes: []graph.Node{tuples[0][i]}}
+		for step, sym := range syms {
+			a := []rune(sym)[i]
+			if a == regex.Bot {
+				continue
+			}
+			p.Nodes = append(p.Nodes, tuples[step+1][i])
+			p.Labels = append(p.Labels, a)
+		}
+		out[v] = p
+	}
+	return out
+}
+
+// rowKey encodes a binding of the given variables for deduplication.
+func rowKey(vars []NodeVar, nodes map[NodeVar]graph.Node) string {
+	var b strings.Builder
+	for _, v := range vars {
+		fmt.Fprintf(&b, "%d,", nodes[v])
+	}
+	return b.String()
+}

@@ -1,0 +1,393 @@
+package ecrpq
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/graph"
+)
+
+// joinAll joins the component relations on their shared node variables,
+// keeping only the columns in keep (the query's output variables) plus
+// whatever is needed to perform the join. keepPaths lists the path
+// variables whose witnesses must survive.
+//
+// Under JoinAuto it runs the full Yannakakis algorithm when the
+// hypergraph of variable sets is α-acyclic (GYO-reducible): semijoin
+// reduction followed by bottom-up joins projected onto the needed
+// columns — the PTIME combined-complexity algorithm behind Theorem 6.5.
+// Crucially the projected joins keep intermediate results polynomial;
+// materializing full assignments would be exponential in the query even
+// for chains.
+func joinAll(rels []*varRelation, mode JoinMode, keep []NodeVar, keepPaths []PathVar) ([]row, error) {
+	if len(rels) == 0 {
+		return nil, nil
+	}
+	keepSet := map[NodeVar]bool{}
+	for _, v := range keep {
+		keepSet[v] = true
+	}
+	pathSet := map[PathVar]bool{}
+	for _, v := range keepPaths {
+		pathSet[v] = true
+	}
+	acyclic, order := gyoOrder(rels)
+	switch mode {
+	case JoinYannakakis:
+		if !acyclic {
+			return nil, fmt.Errorf("ecrpq: JoinYannakakis requested but the join hypergraph is cyclic")
+		}
+		return yannakakis(rels, order, keepSet, pathSet), nil
+	case JoinAuto:
+		if acyclic {
+			return yannakakis(rels, order, keepSet, pathSet), nil
+		}
+		return backtrackJoin(rels, keepSet, pathSet), nil
+	default: // JoinBacktrack
+		return backtrackJoin(rels, keepSet, pathSet), nil
+	}
+}
+
+// elimination records one GYO ear removal: child is folded into parent;
+// parent == -1 marks a root left at the end.
+type elimination struct{ child, parent int }
+
+// gyoOrder runs the GYO reduction on the hypergraph whose hyperedges are
+// the variable sets of the relations. It reports α-acyclicity and the
+// elimination order.
+func gyoOrder(rels []*varRelation) (bool, []elimination) {
+	n := len(rels)
+	varsOf := make([]map[NodeVar]bool, n)
+	alive := make([]bool, n)
+	for i, r := range rels {
+		varsOf[i] = map[NodeVar]bool{}
+		for _, v := range r.vars {
+			varsOf[i][v] = true
+		}
+		alive[i] = true
+	}
+	var elims []elimination
+	remaining := n
+	for remaining > 1 {
+		progress := false
+		for i := 0; i < n && remaining > 1; i++ {
+			if !alive[i] {
+				continue
+			}
+			// An "ear": some live j ≠ i covers every variable of i that is
+			// shared with any other live relation.
+			shared := map[NodeVar]bool{}
+			for v := range varsOf[i] {
+				for j := 0; j < n; j++ {
+					if j != i && alive[j] && varsOf[j][v] {
+						shared[v] = true
+						break
+					}
+				}
+			}
+			for j := 0; j < n; j++ {
+				if j == i || !alive[j] {
+					continue
+				}
+				covers := true
+				for v := range shared {
+					if !varsOf[j][v] {
+						covers = false
+						break
+					}
+				}
+				if covers {
+					elims = append(elims, elimination{child: i, parent: j})
+					alive[i] = false
+					remaining--
+					progress = true
+					break
+				}
+			}
+		}
+		if !progress {
+			return false, nil
+		}
+	}
+	for i := 0; i < n; i++ {
+		if alive[i] {
+			elims = append(elims, elimination{child: i, parent: -1})
+		}
+	}
+	return true, elims
+}
+
+// yannakakis runs the three phases: bottom-up and top-down semijoins,
+// then bottom-up joins projected onto parent variables plus kept
+// columns. Relations are mutated in place; the roots are cross-joined at
+// the end (they share no variables).
+func yannakakis(rels []*varRelation, elims []elimination, keep map[NodeVar]bool, keepPaths map[PathVar]bool) []row {
+	for _, e := range elims {
+		if e.parent >= 0 {
+			semijoin(rels[e.parent], rels[e.child])
+		}
+	}
+	for i := len(elims) - 1; i >= 0; i-- {
+		if elims[i].parent >= 0 {
+			semijoin(rels[elims[i].child], rels[elims[i].parent])
+		}
+	}
+	// Phase 3: projected joins child→parent in elimination order.
+	var roots []*varRelation
+	for _, e := range elims {
+		if e.parent < 0 {
+			roots = append(roots, projectRelation(rels[e.child], keep, keepPaths))
+			continue
+		}
+		rels[e.parent] = projectJoin(rels[e.parent], rels[e.child], keep, keepPaths)
+	}
+	// Cross-join the per-component roots.
+	return backtrackJoin(roots, keep, keepPaths)
+}
+
+// projectRelation projects a relation onto keep ∩ vars plus nothing
+// else, deduplicating rows (shortest witnesses win).
+func projectRelation(r *varRelation, keep map[NodeVar]bool, keepPaths map[PathVar]bool) *varRelation {
+	var cols []NodeVar
+	for _, v := range r.vars {
+		if keep[v] {
+			cols = append(cols, v)
+		}
+	}
+	out := &varRelation{vars: cols}
+	seen := map[string]int{}
+	for _, rr := range r.rows {
+		nodes := map[NodeVar]graph.Node{}
+		for _, v := range cols {
+			nodes[v] = rr.nodes[v]
+		}
+		paths := filterPaths(rr.paths, keepPaths)
+		k := rowKey(cols, nodes)
+		if idx, ok := seen[k]; ok {
+			mergeShorterPaths(&out.rows[idx], paths)
+			continue
+		}
+		seen[k] = len(out.rows)
+		out.rows = append(out.rows, row{nodes: nodes, paths: paths})
+	}
+	return out
+}
+
+// projectJoin joins parent ⋈ child and projects onto vars(parent) ∪
+// (kept columns present in child), deduplicating.
+func projectJoin(parent, child *varRelation, keep map[NodeVar]bool, keepPaths map[PathVar]bool) *varRelation {
+	shared := sharedVars(child, parent)
+	index := map[string][]int{}
+	for i, rc := range child.rows {
+		index[projKey(shared, rc.nodes)] = append(index[projKey(shared, rc.nodes)], i)
+	}
+	// Output columns: parent's vars plus child's kept vars.
+	cols := append([]NodeVar(nil), parent.vars...)
+	inCols := map[NodeVar]bool{}
+	for _, v := range cols {
+		inCols[v] = true
+	}
+	for _, v := range child.vars {
+		if keep[v] && !inCols[v] {
+			inCols[v] = true
+			cols = append(cols, v)
+		}
+	}
+	out := &varRelation{vars: cols}
+	seen := map[string]int{}
+	for _, rp := range parent.rows {
+		for _, ci := range index[projKey(shared, rp.nodes)] {
+			rc := child.rows[ci]
+			nodes := map[NodeVar]graph.Node{}
+			for _, v := range cols {
+				if n, ok := rp.nodes[v]; ok {
+					nodes[v] = n
+				} else {
+					nodes[v] = rc.nodes[v]
+				}
+			}
+			paths := filterPaths(rp.paths, keepPaths)
+			for pv, p := range filterPaths(rc.paths, keepPaths) {
+				if old, ok := paths[pv]; !ok || p.Len() < old.Len() {
+					paths[pv] = p
+				}
+			}
+			k := rowKey(cols, nodes)
+			if idx, ok := seen[k]; ok {
+				mergeShorterPaths(&out.rows[idx], paths)
+				continue
+			}
+			seen[k] = len(out.rows)
+			out.rows = append(out.rows, row{nodes: nodes, paths: paths})
+		}
+	}
+	return out
+}
+
+func filterPaths(paths map[PathVar]graph.Path, keepPaths map[PathVar]bool) map[PathVar]graph.Path {
+	out := map[PathVar]graph.Path{}
+	for pv, p := range paths {
+		if keepPaths[pv] {
+			out[pv] = p
+		}
+	}
+	return out
+}
+
+func mergeShorterPaths(dst *row, paths map[PathVar]graph.Path) {
+	for pv, p := range paths {
+		if old, ok := dst.paths[pv]; !ok || p.Len() < old.Len() {
+			dst.paths[pv] = p
+		}
+	}
+}
+
+// semijoin keeps only the rows of a that agree with some row of b on
+// their shared variables.
+func semijoin(a, b *varRelation) {
+	shared := sharedVars(a, b)
+	if len(shared) == 0 {
+		if len(b.rows) == 0 {
+			a.rows = nil
+		}
+		return
+	}
+	index := map[string]bool{}
+	for _, rb := range b.rows {
+		index[projKey(shared, rb.nodes)] = true
+	}
+	var kept []row
+	for _, ra := range a.rows {
+		if index[projKey(shared, ra.nodes)] {
+			kept = append(kept, ra)
+		}
+	}
+	a.rows = kept
+}
+
+func sharedVars(a, b *varRelation) []NodeVar {
+	inB := map[NodeVar]bool{}
+	for _, v := range b.vars {
+		inB[v] = true
+	}
+	var out []NodeVar
+	for _, v := range a.vars {
+		if inB[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func projKey(vars []NodeVar, nodes map[NodeVar]graph.Node) string {
+	var sb strings.Builder
+	for _, v := range vars {
+		fmt.Fprintf(&sb, "%d,", nodes[v])
+	}
+	return sb.String()
+}
+
+// backtrackJoin enumerates the natural join by backtracking with hash
+// indexes on the variables shared with the already-joined prefix,
+// deduplicating on the kept columns as it goes. For Boolean queries
+// (no kept columns) it stops at the first satisfying assignment.
+func backtrackJoin(rels []*varRelation, keep map[NodeVar]bool, keepPaths map[PathVar]bool) []row {
+	type indexed struct {
+		rel    *varRelation
+		shared []NodeVar
+		index  map[string][]int
+	}
+	plan := make([]indexed, len(rels))
+	seenVar := map[NodeVar]bool{}
+	var keepCols []NodeVar
+	for i, r := range rels {
+		var shared []NodeVar
+		for _, v := range r.vars {
+			if seenVar[v] {
+				shared = append(shared, v)
+			}
+		}
+		idx := map[string][]int{}
+		for ri, rr := range r.rows {
+			k := projKey(shared, rr.nodes)
+			idx[k] = append(idx[k], ri)
+		}
+		plan[i] = indexed{rel: r, shared: shared, index: idx}
+		for _, v := range r.vars {
+			if !seenVar[v] {
+				seenVar[v] = true
+				if keep[v] {
+					keepCols = append(keepCols, v)
+				}
+			}
+		}
+	}
+	boolean := len(keepCols) == 0
+	var out []row
+	seenOut := map[string]int{}
+	binding := row{nodes: map[NodeVar]graph.Node{}, paths: map[PathVar]graph.Path{}}
+	done := false
+	var rec func(i int)
+	rec = func(i int) {
+		if done {
+			return
+		}
+		if i == len(plan) {
+			nodes := make(map[NodeVar]graph.Node, len(keepCols))
+			for _, v := range keepCols {
+				nodes[v] = binding.nodes[v]
+			}
+			paths := filterPaths(binding.paths, keepPaths)
+			k := rowKey(keepCols, nodes)
+			if idx, ok := seenOut[k]; ok {
+				mergeShorterPaths(&out[idx], paths)
+				return
+			}
+			seenOut[k] = len(out)
+			out = append(out, row{nodes: nodes, paths: paths})
+			if boolean {
+				done = true
+			}
+			return
+		}
+		p := plan[i]
+		k := projKey(p.shared, binding.nodes)
+		for _, ri := range p.index[k] {
+			if done {
+				return
+			}
+			rr := p.rel.rows[ri]
+			var added []NodeVar
+			ok := true
+			for v, n := range rr.nodes {
+				if prev, exists := binding.nodes[v]; exists {
+					if prev != n {
+						ok = false
+						break
+					}
+				} else {
+					binding.nodes[v] = n
+					added = append(added, v)
+				}
+			}
+			if ok {
+				var addedPaths []PathVar
+				for pv, pp := range rr.paths {
+					if _, exists := binding.paths[pv]; !exists {
+						binding.paths[pv] = pp
+						addedPaths = append(addedPaths, pv)
+					}
+				}
+				rec(i + 1)
+				for _, pv := range addedPaths {
+					delete(binding.paths, pv)
+				}
+			}
+			for _, v := range added {
+				delete(binding.nodes, v)
+			}
+		}
+	}
+	rec(0)
+	return out
+}

@@ -1,0 +1,126 @@
+package ecrpq
+
+import (
+	"repro/internal/automata"
+	"repro/internal/graph"
+	"repro/internal/regex"
+)
+
+// ProductNFA builds the full m-tape product automaton of the query over
+// g: an NFA over tuple symbols (strings of m runes over Σ⊥) accepting
+// exactly the convolutions [λ(ρ₁),…,λ(ρₘ)] of path tuples that satisfy
+// the relational part and all relation atoms, for some node assignment
+// consistent with bind. This is the automaton A_Q × Gᵐ of Theorem 6.3,
+// with one copy per start assignment σ (the paper's union over Θ) and
+// Q-compatibility folded into acceptance.
+//
+// The second return value gives the tape order (path variables).
+// ProductNFA is the substrate for the extensions of Section 8.2: package
+// linconstr attaches Parikh-image counters to its transitions.
+func ProductNFA(q *Query, g *graph.DB, bind map[NodeVar]graph.Node) (*automata.NFA[string], []PathVar, error) {
+	if err := q.Validate(); err != nil {
+		return nil, nil, err
+	}
+	comps, err := decompose(q, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	c := comps[0]
+	out := automata.NewNFA[string]()
+	_, xvars := c.nodeVars()
+	candidates := func(v NodeVar) []graph.Node {
+		if n, ok := bind[v]; ok {
+			return []graph.Node{n}
+		}
+		all := make([]graph.Node, g.NumNodes())
+		for i := range all {
+			all[i] = graph.Node(i)
+		}
+		return all
+	}
+	assign := map[NodeVar]graph.Node{}
+	var enumerate func(i int)
+	enumerate = func(i int) {
+		if i == len(xvars) {
+			addProductCopy(out, g, c, assign, bind)
+			return
+		}
+		for _, n := range candidates(xvars[i]) {
+			assign[xvars[i]] = n
+			enumerate(i + 1)
+		}
+		delete(assign, xvars[i])
+	}
+	enumerate(0)
+	return automata.Trim(out), c.vars, nil
+}
+
+// addProductCopy adds one start-assignment copy of the product to out.
+func addProductCopy(out *automata.NFA[string], g *graph.DB, c *component, assign, bind map[NodeVar]graph.Node) {
+	cnt := len(c.vars)
+	start := make([]graph.Node, cnt)
+	for i, atoms := range c.atomsOf {
+		s := assign[atoms[0].X]
+		for _, a := range atoms[1:] {
+			if assign[a.X] != s {
+				return
+			}
+		}
+		start[i] = s
+	}
+	ids := map[string]int{}
+	states := map[string]prodState{}
+	var queue []string
+	stateOf := func(ps prodState) int {
+		k := prodKey(ps.cur, ps.joint)
+		if id, ok := ids[k]; ok {
+			return id
+		}
+		id := out.AddState()
+		ids[k] = id
+		states[k] = ps
+		queue = append(queue, k)
+		out.SetFinal(id, acceptingState(c, ps, assign, bind))
+		return id
+	}
+	js0 := c.joint.Start()
+	out.SetStart(stateOf(prodState{cur: start, joint: js0}))
+
+	type move struct {
+		label rune
+		to    graph.Node
+	}
+	for head := 0; head < len(queue); head++ {
+		k := queue[head]
+		s := states[k]
+		from := ids[k]
+		moves := make([][]move, cnt)
+		for i, v := range s.cur {
+			ms := []move{{regex.Bot, v}}
+			g.EdgesFrom(v, func(a rune, to graph.Node) {
+				ms = append(ms, move{a, to})
+			})
+			moves[i] = ms
+		}
+		syms := make([]rune, cnt)
+		next := make([]graph.Node, cnt)
+		var rec func(i int)
+		rec = func(i int) {
+			if i == cnt {
+				js, ok := c.joint.Step(s.joint, string(syms))
+				if !ok {
+					return
+				}
+				to := stateOf(prodState{cur: append([]graph.Node(nil), next...), joint: js})
+				out.AddTransition(from, string(syms), to)
+				return
+			}
+			for _, mv := range moves[i] {
+				syms[i] = mv.label
+				next[i] = mv.to
+				rec(i + 1)
+			}
+		}
+		rec(0)
+	}
+}

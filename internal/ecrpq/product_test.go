@@ -1,0 +1,123 @@
+package ecrpq
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/regex"
+	"repro/internal/relations"
+)
+
+func TestProductNFAAcceptsSatisfyingConvolutions(t *testing.T) {
+	// The product automaton accepts [λ(ρ1), λ(ρ2)] exactly for satisfying
+	// path pairs; cross-validate against the naive evaluator on a DAG.
+	q := MustParse("Ans() <- (x,p1,z), (z,p2,y), a+(p1), b+(p2), el(p1,p2)", env())
+	g := stringGraph("aabb")
+	nfa, tapes, err := ProductNFA(q, g, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tapes) != 2 || tapes[0] != "p1" || tapes[1] != "p2" {
+		t.Fatalf("tapes = %v", tapes)
+	}
+	yes := [][2]string{{"a", "b"}, {"aa", "bb"}}
+	no := [][2]string{{"a", "bb"}, {"b", "a"}, {"aa", "b"}, {"", ""}}
+	for _, c := range yes {
+		w := relations.Convolve([]rune(c[0]), []rune(c[1]))
+		if !nfa.Accepts(w) {
+			t.Errorf("product should accept (%q,%q)", c[0], c[1])
+		}
+	}
+	for _, c := range no {
+		w := relations.Convolve([]rune(c[0]), []rune(c[1]))
+		if nfa.Accepts(w) {
+			t.Errorf("product should reject (%q,%q)", c[0], c[1])
+		}
+	}
+}
+
+func TestProductNFAWithBind(t *testing.T) {
+	q := MustParse("Ans(x,y) <- (x,p,y), (a|b)+(p)", env())
+	g := stringGraph("ab")
+	v0, _ := g.NodeByName("v0")
+	v1, _ := g.NodeByName("v1")
+	nfa, _, err := ProductNFA(q, g, map[NodeVar]graph.Node{"x": v0, "y": v1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !nfa.Accepts(relations.Convolve([]rune("a"))) {
+		t.Error("a path v0→v1 should be accepted")
+	}
+	if nfa.Accepts(relations.Convolve([]rune("ab"))) {
+		t.Error("ab ends at v2, not v1")
+	}
+}
+
+func TestProductNFABooleanEmptiness(t *testing.T) {
+	// Product emptiness decides the Boolean query; compare with Eval on
+	// random DAGs.
+	q := MustParse("Ans() <- (x,p1,y), (x,p2,y), a+(p1), b+(p2), el(p1,p2)", env())
+	r := rand.New(rand.NewSource(77))
+	for trial := 0; trial < 15; trial++ {
+		g := randomDAG(r, 5, 0.5, sigmaAB)
+		nfa, _, err := ProductNFA(q, g, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Eval(q, g, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Bool() == nfa.IsEmpty() {
+			t.Fatalf("trial %d: Eval=%v but product emptiness=%v", trial, res.Bool(), nfa.IsEmpty())
+		}
+	}
+}
+
+func TestTernaryRelationQuery(t *testing.T) {
+	// A genuinely 3-ary regular relation: all three labels equal,
+	// letterwise: (<a,a,a>|<b,b,b>)*.
+	tre := relations.FromTupleRegex("eq3", regex.MustParseTuple("(<a,a,a>|<b,b,b>)*", 3), 3)
+	q := &Query{
+		HeadNodes: []NodeVar{"x"},
+		PathAtoms: []PathAtom{
+			{X: "x", Pi: "p1", Y: "y1"},
+			{X: "x", Pi: "p2", Y: "y2"},
+			{X: "x", Pi: "p3", Y: "y3"},
+		},
+		RelAtoms: []RelAtom{{Rel: tre, Args: []PathVar{"p1", "p2", "p3"}}},
+	}
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Graph: x with three parallel a-successors; only equal labels align.
+	g := graph.NewDB()
+	x := g.AddNode("x")
+	for i := 0; i < 3; i++ {
+		v := g.AddNode("")
+		g.AddEdge(x, 'a', v)
+	}
+	res, err := Eval(q, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, a := range res.Answers {
+		if a.Nodes[0] == x {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("three equal a-paths from x exist")
+	}
+	// Naive cross-check.
+	naive, err := NaiveEval(q, g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs, ws := answerSet(res.Answers), answerSet(naive)
+	if len(gs) != len(ws) {
+		t.Fatalf("eval %v vs naive %v", gs, ws)
+	}
+}

@@ -1,0 +1,229 @@
+// Package ecrpq implements extended conjunctive regular path queries —
+// the primary contribution of Barceló, Libkin, Lin and Wood (TODS 2012).
+//
+// An ECRPQ (Definition 3.1) has the form
+//
+//	Ans(z̄, χ̄) ← ⋀ᵢ (xᵢ, πᵢ, yᵢ), ⋀ⱼ Rⱼ(ω̄ⱼ)
+//
+// where the (xᵢ, πᵢ, yᵢ) are path atoms over node variables x, y and
+// distinct path variables π, each Rⱼ is a regular relation over tuples of
+// path variables, and the head may output both nodes (z̄) and paths (χ̄).
+// CRPQs are the special case where every relation has arity 1.
+//
+// The package provides the query model with validation, a fluent builder
+// and a text parser, the evaluation engine based on the convolution
+// construction of Section 5 (on-the-fly product of Gᵐ with the joined
+// relation automaton, per connected component of the relation hypergraph),
+// relational join of component results (backtracking, or Yannakakis
+// semijoins for acyclic queries — Theorem 6.5), answer-automaton
+// construction for path outputs (Proposition 5.2), the membership check
+// ECRPQ-EVAL of Section 6, and a naive reference evaluator used as a
+// correctness oracle.
+package ecrpq
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/relations"
+)
+
+// NodeVar is a node variable (x, y, z, … in the paper).
+type NodeVar string
+
+// PathVar is a path variable (π, ω, χ, … in the paper).
+type PathVar string
+
+// PathAtom is a relational atom (X, Pi, Y): path Pi goes from X to Y.
+type PathAtom struct {
+	X  NodeVar
+	Pi PathVar
+	Y  NodeVar
+}
+
+// RelAtom is a relation atom R(Args): the labels of the paths bound to
+// Args, as a tuple, must belong to the regular relation Rel.
+type RelAtom struct {
+	Rel  *relations.Relation
+	Args []PathVar
+}
+
+// Query is an ECRPQ. Construct with NewQuery/Builder/Parse and call
+// Validate before evaluation (the evaluator validates too).
+type Query struct {
+	HeadNodes []NodeVar
+	HeadPaths []PathVar
+	PathAtoms []PathAtom
+	RelAtoms  []RelAtom
+
+	// AllowRepeatedPathVars permits the same path variable in several
+	// path atoms or the same tuple in several relation atoms, the
+	// extension of Proposition 6.8 (which raises CRPQ combined complexity
+	// to PSPACE). Definition 3.1 forbids it, so Validate rejects
+	// repetition unless this is set. Repetition of a path variable across
+	// *relation* atoms is always allowed here; the flag governs repeated
+	// use in path atoms.
+	AllowRepeatedPathVars bool
+}
+
+// IsBoolean reports whether the query has an empty head.
+func (q *Query) IsBoolean() bool { return len(q.HeadNodes) == 0 && len(q.HeadPaths) == 0 }
+
+// IsCRPQ reports whether every relation atom has arity 1 (the class of
+// CRPQs, possibly with path outputs, as in Section 3).
+func (q *Query) IsCRPQ() bool {
+	for _, ra := range q.RelAtoms {
+		if ra.Rel.Arity >= 2 {
+			return false
+		}
+	}
+	return true
+}
+
+// PathVars returns the path variables π̄ in atom order.
+func (q *Query) PathVars() []PathVar {
+	out := make([]PathVar, len(q.PathAtoms))
+	for i, a := range q.PathAtoms {
+		out[i] = a.Pi
+	}
+	return out
+}
+
+// NodeVars returns the distinct node variables among x̄, ȳ, in order of
+// first occurrence.
+func (q *Query) NodeVars() []NodeVar {
+	seen := map[NodeVar]bool{}
+	var out []NodeVar
+	add := func(v NodeVar) {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	for _, a := range q.PathAtoms {
+		add(a.X)
+		add(a.Y)
+	}
+	return out
+}
+
+// AtomOf returns the path atom binding the given path variable. With
+// repeated path variables, the first atom is returned.
+func (q *Query) AtomOf(pi PathVar) (PathAtom, bool) {
+	for _, a := range q.PathAtoms {
+		if a.Pi == pi {
+			return a, true
+		}
+	}
+	return PathAtom{}, false
+}
+
+// Validate checks the well-formedness conditions of Definition 3.1.
+func (q *Query) Validate() error {
+	if len(q.PathAtoms) == 0 {
+		return fmt.Errorf("ecrpq: query needs at least one path atom (m > 0)")
+	}
+	seenPi := map[PathVar]bool{}
+	for _, a := range q.PathAtoms {
+		if a.X == "" || a.Y == "" || a.Pi == "" {
+			return fmt.Errorf("ecrpq: path atom with empty variable: (%s,%s,%s)", a.X, a.Pi, a.Y)
+		}
+		if seenPi[a.Pi] && !q.AllowRepeatedPathVars {
+			return fmt.Errorf("ecrpq: path variable %s repeated across path atoms (set AllowRepeatedPathVars for the Prop 6.8 extension)", a.Pi)
+		}
+		seenPi[a.Pi] = true
+	}
+	for _, ra := range q.RelAtoms {
+		if ra.Rel == nil {
+			return fmt.Errorf("ecrpq: relation atom with nil relation")
+		}
+		if len(ra.Args) != ra.Rel.Arity {
+			return fmt.Errorf("ecrpq: relation %s has arity %d but %d arguments",
+				ra.Rel.Name, ra.Rel.Arity, len(ra.Args))
+		}
+		for _, v := range ra.Args {
+			if !seenPi[v] {
+				return fmt.Errorf("ecrpq: relation %s uses path variable %s not bound by any path atom", ra.Rel.Name, v)
+			}
+		}
+	}
+	nodeVars := map[NodeVar]bool{}
+	for _, v := range q.NodeVars() {
+		nodeVars[v] = true
+	}
+	for _, z := range q.HeadNodes {
+		if !nodeVars[z] {
+			return fmt.Errorf("ecrpq: head node variable %s does not occur in the body", z)
+		}
+	}
+	for _, chi := range q.HeadPaths {
+		if !seenPi[chi] {
+			return fmt.Errorf("ecrpq: head path variable %s does not occur in the body", chi)
+		}
+	}
+	return nil
+}
+
+// IsAcyclic reports whether the graph H_Q of the relational part — one
+// edge (xᵢ, yᵢ) per path atom — is acyclic in the sense of Section 6.3
+// (no cycles in the underlying undirected multigraph; parallel atoms
+// between the same variable pair count as a cycle).
+func (q *Query) IsAcyclic() bool {
+	// Union-find over node variables; an atom whose endpoints are already
+	// connected (or equal) closes a cycle.
+	parent := map[NodeVar]NodeVar{}
+	var find func(v NodeVar) NodeVar
+	find = func(v NodeVar) NodeVar {
+		if parent[v] == "" || parent[v] == v {
+			parent[v] = v
+			return v
+		}
+		r := find(parent[v])
+		parent[v] = r
+		return r
+	}
+	for _, a := range q.PathAtoms {
+		rx, ry := find(a.X), find(a.Y)
+		if rx == ry {
+			return false
+		}
+		parent[rx] = ry
+	}
+	return true
+}
+
+// String renders the query in the concrete syntax accepted by Parse.
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("Ans(")
+	for i, z := range q.HeadNodes {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(string(z))
+	}
+	for i, chi := range q.HeadPaths {
+		if i > 0 || len(q.HeadNodes) > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(string(chi))
+	}
+	b.WriteString(") <- ")
+	for i, a := range q.PathAtoms {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "(%s,%s,%s)", a.X, a.Pi, a.Y)
+	}
+	for _, ra := range q.RelAtoms {
+		fmt.Fprintf(&b, ", %s(", ra.Rel.Name)
+		for i, v := range ra.Args {
+			if i > 0 {
+				b.WriteString(",")
+			}
+			b.WriteString(string(v))
+		}
+		b.WriteString(")")
+	}
+	return b.String()
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+// The scaling sweeps are exercised in full by cmd/benchtables; tests
+// cover the fast, deterministic experiments so the harness cannot rot.
+
+func TestE12SeparationOutput(t *testing.T) {
+	var b strings.Builder
+	E12Separation(&b)
+	out := b.String()
+	if !strings.Contains(out, "aabb") {
+		t.Fatalf("missing sweep rows: %q", out)
+	}
+	// The a²b² row must show 2 ECRPQ answers vs 4 CRPQ answers.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "aabb") && !strings.Contains(line, "aabbb") {
+			fields := strings.Fields(line)
+			if len(fields) != 3 || fields[1] != "2" || fields[2] != "4" {
+				t.Errorf("a²b² separation row = %v, want [aabb 2 4]", fields)
+			}
+		}
+	}
+}
+
+func TestE14AnswerAutomatonPolynomial(t *testing.T) {
+	var b strings.Builder
+	E14AnswerAutomaton(&b)
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	if len(lines) < 5 {
+		t.Fatalf("too few rows: %q", b.String())
+	}
+}
+
+func TestFastExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweeps are slow")
+	}
+	for _, f := range []func(io.Writer){E3CRPQCombined, E5AcyclicCRPQ, E16Yannakakis} {
+		f(io.Discard)
+	}
+}

@@ -1,0 +1,268 @@
+// Package graph implements Σ-labeled graph databases — the data model of
+// the ECRPQ paper (Section 2): a finite set of nodes V and a set of
+// directed edges E ⊆ V × Σ × V. It provides paths and their labels λ(ρ),
+// the automaton view of a graph database, the ⊥-loop extension G⊥ and the
+// product construction G₁⊗G₂ used to build the convolution powers Gᵐ of
+// Section 5, and a small text format for the command-line tools.
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/regex"
+)
+
+// Node identifies a node of a DB; nodes are dense integers.
+type Node int
+
+// DB is a Σ-labeled graph database. The zero value is an empty database;
+// use NewDB. Node names are optional (auto-generated when absent) and are
+// unique.
+type DB struct {
+	names  []string
+	byName map[string]Node
+	out    []map[rune][]Node
+	nEdges int
+}
+
+// NewDB returns an empty graph database.
+func NewDB() *DB {
+	return &DB{byName: make(map[string]Node)}
+}
+
+// AddNode adds a node with the given name and returns it. If the name is
+// already present the existing node is returned. An empty name generates
+// "n<k>".
+func (g *DB) AddNode(name string) Node {
+	if name == "" {
+		name = fmt.Sprintf("n%d", len(g.names))
+	}
+	if v, ok := g.byName[name]; ok {
+		return v
+	}
+	v := Node(len(g.names))
+	g.names = append(g.names, name)
+	g.byName[name] = v
+	g.out = append(g.out, nil)
+	return v
+}
+
+// AddNodes adds k anonymous nodes and returns the first.
+func (g *DB) AddNodes(k int) Node {
+	first := Node(len(g.names))
+	for i := 0; i < k; i++ {
+		g.AddNode("")
+	}
+	return first
+}
+
+// NodeByName returns the node with the given name.
+func (g *DB) NodeByName(name string) (Node, bool) {
+	v, ok := g.byName[name]
+	return v, ok
+}
+
+// Name returns the name of v.
+func (g *DB) Name(v Node) string { return g.names[v] }
+
+// NumNodes returns |V|.
+func (g *DB) NumNodes() int { return len(g.names) }
+
+// NumEdges returns |E|.
+func (g *DB) NumEdges() int { return g.nEdges }
+
+// AddEdge adds the labeled edge (from, label, to). Duplicate edges are
+// ignored.
+func (g *DB) AddEdge(from Node, label rune, to Node) {
+	if g.out[from] == nil {
+		g.out[from] = make(map[rune][]Node)
+	}
+	for _, t := range g.out[from][label] {
+		if t == to {
+			return
+		}
+	}
+	g.out[from][label] = append(g.out[from][label], to)
+	g.nEdges++
+}
+
+// HasEdge reports whether (from, label, to) ∈ E.
+func (g *DB) HasEdge(from Node, label rune, to Node) bool {
+	for _, t := range g.out[from][label] {
+		if t == to {
+			return true
+		}
+	}
+	return false
+}
+
+// Successors returns the targets of label-edges leaving from (shared
+// slice; do not modify).
+func (g *DB) Successors(from Node, label rune) []Node { return g.out[from][label] }
+
+// EachEdge calls f for every edge.
+func (g *DB) EachEdge(f func(from Node, label rune, to Node)) {
+	for v := range g.out {
+		for a, tos := range g.out[v] {
+			for _, to := range tos {
+				f(Node(v), a, to)
+			}
+		}
+	}
+}
+
+// EdgesFrom calls f for every edge leaving v.
+func (g *DB) EdgesFrom(v Node, f func(label rune, to Node)) {
+	for a, tos := range g.out[v] {
+		for _, to := range tos {
+			f(a, to)
+		}
+	}
+}
+
+// Alphabet returns the edge labels used in the database, sorted.
+func (g *DB) Alphabet() []rune {
+	seen := map[rune]bool{}
+	var out []rune
+	for v := range g.out {
+		for a := range g.out[v] {
+			if !seen[a] {
+				seen[a] = true
+				out = append(out, a)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Clone returns a deep copy of the database.
+func (g *DB) Clone() *DB {
+	h := NewDB()
+	for _, name := range g.names {
+		h.AddNode(name)
+	}
+	g.EachEdge(func(from Node, a rune, to Node) { h.AddEdge(from, a, to) })
+	return h
+}
+
+// WithBotLoops returns the Σ⊥-labeled database G⊥ of Section 5: a copy of
+// g with a ⊥-labeled self-loop added to every node.
+func (g *DB) WithBotLoops() *DB {
+	h := g.Clone()
+	for v := 0; v < h.NumNodes(); v++ {
+		h.AddEdge(Node(v), regex.Bot, Node(v))
+	}
+	return h
+}
+
+// Product returns the graph database g⊗h over the product alphabet
+// (Section 5): nodes are pairs (encoded as v*h.NumNodes()+w), and there is
+// an edge ((v,w), a·b, (v',w')) iff (v,a,v') ∈ g and (w,b,w') ∈ h. Labels
+// of g and h must be single runes; the product's labels are the
+// concatenated strings, so the result is exposed as a TupleDB.
+func Product(g, h *DB) *TupleDB {
+	tg := g.asTuple()
+	return tg.Product(h)
+}
+
+// PairNode encodes the product node (v, w) of g⊗h given h's size.
+func PairNode(v, w Node, hSize int) Node { return v*Node(hSize) + w }
+
+// TupleDB is a graph database whose edge labels are m-tuples of runes
+// (strings of fixed length m over Σ⊥); it represents the convolution
+// powers Gᵐ of Section 5.
+type TupleDB struct {
+	M     int // tuple width
+	Size  int // number of nodes
+	out   []map[string][]Node
+	nEdge int
+}
+
+// asTuple views a rune-labeled database as a 1-tuple database.
+func (g *DB) asTuple() *TupleDB {
+	t := &TupleDB{M: 1, Size: g.NumNodes(), out: make([]map[string][]Node, g.NumNodes())}
+	g.EachEdge(func(from Node, a rune, to Node) { t.addEdge(from, string(a), to) })
+	return t
+}
+
+func (t *TupleDB) addEdge(from Node, label string, to Node) {
+	if t.out[from] == nil {
+		t.out[from] = make(map[string][]Node)
+	}
+	t.out[from][label] = append(t.out[from][label], to)
+	t.nEdge++
+}
+
+// NumEdges returns the number of edges.
+func (t *TupleDB) NumEdges() int { return t.nEdge }
+
+// Successors returns successor nodes by tuple label.
+func (t *TupleDB) Successors(from Node, label string) []Node { return t.out[from][label] }
+
+// EachEdge calls f for every edge.
+func (t *TupleDB) EachEdge(f func(from Node, label string, to Node)) {
+	for v := range t.out {
+		for a, tos := range t.out[v] {
+			for _, to := range tos {
+				f(Node(v), a, to)
+			}
+		}
+	}
+}
+
+// EdgesFrom calls f for every edge leaving v.
+func (t *TupleDB) EdgesFrom(v Node, f func(label string, to Node)) {
+	for a, tos := range t.out[v] {
+		for _, to := range tos {
+			f(a, to)
+		}
+	}
+}
+
+// Product returns t⊗h where h is rune-labeled: labels are extended by one
+// component, nodes are pairs encoded as v*h.NumNodes()+w.
+func (t *TupleDB) Product(h *DB) *TupleDB {
+	out := &TupleDB{M: t.M + 1, Size: t.Size * h.NumNodes(), out: make([]map[string][]Node, t.Size*h.NumNodes())}
+	hn := h.NumNodes()
+	t.EachEdge(func(f1 Node, a string, t1 Node) {
+		h.EachEdge(func(f2 Node, b rune, t2 Node) {
+			out.addEdge(f1*Node(hn)+f2, a+string(b), t1*Node(hn)+t2)
+		})
+	})
+	return out
+}
+
+// Power returns the m'th convolution power Gᵐ of Section 5:
+// G¹ = G⊥ and Gᵐ⁺¹ = G⊥ ⊗ Gᵐ (all components carry ⊥-loops). Node
+// (v₁,...,vₘ) is encoded in big-endian base NumNodes: v₁ is the most
+// significant digit.
+func Power(g *DB, m int) *TupleDB {
+	gb := g.WithBotLoops()
+	res := gb.asTuple()
+	for i := 1; i < m; i++ {
+		res = res.Product(gb)
+	}
+	return res
+}
+
+// DecodeTupleNode decodes a TupleDB node of a Power(g, m) database into
+// its m component nodes of g.
+func DecodeTupleNode(v Node, m, gSize int) []Node {
+	out := make([]Node, m)
+	for i := m - 1; i >= 0; i-- {
+		out[i] = v % Node(gSize)
+		v /= Node(gSize)
+	}
+	return out
+}
+
+// EncodeTupleNode is the inverse of DecodeTupleNode.
+func EncodeTupleNode(vs []Node, gSize int) Node {
+	var v Node
+	for _, x := range vs {
+		v = v*Node(gSize) + x
+	}
+	return v
+}

@@ -1,0 +1,125 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// ParseText reads a graph database from a simple line-oriented text
+// format used by the command-line tools:
+//
+//	# comment
+//	node  alice             // declares an isolated node (optional)
+//	edge  alice knows bob   // edge alice -k-> bob; label = first rune
+//	alice -knows-> bob      // arrow form, same meaning
+//
+// Labels longer than one rune use their first rune; single-rune labels
+// are recommended (the data model is Σ-labeled with Σ a set of runes).
+// Nodes are created on first mention.
+func ParseText(r io.Reader) (*DB, error) {
+	g := NewDB()
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		switch {
+		case strings.HasPrefix(line, "node "):
+			g.AddNode(strings.TrimSpace(strings.TrimPrefix(line, "node ")))
+		case strings.HasPrefix(line, "edge "):
+			fields := strings.Fields(strings.TrimPrefix(line, "edge "))
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("graph: line %d: want `edge FROM LABEL TO`, got %q", lineNo, line)
+			}
+			from := g.AddNode(fields[0])
+			to := g.AddNode(fields[2])
+			g.AddEdge(from, firstRune(fields[1]), to)
+		case strings.Contains(line, "->"):
+			// arrow form: FROM -LABEL-> TO
+			i := strings.Index(line, " -")
+			j := strings.Index(line, "-> ")
+			if i < 0 || j < i {
+				return nil, fmt.Errorf("graph: line %d: malformed arrow edge %q", lineNo, line)
+			}
+			fromName := strings.TrimSpace(line[:i])
+			label := strings.TrimSpace(line[i+2 : j])
+			toName := strings.TrimSpace(line[j+3:])
+			if fromName == "" || label == "" || toName == "" {
+				return nil, fmt.Errorf("graph: line %d: malformed arrow edge %q", lineNo, line)
+			}
+			from := g.AddNode(fromName)
+			to := g.AddNode(toName)
+			g.AddEdge(from, firstRune(label), to)
+		default:
+			return nil, fmt.Errorf("graph: line %d: unrecognized line %q", lineNo, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func firstRune(s string) rune {
+	for _, r := range s {
+		return r
+	}
+	return 0
+}
+
+// WriteText writes g in the text format read by ParseText, with edges
+// sorted for deterministic output.
+func WriteText(w io.Writer, g *DB) error {
+	type edge struct {
+		from, to string
+		label    rune
+	}
+	var edges []edge
+	g.EachEdge(func(from Node, a rune, to Node) {
+		edges = append(edges, edge{g.Name(from), g.Name(to), a})
+	})
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].from != edges[j].from {
+			return edges[i].from < edges[j].from
+		}
+		if edges[i].label != edges[j].label {
+			return edges[i].label < edges[j].label
+		}
+		return edges[i].to < edges[j].to
+	})
+	for _, e := range edges {
+		if _, err := fmt.Fprintf(w, "edge %s %c %s\n", e.from, e.label, e.to); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteDOT writes g in Graphviz DOT format for visualization.
+func WriteDOT(w io.Writer, g *DB) error {
+	if _, err := fmt.Fprintln(w, "digraph G {"); err != nil {
+		return err
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		if _, err := fmt.Fprintf(w, "  %q;\n", g.Name(Node(v))); err != nil {
+			return err
+		}
+	}
+	var werr error
+	g.EachEdge(func(from Node, a rune, to Node) {
+		if werr == nil {
+			_, werr = fmt.Fprintf(w, "  %q -> %q [label=%q];\n", g.Name(from), g.Name(to), string(a))
+		}
+	})
+	if werr != nil {
+		return werr
+	}
+	_, err := fmt.Fprintln(w, "}")
+	return err
+}

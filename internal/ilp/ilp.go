@@ -1,0 +1,345 @@
+// Package ilp provides an exact integer feasibility solver over the
+// nonnegative integers: a two-phase rational simplex (math/big.Rat, Bland's
+// rule) combined with branch-and-bound, plus disjunctive lazy cuts.
+//
+// It is the arithmetic substrate for the paper's Section 6.3 and 8.2
+// results: the NP procedures for Q_len (Theorem 6.7) and for ECRPQs with
+// linear constraints on label occurrences (Theorem 8.5) both reduce query
+// evaluation to satisfiability of existential Presburger formulas built
+// from automata; those formulas land here as integer programs. The
+// connectivity side condition of Parikh-image flow encodings (package
+// parikh) is handled through the CheckFunc hook: a candidate integer
+// solution may be rejected with a list of alternative constraint sets,
+// which the solver explores as disjunctive branches.
+package ilp
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Rel is a constraint relation.
+type Rel int
+
+// Constraint relations.
+const (
+	LE Rel = iota // Σ coef·x ≤ rhs
+	GE            // Σ coef·x ≥ rhs
+	EQ            // Σ coef·x = rhs
+)
+
+// Constraint is a linear constraint over the problem variables. Coef may
+// be shorter than the variable count; missing coefficients are zero.
+type Constraint struct {
+	Coef []int64
+	Rel  Rel
+	RHS  int64
+}
+
+// String renders the constraint for diagnostics.
+func (c Constraint) String() string {
+	op := map[Rel]string{LE: "<=", GE: ">=", EQ: "="}[c.Rel]
+	return fmt.Sprintf("%v %s %d", c.Coef, op, c.RHS)
+}
+
+// CheckFunc inspects an integral candidate solution. Returning ok=true
+// accepts it. Otherwise branches lists alternative constraint sets (a
+// disjunction): the solver retries once per alternative with those
+// constraints added. Returning ok=false with no branches rejects the
+// entire subproblem.
+type CheckFunc func(sol []int64) (branches [][]Constraint, ok bool)
+
+// Options tune Solve.
+type Options struct {
+	// VarBound is an upper bound imposed on every variable during
+	// branching; it guarantees termination. Zero means the default 1<<20.
+	// The theoretical small-model bound (Papadimitriou 1981) is far
+	// larger; callers with tighter structural bounds should set this.
+	VarBound int64
+	// MaxNodes bounds the number of branch-and-bound nodes explored.
+	// Zero means the default 200000.
+	MaxNodes int
+	// Check, if set, validates integral solutions (lazy cuts).
+	Check CheckFunc
+}
+
+// ErrBudget is returned when MaxNodes is exhausted.
+var ErrBudget = fmt.Errorf("ilp: branch-and-bound node budget exceeded")
+
+// Problem is a conjunction of linear constraints over NumVars nonnegative
+// integer variables.
+type Problem struct {
+	NumVars int
+	Cons    []Constraint
+}
+
+// Add appends a constraint.
+func (p *Problem) Add(c Constraint) { p.Cons = append(p.Cons, c) }
+
+// Feasible reports whether sol satisfies every constraint; a cheap
+// validity check used by tests and by callers of CheckFunc.
+func (p *Problem) Feasible(sol []int64) bool {
+	for _, c := range p.Cons {
+		var lhs int64
+		for i, co := range c.Coef {
+			if i < len(sol) {
+				lhs += co * sol[i]
+			}
+		}
+		switch c.Rel {
+		case LE:
+			if lhs > c.RHS {
+				return false
+			}
+		case GE:
+			if lhs < c.RHS {
+				return false
+			}
+		case EQ:
+			if lhs != c.RHS {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Solve searches for a nonnegative integer solution. It returns the
+// solution and ok=true, or ok=false if the problem is infeasible (within
+// VarBound). err is non-nil only for budget exhaustion.
+func (p *Problem) Solve(opts Options) ([]int64, bool, error) {
+	if opts.VarBound == 0 {
+		opts.VarBound = 1 << 20
+	}
+	if opts.MaxNodes == 0 {
+		opts.MaxNodes = 200000
+	}
+	s := &solver{opts: opts, nodes: 0}
+	sol, ok, err := s.solve(p.NumVars, p.Cons)
+	if err != nil {
+		return nil, false, err
+	}
+	return sol, ok, nil
+}
+
+type solver struct {
+	opts  Options
+	nodes int
+}
+
+// gcdInfeasible applies the divisibility cut: an equality row whose
+// coefficient gcd does not divide its right-hand side has no integer
+// solution. This closes the parity-style gaps pure branch-and-bound is
+// slow to prove.
+func gcdInfeasible(cons []Constraint) bool {
+	for _, c := range cons {
+		if c.Rel != EQ {
+			continue
+		}
+		g := int64(0)
+		for _, co := range c.Coef {
+			g = gcd64(g, co)
+		}
+		if g > 1 && c.RHS%g != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// consolidateBounds folds every constraint with a single nonzero
+// coefficient into the tightest integer lower/upper bound per variable
+// (rounding is sound for integer feasibility), returning the general
+// constraints plus at most two bound rows per variable. Without this,
+// branch-and-bound constraints would pile up and each node's simplex
+// tableau would grow quadratically along a branch chain. ok=false means a
+// variable's bounds are contradictory (or force a negative value).
+func consolidateBounds(numVars int, cons []Constraint) ([]Constraint, bool) {
+	lo := make([]int64, numVars) // implicit x ≥ 0
+	hi := make([]int64, numVars)
+	hasHi := make([]bool, numVars)
+	var general []Constraint
+	for _, c := range cons {
+		idx, nz := -1, 0
+		for j, co := range c.Coef {
+			if co != 0 {
+				nz++
+				idx = j
+			}
+		}
+		if nz != 1 || idx >= numVars {
+			if nz == 0 {
+				// Constant constraint: check it directly.
+				switch c.Rel {
+				case LE:
+					if c.RHS < 0 {
+						return nil, false
+					}
+				case GE:
+					if c.RHS > 0 {
+						return nil, false
+					}
+				case EQ:
+					if c.RHS != 0 {
+						return nil, false
+					}
+				}
+				continue
+			}
+			general = append(general, c)
+			continue
+		}
+		co := c.Coef[idx]
+		rel := c.Rel
+		if co < 0 {
+			// co·x REL rhs with co<0: dividing flips the inequality.
+			switch rel {
+			case LE:
+				rel = GE
+			case GE:
+				rel = LE
+			}
+		}
+		switch rel {
+		case LE: // x ≤ rhs/co → floor
+			b := floorDiv(c.RHS, co)
+			if !hasHi[idx] || b < hi[idx] {
+				hi[idx], hasHi[idx] = b, true
+			}
+		case GE: // x ≥ rhs/co → ceil
+			b := ceilDiv(c.RHS, co)
+			if b > lo[idx] {
+				lo[idx] = b
+			}
+		case EQ:
+			if c.RHS%co != 0 {
+				return nil, false
+			}
+			b := c.RHS / co
+			if b > lo[idx] {
+				lo[idx] = b
+			}
+			if !hasHi[idx] || b < hi[idx] {
+				hi[idx], hasHi[idx] = b, true
+			}
+		}
+	}
+	out := general
+	for j := 0; j < numVars; j++ {
+		if hasHi[j] && hi[j] < lo[j] {
+			return nil, false
+		}
+		unit := make([]int64, j+1)
+		unit[j] = 1
+		if lo[j] > 0 {
+			out = append(out, Constraint{Coef: unit, Rel: GE, RHS: lo[j]})
+		}
+		if hasHi[j] {
+			if hi[j] < 0 {
+				return nil, false
+			}
+			out = append(out, Constraint{Coef: unit, Rel: LE, RHS: hi[j]})
+		}
+	}
+	return out, true
+}
+
+// floorDiv computes ⌊a/b⌋ for b ≠ 0.
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}
+
+// ceilDiv computes ⌈a/b⌉ for b ≠ 0.
+func ceilDiv(a, b int64) int64 {
+	q := a / b
+	if (a%b != 0) && ((a < 0) == (b < 0)) {
+		q++
+	}
+	return q
+}
+
+func gcd64(a, b int64) int64 {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+func (s *solver) solve(numVars int, cons []Constraint) ([]int64, bool, error) {
+	s.nodes++
+	if s.nodes > s.opts.MaxNodes {
+		return nil, false, ErrBudget
+	}
+	if gcdInfeasible(cons) {
+		return nil, false, nil
+	}
+	cons, ok := consolidateBounds(numVars, cons)
+	if !ok {
+		return nil, false, nil
+	}
+	frac, feasible := lpFeasible(numVars, cons)
+	if !feasible {
+		return nil, false, nil
+	}
+	// Find a fractional coordinate to branch on.
+	branchVar := -1
+	for i, v := range frac {
+		if !v.IsInt() {
+			branchVar = i
+			break
+		}
+	}
+	if branchVar == -1 {
+		sol := make([]int64, numVars)
+		for i, v := range frac {
+			sol[i] = v.Num().Int64()
+		}
+		if s.opts.Check == nil {
+			return sol, true, nil
+		}
+		branches, ok := s.opts.Check(sol)
+		if ok {
+			return sol, true, nil
+		}
+		for _, extra := range branches {
+			sub := append(append([]Constraint(nil), cons...), extra...)
+			if got, ok, err := s.solve(numVars, sub); err != nil || ok {
+				return got, ok, err
+			}
+		}
+		return nil, false, nil
+	}
+	v := frac[branchVar]
+	floor := new(big.Int).Quo(v.Num(), v.Denom()).Int64()
+	if v.Sign() < 0 {
+		floor-- // Quo truncates toward zero; we need floor
+	}
+	if floor >= s.opts.VarBound {
+		floor = s.opts.VarBound - 1
+	}
+	unit := make([]int64, branchVar+1)
+	unit[branchVar] = 1
+	// Branch x ≤ floor.
+	le := append(append([]Constraint(nil), cons...), Constraint{Coef: unit, Rel: LE, RHS: floor})
+	if got, ok, err := s.solve(numVars, le); err != nil || ok {
+		return got, ok, err
+	}
+	// Branch x ≥ floor+1 (respecting the global bound).
+	if floor+1 > s.opts.VarBound {
+		return nil, false, nil
+	}
+	ge := append(append([]Constraint(nil), cons...),
+		Constraint{Coef: unit, Rel: GE, RHS: floor + 1},
+		Constraint{Coef: unit, Rel: LE, RHS: s.opts.VarBound})
+	return s.solve(numVars, ge)
+}

@@ -1,0 +1,194 @@
+package ilp
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func solve(t *testing.T, p *Problem, opts Options) ([]int64, bool) {
+	t.Helper()
+	sol, ok, err := p.Solve(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok && !p.Feasible(sol) {
+		t.Fatalf("solver returned infeasible solution %v for %v", sol, p.Cons)
+	}
+	return sol, ok
+}
+
+func TestTrivial(t *testing.T) {
+	p := &Problem{NumVars: 1}
+	if _, ok := solve(t, p, Options{}); !ok {
+		t.Error("unconstrained problem should be feasible (x=0)")
+	}
+	p.Add(Constraint{Coef: []int64{1}, Rel: GE, RHS: 5})
+	sol, ok := solve(t, p, Options{})
+	if !ok || sol[0] < 5 {
+		t.Errorf("x ≥ 5: got %v, %v", sol, ok)
+	}
+	p.Add(Constraint{Coef: []int64{1}, Rel: LE, RHS: 3})
+	if _, ok := solve(t, p, Options{}); ok {
+		t.Error("x ≥ 5 ∧ x ≤ 3 should be infeasible")
+	}
+}
+
+func TestEquality(t *testing.T) {
+	// x + 2y = 7, x,y ≥ 0 integers: (7,0), (5,1), (3,2), (1,3)
+	p := &Problem{NumVars: 2}
+	p.Add(Constraint{Coef: []int64{1, 2}, Rel: EQ, RHS: 7})
+	sol, ok := solve(t, p, Options{})
+	if !ok || sol[0]+2*sol[1] != 7 {
+		t.Errorf("got %v, %v", sol, ok)
+	}
+	// 2x + 2y = 7 has no integer solution.
+	p2 := &Problem{NumVars: 2}
+	p2.Add(Constraint{Coef: []int64{2, 2}, Rel: EQ, RHS: 7})
+	if _, ok := solve(t, p2, Options{}); ok {
+		t.Error("2x+2y=7 should be integer-infeasible")
+	}
+}
+
+func TestIntegralityBranching(t *testing.T) {
+	// 3x = 2y ∧ x + y ≥ 5: solutions are multiples of (2,3).
+	p := &Problem{NumVars: 2}
+	p.Add(Constraint{Coef: []int64{3, -2}, Rel: EQ, RHS: 0})
+	p.Add(Constraint{Coef: []int64{1, 1}, Rel: GE, RHS: 5})
+	sol, ok := solve(t, p, Options{})
+	if !ok {
+		t.Fatal("should be feasible, e.g. (2,3)")
+	}
+	if 3*sol[0] != 2*sol[1] || sol[0]+sol[1] < 5 {
+		t.Errorf("got %v", sol)
+	}
+}
+
+func TestModularInfeasible(t *testing.T) {
+	// x ≡ 1 (mod 2) ∧ x ≡ 0 (mod 2) via two equations with fresh vars:
+	// x = 2a + 1, x = 2b.
+	p := &Problem{NumVars: 3} // x, a, b
+	p.Add(Constraint{Coef: []int64{1, -2, 0}, Rel: EQ, RHS: 1})
+	p.Add(Constraint{Coef: []int64{1, 0, -2}, Rel: EQ, RHS: 0})
+	if _, ok := solve(t, p, Options{VarBound: 1000}); ok {
+		t.Error("odd = even should be infeasible")
+	}
+}
+
+func TestNegativeCoefficients(t *testing.T) {
+	// y - x ≥ 3, x ≥ 2 → y ≥ 5.
+	p := &Problem{NumVars: 2}
+	p.Add(Constraint{Coef: []int64{-1, 1}, Rel: GE, RHS: 3})
+	p.Add(Constraint{Coef: []int64{1, 0}, Rel: GE, RHS: 2})
+	sol, ok := solve(t, p, Options{})
+	if !ok || sol[1]-sol[0] < 3 || sol[0] < 2 {
+		t.Errorf("got %v, %v", sol, ok)
+	}
+}
+
+func TestCheckFuncAccept(t *testing.T) {
+	p := &Problem{NumVars: 1}
+	p.Add(Constraint{Coef: []int64{1}, Rel: GE, RHS: 1})
+	called := 0
+	opts := Options{Check: func(sol []int64) ([][]Constraint, bool) {
+		called++
+		return nil, true
+	}}
+	if _, ok := solve(t, p, opts); !ok || called != 1 {
+		t.Errorf("check should be called once and accept (called=%d)", called)
+	}
+}
+
+func TestCheckFuncDisjunctiveBranch(t *testing.T) {
+	// Feasible region x ∈ [0,10]; checker demands x ≥ 7 or x = 3 — but
+	// rejects the initial vertex.
+	p := &Problem{NumVars: 1}
+	p.Add(Constraint{Coef: []int64{1}, Rel: LE, RHS: 10})
+	opts := Options{Check: func(sol []int64) ([][]Constraint, bool) {
+		if sol[0] >= 7 || sol[0] == 3 {
+			return nil, true
+		}
+		return [][]Constraint{
+			{{Coef: []int64{1}, Rel: GE, RHS: 7}},
+			{{Coef: []int64{1}, Rel: EQ, RHS: 3}},
+		}, false
+	}}
+	sol, ok := solve(t, p, opts)
+	if !ok || (sol[0] < 7 && sol[0] != 3) {
+		t.Errorf("got %v, %v", sol, ok)
+	}
+}
+
+func TestCheckFuncRejectAll(t *testing.T) {
+	p := &Problem{NumVars: 1}
+	p.Add(Constraint{Coef: []int64{1}, Rel: LE, RHS: 2})
+	opts := Options{Check: func(sol []int64) ([][]Constraint, bool) {
+		return nil, false // reject everything, no alternatives
+	}}
+	if _, ok := solve(t, p, opts); ok {
+		t.Error("all-rejecting checker should make the problem infeasible")
+	}
+}
+
+func TestBudget(t *testing.T) {
+	// Force heavy branching with a tight budget.
+	p := &Problem{NumVars: 3}
+	p.Add(Constraint{Coef: []int64{2, 2, 2}, Rel: EQ, RHS: 1001}) // infeasible, parity
+	_, ok, err := p.Solve(Options{MaxNodes: 1000, VarBound: 1000})
+	if err == nil && ok {
+		t.Error("parity-infeasible problem reported feasible")
+	}
+}
+
+func TestPropertyRandomSystemsAgreeWithBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	f := func(uint8) bool {
+		// Random small system over 3 vars with values in [0,6].
+		p := &Problem{NumVars: 3}
+		nCons := 1 + r.Intn(3)
+		for i := 0; i < nCons; i++ {
+			c := Constraint{Coef: []int64{int64(r.Intn(7) - 3), int64(r.Intn(7) - 3), int64(r.Intn(7) - 3)},
+				Rel: Rel(r.Intn(3)), RHS: int64(r.Intn(13) - 4)}
+			p.Add(c)
+		}
+		// Bound the search to make brute force exact.
+		for v := 0; v < 3; v++ {
+			unit := make([]int64, v+1)
+			unit[v] = 1
+			p.Add(Constraint{Coef: unit, Rel: LE, RHS: 6})
+		}
+		want := false
+		for x := int64(0); x <= 6 && !want; x++ {
+			for y := int64(0); y <= 6 && !want; y++ {
+				for z := int64(0); z <= 6 && !want; z++ {
+					if p.Feasible([]int64{x, y, z}) {
+						want = true
+					}
+				}
+			}
+		}
+		sol, ok, err := p.Solve(Options{VarBound: 6})
+		if err != nil {
+			t.Logf("budget: %v", err)
+			return true // budget exhaustion is not a wrong answer
+		}
+		if ok != want {
+			t.Logf("cons=%v solver=%v brute=%v sol=%v", p.Cons, ok, want, sol)
+			return false
+		}
+		if ok && !p.Feasible(sol) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConstraintString(t *testing.T) {
+	c := Constraint{Coef: []int64{1, -2}, Rel: GE, RHS: 3}
+	if c.String() == "" {
+		t.Error("String should render")
+	}
+}

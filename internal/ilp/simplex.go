@@ -1,0 +1,190 @@
+package ilp
+
+import "math/big"
+
+// lpFeasible decides feasibility of the LP relaxation { x ∈ ℚ≥0 :
+// constraints } by a phase-1 tableau simplex over exact rationals with
+// Bland's rule (which guarantees termination). On success it returns the
+// values of the structural variables at the basic feasible vertex found.
+func lpFeasible(numVars int, cons []Constraint) ([]*big.Rat, bool) {
+	m := len(cons)
+	if m == 0 {
+		out := make([]*big.Rat, numVars)
+		for i := range out {
+			out[i] = new(big.Rat)
+		}
+		return out, true
+	}
+	// Column layout: [0,numVars) structural, then one slack/surplus per
+	// inequality row, then one artificial per row that needs one. Build
+	// incrementally.
+	type rowSpec struct {
+		coef []*big.Rat // structural part, length numVars
+		rhs  *big.Rat
+		rel  Rel
+	}
+	rows := make([]rowSpec, m)
+	for i, c := range cons {
+		rs := rowSpec{coef: make([]*big.Rat, numVars), rhs: big.NewRat(c.RHS, 1), rel: c.Rel}
+		for j := range rs.coef {
+			rs.coef[j] = new(big.Rat)
+		}
+		for j, co := range c.Coef {
+			if j < numVars {
+				rs.coef[j] = big.NewRat(co, 1)
+			}
+		}
+		// Normalize RHS ≥ 0.
+		if rs.rhs.Sign() < 0 {
+			for j := range rs.coef {
+				rs.coef[j].Neg(rs.coef[j])
+			}
+			rs.rhs.Neg(rs.rhs)
+			switch rs.rel {
+			case LE:
+				rs.rel = GE
+			case GE:
+				rs.rel = LE
+			}
+		}
+		rows[i] = rs
+	}
+	// Count extra columns.
+	nSlack := 0
+	for _, r := range rows {
+		if r.rel != EQ {
+			nSlack++
+		}
+	}
+	nArt := 0
+	for _, r := range rows {
+		if r.rel != LE {
+			nArt++
+		}
+	}
+	total := numVars + nSlack + nArt
+	// tableau[i] has total+1 entries (last = RHS).
+	t := make([][]*big.Rat, m)
+	basis := make([]int, m)
+	artStart := numVars + nSlack
+	slackCol := numVars
+	artCol := artStart
+	for i, r := range rows {
+		t[i] = make([]*big.Rat, total+1)
+		for j := range t[i] {
+			t[i][j] = new(big.Rat)
+		}
+		for j := 0; j < numVars; j++ {
+			t[i][j].Set(r.coef[j])
+		}
+		t[i][total].Set(r.rhs)
+		switch r.rel {
+		case LE:
+			t[i][slackCol].SetInt64(1)
+			basis[i] = slackCol
+			slackCol++
+		case GE:
+			t[i][slackCol].SetInt64(-1)
+			slackCol++
+			t[i][artCol].SetInt64(1)
+			basis[i] = artCol
+			artCol++
+		case EQ:
+			t[i][artCol].SetInt64(1)
+			basis[i] = artCol
+			artCol++
+		}
+	}
+	// Phase-1 objective: minimize sum of artificials. Reduced-cost row:
+	// c̄_j = c_j − Σ_{i: basis[i] artificial} t[i][j]; cost 1 on
+	// artificials, 0 elsewhere. Objective value = Σ artificial RHS.
+	z := make([]*big.Rat, total+1)
+	for j := range z {
+		z[j] = new(big.Rat)
+	}
+	for j := artStart; j < total; j++ {
+		z[j].SetInt64(1)
+	}
+	for i := range t {
+		if basis[i] >= artStart {
+			for j := 0; j <= total; j++ {
+				z[j].Sub(z[j], t[i][j])
+			}
+		}
+	}
+	// Simplex iterations with Bland's rule (minimization: enter on the
+	// smallest column with negative reduced cost).
+	for {
+		enter := -1
+		for j := 0; j < total; j++ {
+			if z[j].Sign() < 0 {
+				enter = j
+				break
+			}
+		}
+		if enter == -1 {
+			break
+		}
+		leave := -1
+		var best *big.Rat
+		for i := 0; i < m; i++ {
+			if t[i][enter].Sign() > 0 {
+				ratio := new(big.Rat).Quo(t[i][total], t[i][enter])
+				if leave == -1 || ratio.Cmp(best) < 0 ||
+					(ratio.Cmp(best) == 0 && basis[i] < basis[leave]) {
+					leave = i
+					best = ratio
+				}
+			}
+		}
+		if leave == -1 {
+			// Phase-1 objective is bounded below by 0, so unboundedness
+			// cannot happen; defensive break.
+			break
+		}
+		pivot(t, z, basis, leave, enter, total)
+	}
+	// Objective value is −z[total] (we maintained z as reduced costs with
+	// the constant folded in at index total, negated).
+	objective := new(big.Rat).Neg(z[total])
+	if objective.Sign() > 0 {
+		return nil, false
+	}
+	// Extract structural values.
+	out := make([]*big.Rat, numVars)
+	for j := range out {
+		out[j] = new(big.Rat)
+	}
+	for i, b := range basis {
+		if b < numVars {
+			out[b].Set(t[i][total])
+		}
+	}
+	return out, true
+}
+
+// pivot performs the simplex pivot on (leave, enter).
+func pivot(t [][]*big.Rat, z []*big.Rat, basis []int, leave, enter, total int) {
+	piv := new(big.Rat).Set(t[leave][enter])
+	for j := 0; j <= total; j++ {
+		t[leave][j].Quo(t[leave][j], piv)
+	}
+	for i := range t {
+		if i == leave || t[i][enter].Sign() == 0 {
+			continue
+		}
+		factor := new(big.Rat).Set(t[i][enter])
+		for j := 0; j <= total; j++ {
+			tmp := new(big.Rat).Mul(factor, t[leave][j])
+			t[i][j].Sub(t[i][j], tmp)
+		}
+	}
+	if z[enter].Sign() != 0 {
+		factor := new(big.Rat).Set(z[enter])
+		for j := 0; j <= total; j++ {
+			tmp := new(big.Rat).Mul(factor, t[leave][j])
+			z[j].Sub(z[j], tmp)
+		}
+	}
+	basis[leave] = enter
+}

@@ -1,0 +1,181 @@
+package linconstr
+
+import (
+	"testing"
+
+	"repro/internal/ecrpq"
+	"repro/internal/graph"
+	"repro/internal/ilp"
+)
+
+var sigmaAB = []rune{'a', 'b'}
+
+func env() ecrpq.Env { return ecrpq.Env{Sigma: sigmaAB} }
+
+func stringGraph(s string) *graph.DB {
+	g := graph.NewDB()
+	prev := g.AddNode("")
+	for _, r := range s {
+		next := g.AddNode("")
+		g.AddEdge(prev, r, next)
+		prev = next
+	}
+	return g
+}
+
+func TestFlightItineraryExample(t *testing.T) {
+	// Section 8.2: Ans() ← (London, π, Sydney), a − 4b ≥ 0: at least 80%
+	// of the journey with airline a.
+	g := graph.NewDB()
+	london := g.AddNode("London")
+	mid1 := g.AddNode("Dubai")
+	mid2 := g.AddNode("Singapore")
+	sydney := g.AddNode("Sydney")
+	// Route 1: 3 a-legs. Route 2: a then b then b.
+	g.AddEdge(london, 'a', mid1)
+	g.AddEdge(mid1, 'a', mid2)
+	g.AddEdge(mid2, 'a', sydney)
+	g.AddEdge(london, 'a', mid2)
+	g.AddEdge(mid2, 'b', mid1)
+	g.AddEdge(mid1, 'b', sydney)
+	q := ecrpq.MustParse("Ans() <- (x,p,y), (a|b)+(p)", env())
+	bind := map[ecrpq.NodeVar]graph.Node{"x": london, "y": sydney}
+	cons := []Constraint{{
+		Terms: []Term{{Path: "p", Label: 'a', Coef: 1}, {Path: "p", Label: 'b', Coef: -4}},
+		Rel:   ilp.GE, RHS: 0,
+	}}
+	ok, err := Feasible(q, cons, g, sigmaAB, bind, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("all-a route satisfies a − 4b ≥ 0")
+	}
+	// Walks may revisit nodes: L-a->D-a->S-b->D-a->S-a->Syd has a=4, b=1,
+	// so a − 4b ≥ 0 stays feasible even with a mandatory b-leg.
+	withB := append(append([]Constraint(nil), cons...), Constraint{
+		Terms: []Term{{Path: "p", Label: 'b', Coef: 1}}, Rel: ilp.GE, RHS: 1,
+	})
+	ok, err = Feasible(q, withB, g, sigmaAB, bind, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("the 4-a/1-b walk satisfies a − 4b ≥ 0 with a b-leg")
+	}
+	// Tighten to 1/6 (a − 5b ≥ 0): on this graph a ≤ b + 3 on every
+	// L→Syd walk, so with b ≥ 1 the constraint is infeasible.
+	tight := []Constraint{
+		{Terms: []Term{{Path: "p", Label: 'a', Coef: 1}, {Path: "p", Label: 'b', Coef: -5}}, Rel: ilp.GE, RHS: 0},
+		{Terms: []Term{{Path: "p", Label: 'b', Coef: 1}}, Rel: ilp.GE, RHS: 1},
+	}
+	ok, err = Feasible(q, tight, g, sigmaAB, bind, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("a − 5b ≥ 0 with a b-leg should be infeasible on this graph")
+	}
+}
+
+func TestLengthConstraint(t *testing.T) {
+	// |p| ≥ 3 over a 4-edge line: only long suffix/prefix splits survive.
+	q := ecrpq.MustParse("Ans(x,y) <- (x,p,y), (a|b)*(p)", env())
+	g := stringGraph("abab")
+	cons := []Constraint{{
+		Terms: []Term{{Path: "p", Coef: 1}}, // Label 0 = length
+		Rel:   ilp.GE, RHS: 3,
+	}}
+	got, err := Eval(q, cons, g, sigmaAB, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// paths with ≥3 edges on a line of 4: (0,3), (0,4), (1,4)
+	want := map[string]bool{"0,3,": true, "0,4,": true, "1,4,": true}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for _, a := range got {
+		if !want[a.Key()] {
+			t.Errorf("unexpected answer %s", a.Key())
+		}
+	}
+}
+
+func TestEqualLengthViaLinear(t *testing.T) {
+	// |p1| = 2|p2| — a comparison the paper notes is NOT a regular
+	// relation (Section 1), but expressible with linear constraints.
+	q := ecrpq.MustParse("Ans(x,y) <- (x,p1,z), (z,p2,y), a+(p1), b+(p2)", env())
+	g := stringGraph("aabbb")
+	cons := []Constraint{{
+		Terms: []Term{{Path: "p1", Coef: 1}, {Path: "p2", Coef: -2}},
+		Rel:   ilp.EQ, RHS: 0,
+	}}
+	got, err := Eval(q, cons, g, sigmaAB, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// splits with |p1| = 2|p2|: p1 = "aa" (0→2), p2 = "b" (2→3): answer (0,3).
+	if len(got) != 1 || got[0].Key() != "0,3," {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestCombinedWithRegularRelation(t *testing.T) {
+	// ECRPQ relation (el) AND a linear occurrence constraint together.
+	q := ecrpq.MustParse("Ans() <- (x,p1,z), (z,p2,y), a+(p1), b+(p2), el(p1,p2)", env())
+	g := stringGraph("aabb")
+	cons := []Constraint{{
+		Terms: []Term{{Path: "p1", Label: 'a', Coef: 1}},
+		Rel:   ilp.GE, RHS: 2,
+	}}
+	ok, err := Feasible(q, cons, g, sigmaAB, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("a²b² satisfies el plus ≥2 a's")
+	}
+	cons[0].RHS = 3
+	ok, err = Feasible(q, cons, g, sigmaAB, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("only 2 a's available")
+	}
+}
+
+func TestEvalRejectsPathHeads(t *testing.T) {
+	q := ecrpq.MustParse("Ans(x,p) <- (x,p,y), a(p)", env())
+	if _, err := Eval(q, nil, stringGraph("a"), sigmaAB, Options{}); err == nil {
+		t.Error("path heads should be rejected")
+	}
+}
+
+func TestUnknownTermErrors(t *testing.T) {
+	q := ecrpq.MustParse("Ans() <- (x,p,y), a(p)", env())
+	g := stringGraph("a")
+	if _, err := Feasible(q, []Constraint{{Terms: []Term{{Path: "nope", Coef: 1}}, Rel: ilp.GE, RHS: 0}}, g, sigmaAB, nil, Options{}); err == nil {
+		t.Error("unknown path variable should error")
+	}
+	if _, err := Feasible(q, []Constraint{{Terms: []Term{{Path: "p", Label: 'z', Coef: 1}}, Rel: ilp.GE, RHS: 0}}, g, sigmaAB, nil, Options{}); err == nil {
+		t.Error("unknown label should error")
+	}
+}
+
+func TestNoConstraintsEqualsBase(t *testing.T) {
+	q := ecrpq.MustParse("Ans(x,y) <- (x,p,y), a+(p)", env())
+	g := stringGraph("aa")
+	got, err := Eval(q, nil, g, sigmaAB, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := ecrpq.Eval(q, g, ecrpq.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(base.Answers) {
+		t.Errorf("no-constraint Eval should equal base: %d vs %d", len(got), len(base.Answers))
+	}
+}

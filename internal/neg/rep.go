@@ -1,0 +1,345 @@
+package neg
+
+import (
+	"fmt"
+
+	"repro/internal/automata"
+	"repro/internal/ecrpq"
+	"repro/internal/graph"
+	"repro/internal/regex"
+	"repro/internal/relations"
+)
+
+// letterSyms enumerates the letter alphabet (Σ⊥)^k ∖ {⊥^k}.
+func (e *Evaluator) letterSyms(k int) []string {
+	ext := append([]rune{regex.Bot}, e.Sigma...)
+	var out []string
+	buf := make([]rune, k)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == k {
+			s := string(buf)
+			if !relations.AllBot(s) {
+				out = append(out, s)
+			}
+			return
+		}
+		for _, r := range ext {
+			buf[i] = r
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+// nodeSyms enumerates the node alphabet V^k as representation symbols.
+func (e *Evaluator) nodeSyms(k int) []string {
+	var out []string
+	buf := make([]graph.Node, k)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == k {
+			out = append(out, ecrpq.NodeSym(buf))
+			return
+		}
+		for v := 0; v < e.G.NumNodes(); v++ {
+			buf[i] = graph.Node(v)
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return out
+}
+
+// repAlphabet is the full representation alphabet V^k ∪ (Σ⊥)^k, in the
+// encoded form used on transitions ("N:..." and "L:...").
+func (e *Evaluator) repAlphabet(k int) []string {
+	out := e.nodeSyms(k)
+	for _, ls := range e.letterSyms(k) {
+		out = append(out, ecrpq.LetterSym([]rune(ls)))
+	}
+	return out
+}
+
+// validRep builds the automaton of valid k-tuple representations over G:
+// alternating node/letter symbols starting and ending with a node symbol,
+// per-coordinate edge consistency (⊥ = stay), per-coordinate ⊥ only as a
+// suffix, no all-⊥ letters.
+func (e *Evaluator) validRep(k int) *automata.NFA[string] {
+	return e.validRepConstrained(k, nil, nil)
+}
+
+// validRepConstrained additionally pins coordinates of the first node
+// symbol (startConstr) and of the final node symbol (finalConstr).
+func (e *Evaluator) validRepConstrained(k int, startConstr, finalConstr map[int]graph.Node) *automata.NFA[string] {
+	n := automata.NewNFA[string]()
+	start := n.AddState()
+	n.SetStart(start)
+	type key struct {
+		nodes string // encoded tuple
+		mask  int
+	}
+	ids := map[key]int{}
+	var tuples = map[key][]graph.Node{}
+	var queue []key
+	stateOf := func(vs []graph.Node, mask int) int {
+		kk := key{nodes: ecrpq.NodeSym(vs), mask: mask}
+		if id, ok := ids[kk]; ok {
+			return id
+		}
+		id := n.AddState()
+		ids[kk] = id
+		tuples[kk] = append([]graph.Node(nil), vs...)
+		queue = append(queue, kk)
+		final := true
+		for c, want := range finalConstr {
+			if vs[c] != want {
+				final = false
+				break
+			}
+		}
+		n.SetFinal(id, final)
+		return id
+	}
+	// Start transitions: every node tuple consistent with startConstr.
+	var first func(i int, buf []graph.Node)
+	first = func(i int, buf []graph.Node) {
+		if i == k {
+			n.AddTransition(start, ecrpq.NodeSym(buf), stateOf(buf, 0))
+			return
+		}
+		if v, ok := startConstr[i]; ok {
+			buf[i] = v
+			first(i+1, buf)
+			return
+		}
+		for v := 0; v < e.G.NumNodes(); v++ {
+			buf[i] = graph.Node(v)
+			first(i+1, buf)
+		}
+	}
+	first(0, make([]graph.Node, k))
+	// Steps.
+	for head := 0; head < len(queue); head++ {
+		kk := queue[head]
+		vs := tuples[kk]
+		from := ids[kk]
+		// Enumerate per-coordinate moves: ⊥ (stay, sets done bit) or an
+		// outgoing edge (only if not done).
+		type move struct {
+			letter rune
+			to     graph.Node
+		}
+		moves := make([][]move, k)
+		for i := 0; i < k; i++ {
+			ms := []move{{regex.Bot, vs[i]}}
+			if kk.mask&(1<<i) == 0 {
+				e.G.EdgesFrom(vs[i], func(a rune, to graph.Node) {
+					ms = append(ms, move{a, to})
+				})
+			}
+			moves[i] = ms
+		}
+		letters := make([]rune, k)
+		next := make([]graph.Node, k)
+		var rec func(i int, mask int)
+		rec = func(i, mask int) {
+			if i == k {
+				sym := string(letters)
+				if relations.AllBot(sym) {
+					return
+				}
+				to := stateOf(next, mask)
+				mid := n.AddState()
+				n.AddTransition(from, ecrpq.LetterSym(letters), mid)
+				n.AddTransition(mid, ecrpq.NodeSym(next), to)
+				return
+			}
+			for _, m := range moves[i] {
+				letters[i] = m.letter
+				next[i] = m.to
+				nm := mask
+				if m.letter == regex.Bot {
+					nm |= 1 << i
+				}
+				rec(i+1, nm)
+			}
+		}
+		rec(0, kk.mask)
+	}
+	return n
+}
+
+// edgeAutomaton builds the atom automaton for (x, π, y) over the
+// coordinate set vars: valid representations where π's coordinate starts
+// at vx and ends at vy (other coordinates are free — built-in
+// cylindrification).
+func (e *Evaluator) edgeAutomaton(vx, vy graph.Node, p ecrpq.PathVar, vars []ecrpq.PathVar) *automata.NFA[string] {
+	idx := indexOf(vars, p)
+	return automata.Trim(e.validRepConstrained(len(vars),
+		map[int]graph.Node{idx: vx}, map[int]graph.Node{idx: vy}))
+}
+
+// relAutomaton builds the atom automaton for R(args) over vars: valid
+// representations whose letter projection onto the args coordinates is a
+// convolution in R.
+func (e *Evaluator) relAutomaton(f Rel, vars []ecrpq.PathVar) (*automata.NFA[string], error) {
+	k := len(vars)
+	pos := make([]int, len(f.Args))
+	for i, a := range f.Args {
+		pos[i] = indexOf(vars, a)
+		if pos[i] < 0 {
+			return nil, fmt.Errorf("neg: %s uses unknown path variable %s", f, a)
+		}
+	}
+	joint, err := relations.NewJoint(k, []relations.Atom{{Rel: f.R, Pos: pos}})
+	if err != nil {
+		return nil, err
+	}
+	// Letters automaton: tracks the joint state on letter symbols and
+	// ignores node symbols.
+	letters := automata.NewNFA[string]()
+	ids := map[string]int{}
+	var states []relations.JointState
+	stateOf := func(s relations.JointState) int {
+		kk := s.Key()
+		if id, ok := ids[kk]; ok {
+			return id
+		}
+		id := letters.AddState()
+		ids[kk] = id
+		states = append(states, s)
+		letters.SetFinal(id, joint.Accepting(s))
+		return id
+	}
+	startID := stateOf(joint.Start())
+	letters.SetStart(startID)
+	nodeAlpha := e.nodeSyms(k)
+	letterAlpha := e.letterSyms(k)
+	for i := 0; i < len(states); i++ {
+		s := states[i]
+		from := ids[s.Key()]
+		for _, ns := range nodeAlpha {
+			letters.AddTransition(from, ns, from)
+		}
+		for _, ls := range letterAlpha {
+			if t, ok := joint.Step(s, ls); ok {
+				letters.AddTransition(from, ecrpq.LetterSym([]rune(ls)), stateOf(t))
+			}
+		}
+	}
+	return automata.Trim(automata.Intersect(e.validRep(k), letters)), nil
+}
+
+// complement returns the complement of a relative to the valid
+// representations over vars (the ¬ case of Claim 8.1.3).
+func (e *Evaluator) complement(a *automata.NFA[string], vars []ecrpq.PathVar) (*automata.NFA[string], error) {
+	k := len(vars)
+	if k == 0 {
+		return e.boolAutomaton(a.IsEmpty(), nil)
+	}
+	alpha := e.repAlphabet(k)
+	d := automata.Determinize(a, alpha)
+	if _, err := e.guardDFA(d); err != nil {
+		return nil, err
+	}
+	comp := d.Complement().ToNFA()
+	return e.guard(automata.Trim(automata.Intersect(comp, e.validRep(k))))
+}
+
+func (e *Evaluator) guardDFA(d *automata.DFA[string]) (*automata.DFA[string], error) {
+	max := e.MaxStates
+	if max == 0 {
+		max = 200000
+	}
+	if d.NumStates() > max {
+		return nil, ErrTooLarge
+	}
+	return d, nil
+}
+
+// project eliminates the coordinate of p (the ∃π case): node and letter
+// symbols drop the coordinate; steps whose remaining letters are all ⊥
+// contract to ε together with their following node symbol.
+func (e *Evaluator) project(a *automata.NFA[string], innerVars []ecrpq.PathVar, p ecrpq.PathVar, outerVars []ecrpq.PathVar) (*automata.NFA[string], error) {
+	if len(outerVars) == 0 {
+		return e.boolAutomaton(!a.IsEmpty(), nil)
+	}
+	idx := indexOf(innerVars, p)
+	out := automata.NewNFA[string]()
+	out.AddStates(a.NumStates())
+	for _, s := range a.Start() {
+		out.SetStart(s)
+	}
+	for q := 0; q < a.NumStates(); q++ {
+		if a.IsFinal(q) {
+			out.SetFinal(q, true)
+		}
+		for _, r := range a.EpsSuccessors(q) {
+			out.AddEps(q, r)
+		}
+	}
+	a.EachTransition(func(from int, sym string, to int) {
+		switch {
+		case len(sym) > 2 && sym[:2] == "N:":
+			vs := decodeNodes(sym)
+			out.AddTransition(from, ecrpq.NodeSym(dropNode(vs, idx)), to)
+		case len(sym) > 2 && sym[:2] == "L:":
+			rs := []rune(sym[2:])
+			rest := dropRune(rs, idx)
+			if relations.AllBot(string(rest)) {
+				// Contract: skip this letter and the following node symbol.
+				a.TransitionsFrom(to, func(_ string, to2 int) {
+					out.AddEps(from, to2)
+				})
+			} else {
+				out.AddTransition(from, ecrpq.LetterSym(rest), to)
+			}
+		}
+	})
+	return e.guard(automata.Trim(out))
+}
+
+func indexOf(vars []ecrpq.PathVar, p ecrpq.PathVar) int {
+	for i, v := range vars {
+		if v == p {
+			return i
+		}
+	}
+	return -1
+}
+
+func dropNode(vs []graph.Node, idx int) []graph.Node {
+	out := make([]graph.Node, 0, len(vs)-1)
+	out = append(out, vs[:idx]...)
+	return append(out, vs[idx+1:]...)
+}
+
+func dropRune(rs []rune, idx int) []rune {
+	out := make([]rune, 0, len(rs)-1)
+	out = append(out, rs[:idx]...)
+	return append(out, rs[idx+1:]...)
+}
+
+func decodeNodes(sym string) []graph.Node {
+	var out []graph.Node
+	cur := 0
+	has := false
+	for _, r := range sym[2:] {
+		if r == ',' {
+			out = append(out, graph.Node(cur))
+			cur = 0
+			has = false
+			continue
+		}
+		if r >= '0' && r <= '9' {
+			cur = cur*10 + int(r-'0')
+			has = true
+		}
+	}
+	if has {
+		out = append(out, graph.Node(cur))
+	}
+	return out
+}

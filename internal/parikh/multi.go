@@ -1,0 +1,219 @@
+package parikh
+
+import (
+	"fmt"
+
+	"repro/internal/automata"
+	"repro/internal/ilp"
+)
+
+// Multi couples the Parikh images of several automata through shared
+// count variables: block k contributes its own flow variables and flow
+// conservation, and — for every count dimension the block covers (has a
+// nonzero weight on some transition) — the block's weighted flow must
+// EQUAL the shared count. This implements the conjunctions of existential
+// Presburger formulas arising in Theorems 6.7 and 8.5, where one formula
+// per query atom constrains a common tuple of length/occurrence
+// variables: e.g. the length ℓ_π is simultaneously realized by the graph
+// walk of π's atom, by the unary language automaton constraining π, and
+// by the mask automaton of every relation involving π.
+//
+// Variable layout: [0, Dims) shared counts, then each block's flow
+// variables consecutively.
+type Multi struct {
+	Dims    int
+	blocks  []*blockSys
+	numVars int
+}
+
+type blockSys struct {
+	offset  int // first flow variable index
+	edges   []edge
+	nStates int
+	src     int
+	covers  []int // count dimensions this block must equal
+}
+
+// NewMulti returns a system with the given number of shared count
+// variables and no blocks.
+func NewMulti(dims int) *Multi {
+	return &Multi{Dims: dims, numVars: dims}
+}
+
+// AddBlock adds an automaton block: an accepted run of n must exist whose
+// summed weights equal the shared counts on every dimension in covers.
+// Coverage is declared, not inferred: a block covering d with an automaton
+// that can contribute nothing to d forces count_d = 0.
+func AddBlock[S comparable](m *Multi, n *automata.NFA[S], covers []int, weight func(S) []int64) {
+	b := &blockSys{offset: m.numVars, covers: append([]int(nil), covers...)}
+	ns := n.NumStates()
+	src := ns
+	snk := ns + 1
+	b.src = src
+	b.nStates = ns + 2
+	n.EachTransition(func(from int, sym S, to int) {
+		w := weight(sym)
+		if len(w) != m.Dims {
+			panic(fmt.Sprintf("parikh: weight vector has %d dims, want %d", len(w), m.Dims))
+		}
+		b.edges = append(b.edges, edge{from: from, to: to, weight: w})
+	})
+	for q := 0; q < ns; q++ {
+		for _, r := range n.EpsSuccessors(q) {
+			b.edges = append(b.edges, edge{from: q, to: r, weight: make([]int64, m.Dims)})
+		}
+	}
+	for _, s := range n.Start() {
+		b.edges = append(b.edges, edge{from: src, to: s, weight: make([]int64, m.Dims)})
+	}
+	for _, f := range n.FinalStates() {
+		b.edges = append(b.edges, edge{from: f, to: snk, weight: make([]int64, m.Dims)})
+	}
+	m.numVars += len(b.edges)
+	m.blocks = append(m.blocks, b)
+}
+
+// NumVars returns the total ILP variable count.
+func (m *Multi) NumVars() int { return m.numVars }
+
+// Solve searches for a joint assignment: one accepted run per block whose
+// summed weights equal the shared counts, subject to the extra
+// constraints. Returns the count vector of a witness.
+func (m *Multi) Solve(extra []ilp.Constraint, opts ilp.Options) ([]int64, bool, error) {
+	p := ilp.Problem{NumVars: m.numVars}
+	// Per-block count definitions: for each covered dimension d,
+	// count_d − Σ_t w[d]·y_t = 0.
+	for _, b := range m.blocks {
+		for _, d := range b.covers {
+			coef := make([]int64, m.numVars)
+			coef[d] = 1
+			for i, e := range b.edges {
+				coef[b.offset+i] -= e.weight[d]
+			}
+			p.Add(ilp.Constraint{Coef: coef, Rel: ilp.EQ, RHS: 0})
+		}
+	}
+	// Per-block flow conservation.
+	for _, b := range m.blocks {
+		snk := b.nStates - 1
+		for q := 0; q < b.nStates; q++ {
+			coef := make([]int64, m.numVars)
+			for i, e := range b.edges {
+				if e.to == q {
+					coef[b.offset+i]++
+				}
+				if e.from == q {
+					coef[b.offset+i]--
+				}
+			}
+			rhs := int64(0)
+			switch q {
+			case snk:
+				rhs = 1
+			case b.src:
+				rhs = -1
+			}
+			p.Add(ilp.Constraint{Coef: coef, Rel: ilp.EQ, RHS: rhs})
+		}
+	}
+	p.Cons = append(p.Cons, extra...)
+	userCheck := opts.Check
+	opts.Check = func(sol []int64) ([][]ilp.Constraint, bool) {
+		for _, b := range m.blocks {
+			if branches, ok := b.connectivity(sol, m.numVars); !ok {
+				return branches, false
+			}
+		}
+		if userCheck != nil {
+			return userCheck(sol)
+		}
+		return nil, true
+	}
+	sol, ok, err := p.Solve(opts)
+	if err != nil || !ok {
+		return nil, ok, err
+	}
+	return sol[:m.Dims], true, nil
+}
+
+// connectivity is the per-block weak-connectivity Euler check with the
+// same disjunctive cut as System.connectivityCheck.
+func (b *blockSys) connectivity(sol []int64, numVars int) ([][]ilp.Constraint, bool) {
+	active := func(i int) bool { return sol[b.offset+i] > 0 }
+	adj := map[int][]int{}
+	inSupport := map[int]bool{b.src: true}
+	for i := range b.edges {
+		if !active(i) {
+			continue
+		}
+		e := b.edges[i]
+		adj[e.from] = append(adj[e.from], e.to)
+		adj[e.to] = append(adj[e.to], e.from)
+		inSupport[e.from] = true
+		inSupport[e.to] = true
+	}
+	reach := map[int]bool{b.src: true}
+	stack := []int{b.src}
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, r := range adj[q] {
+			if !reach[r] {
+				reach[r] = true
+				stack = append(stack, r)
+			}
+		}
+	}
+	strayRoot := -1
+	for q := range inSupport {
+		if !reach[q] {
+			strayRoot = q
+			break
+		}
+	}
+	if strayRoot == -1 {
+		return nil, true
+	}
+	comp := map[int]bool{strayRoot: true}
+	stack = []int{strayRoot}
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, r := range adj[q] {
+			if !comp[r] {
+				comp[r] = true
+				stack = append(stack, r)
+			}
+		}
+	}
+	inside := make([]int64, numVars)
+	crossing := make([]int64, numVars)
+	hasCrossing := false
+	for i, e := range b.edges {
+		fIn, tIn := comp[e.from], comp[e.to]
+		switch {
+		case fIn && tIn:
+			inside[b.offset+i] = 1
+		case fIn != tIn:
+			crossing[b.offset+i] = 1
+			hasCrossing = true
+		}
+	}
+	branches := [][]ilp.Constraint{
+		{{Coef: inside, Rel: ilp.LE, RHS: 0}},
+	}
+	if hasCrossing {
+		branches = append(branches, []ilp.Constraint{{Coef: crossing, Rel: ilp.GE, RHS: 1}})
+	}
+	return branches, false
+}
+
+// AddVars reserves k fresh ILP variables (beyond counts and flows) and
+// returns the index of the first; used by callers that need auxiliary
+// integer variables in extra constraints (e.g. arithmetic-progression
+// offsets in Claim 6.7.2 encodings). Must be called before Solve.
+func (m *Multi) AddVars(k int) int {
+	base := m.numVars
+	m.numVars += k
+	return base
+}

@@ -1,0 +1,177 @@
+// Package pattern implements pattern languages and their compilation to
+// ECRPQs (Sections 1, 4 and 7 of the paper).
+//
+// A pattern is a string over Σ ∪ V (letters and variables); it denotes
+// the language obtained by substituting arbitrary strings over Σ for the
+// variables, with repeated variables receiving the same string. Pattern
+// languages need not be context-free (XX denotes the squared strings),
+// yet every pattern compiles to an ECRPQ Qα that finds nodes connected by
+// a path whose label lies in the pattern language — the construction of
+// Section 4. The undecidability of ECRPQ containment (Theorem 7.1) rests
+// on this encoding; MarkedQuery builds the p/p'-decorated variant used in
+// that proof.
+package pattern
+
+import (
+	"fmt"
+	"unicode"
+
+	"repro/internal/ecrpq"
+	"repro/internal/graph"
+	"repro/internal/regex"
+	"repro/internal/relations"
+)
+
+// Item is one pattern position: a letter of Σ or a variable of V.
+type Item struct {
+	Letter rune // valid when !IsVar
+	Var    rune // valid when IsVar
+	IsVar  bool
+}
+
+// Pattern is a pattern α = α₁⋯αₙ over Σ ∪ V.
+type Pattern struct {
+	Items []Item
+}
+
+// Parse reads a pattern in the paper's notation: uppercase runes are
+// variables, everything else is a letter (e.g. "aXbX").
+func Parse(src string) Pattern {
+	var p Pattern
+	for _, r := range src {
+		if unicode.IsUpper(r) {
+			p.Items = append(p.Items, Item{Var: r, IsVar: true})
+		} else {
+			p.Items = append(p.Items, Item{Letter: r})
+		}
+	}
+	return p
+}
+
+// String renders the pattern.
+func (p Pattern) String() string {
+	out := make([]rune, len(p.Items))
+	for i, it := range p.Items {
+		if it.IsVar {
+			out[i] = it.Var
+		} else {
+			out[i] = it.Letter
+		}
+	}
+	return string(out)
+}
+
+// Denotes reports whether w ∈ L_Σ(α) by direct search over variable
+// substitutions (the reference semantics; exponential, used for tests
+// and small strings).
+func (p Pattern) Denotes(w []rune, sigma []rune) bool {
+	return denote(p.Items, w, map[rune][]rune{})
+}
+
+func denote(items []Item, w []rune, sub map[rune][]rune) bool {
+	if len(items) == 0 {
+		return len(w) == 0
+	}
+	it := items[0]
+	if !it.IsVar {
+		if len(w) == 0 || w[0] != it.Letter {
+			return false
+		}
+		return denote(items[1:], w[1:], sub)
+	}
+	if s, ok := sub[it.Var]; ok {
+		if len(w) < len(s) || string(w[:len(s)]) != string(s) {
+			return false
+		}
+		return denote(items[1:], w[len(s):], sub)
+	}
+	for l := 0; l <= len(w); l++ {
+		sub[it.Var] = w[:l]
+		if denote(items[1:], w[l:], sub) {
+			delete(sub, it.Var)
+			return true
+		}
+	}
+	delete(sub, it.Var)
+	return false
+}
+
+// ToQuery compiles the pattern to the ECRPQ Qα(x, y) of Section 4: a
+// chain of path atoms x₀—π₁→x₁—π₂→…—πₙ→xₙ where letter positions carry
+// the singleton language, variable positions carry Σ*, and repeated
+// variables are linked by equality relations. The head is Ans(x0, xn).
+func (p Pattern) ToQuery(sigma []rune) (*ecrpq.Query, error) {
+	if len(p.Items) == 0 {
+		return nil, fmt.Errorf("pattern: empty pattern")
+	}
+	b := ecrpq.NewBuilder()
+	varFirst := map[rune]string{}
+	eq := relations.Equality(sigma)
+	for i, it := range p.Items {
+		x := fmt.Sprintf("x%d", i)
+		y := fmt.Sprintf("x%d", i+1)
+		pi := fmt.Sprintf("pi%d", i+1)
+		b.Path(x, pi, y)
+		if !it.IsVar {
+			b.Rel(relations.FromLanguage(string(it.Letter), regex.Lit(it.Letter)), pi)
+			continue
+		}
+		if first, ok := varFirst[it.Var]; ok {
+			b.Rel(eq, first, pi)
+		} else {
+			varFirst[it.Var] = pi
+			star := relations.FromLanguage("Σ*", regex.Kleene(regex.AnyOf(sigma...)))
+			b.Rel(star, pi)
+		}
+	}
+	b.HeadNodes("x0", fmt.Sprintf("x%d", len(p.Items)))
+	return b.Build()
+}
+
+// MatchString reports whether w ∈ L_Σ(α) by evaluating Qα on the string
+// graph G_w — exercising the paper's encoding end to end.
+func (p Pattern) MatchString(w string, sigma []rune) (bool, error) {
+	q, err := p.ToQuery(sigma)
+	if err != nil {
+		return false, err
+	}
+	g := graph.NewDB()
+	prev := g.AddNode("s0")
+	first := prev
+	for i, r := range w {
+		next := g.AddNode(fmt.Sprintf("s%d", i+1))
+		g.AddEdge(prev, r, next)
+		prev = next
+	}
+	res, err := ecrpq.Eval(q, g, ecrpq.Options{
+		Bind: map[ecrpq.NodeVar]graph.Node{"x0": first, ecrpq.NodeVar(fmt.Sprintf("x%d", len(p.Items))): prev},
+	})
+	if err != nil {
+		return false, err
+	}
+	return res.Bool(), nil
+}
+
+// MarkedQuery builds the query Q'α of the Theorem 7.1 reduction: Qα
+// extended with fresh marker edges p(π₀) before x₀ and p'(πₙ₊₁) after
+// xₙ. Marker runes must not occur in sigma. Containment of pattern
+// languages — undecidable by Freydenberger–Reidenbach 2010 — reduces to
+// containment of such ECRPQs, which is how the paper proves Theorem 7.1;
+// this constructor exists so that the reduction can be demonstrated and
+// tested on concrete instances.
+func (p Pattern) MarkedQuery(sigma []rune, pre, post rune) (*ecrpq.Query, error) {
+	q, err := p.ToQuery(sigma)
+	if err != nil {
+		return nil, err
+	}
+	n := len(p.Items)
+	q.PathAtoms = append([]ecrpq.PathAtom{{X: "xinit", Pi: "pi0", Y: "x0"}}, q.PathAtoms...)
+	q.PathAtoms = append(q.PathAtoms, ecrpq.PathAtom{
+		X: ecrpq.NodeVar(fmt.Sprintf("x%d", n)), Pi: "piend", Y: "xend"})
+	q.RelAtoms = append(q.RelAtoms,
+		ecrpq.RelAtom{Rel: relations.FromLanguage(string(pre), regex.Lit(pre)), Args: []ecrpq.PathVar{"pi0"}},
+		ecrpq.RelAtom{Rel: relations.FromLanguage(string(post), regex.Lit(post)), Args: []ecrpq.PathVar{"piend"}},
+	)
+	q.HeadNodes = nil // Boolean, as in the proof
+	return q, q.Validate()
+}

@@ -1,0 +1,107 @@
+package pattern
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+var sigmaAB = []rune{'a', 'b'}
+
+func TestParseAndString(t *testing.T) {
+	p := Parse("aXbX")
+	if len(p.Items) != 4 || p.Items[1].Var != 'X' || !p.Items[1].IsVar || p.Items[0].Letter != 'a' {
+		t.Fatalf("parsed %v", p.Items)
+	}
+	if p.String() != "aXbX" {
+		t.Errorf("String = %q", p.String())
+	}
+}
+
+func TestDenotes(t *testing.T) {
+	// Paper's example: aXbX = { a·w·b·w }.
+	p := Parse("aXbX")
+	yes := []string{"ab", "aaba", "abbb", "aabbab"} // a·w·b·w for w = ε, a, b, ab
+	no := []string{"", "ba", "aabb", "abab", "aabab"}
+	for _, w := range yes {
+		if !p.Denotes([]rune(w), sigmaAB) {
+			t.Errorf("aXbX should denote %q", w)
+		}
+	}
+	for _, w := range no {
+		if p.Denotes([]rune(w), sigmaAB) {
+			t.Errorf("aXbX should not denote %q", w)
+		}
+	}
+	// Squared strings XX.
+	sq := Parse("XX")
+	if !sq.Denotes([]rune("abab"), sigmaAB) || sq.Denotes([]rune("aba"), sigmaAB) {
+		t.Error("XX wrong")
+	}
+	if !sq.Denotes([]rune(""), sigmaAB) {
+		t.Error("ε = ε·ε is a square")
+	}
+}
+
+func TestMatchStringAgainstDenotes(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	pats := []Pattern{Parse("XX"), Parse("aXbX"), Parse("XaY"), Parse("XYX")}
+	f := func(uint8) bool {
+		p := pats[r.Intn(len(pats))]
+		n := r.Intn(5)
+		w := make([]rune, n)
+		for i := range w {
+			w[i] = sigmaAB[r.Intn(2)]
+		}
+		want := p.Denotes(w, sigmaAB)
+		got, err := p.MatchString(string(w), sigmaAB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Logf("pattern %s word %q: query=%v direct=%v", p, string(w), got, want)
+		}
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestToQueryShape(t *testing.T) {
+	p := Parse("aXbX")
+	q, err := p.ToQuery(sigmaAB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.PathAtoms) != 4 {
+		t.Errorf("Qα should have 4 path atoms, got %d", len(q.PathAtoms))
+	}
+	// Atoms: a, Σ*, b, plus one equality linking the two X's.
+	eqCount := 0
+	for _, ra := range q.RelAtoms {
+		if ra.Rel.Arity == 2 {
+			eqCount++
+		}
+	}
+	if eqCount != 1 {
+		t.Errorf("one equality atom expected, got %d", eqCount)
+	}
+	if _, err := (Pattern{}).ToQuery(sigmaAB); err == nil {
+		t.Error("empty pattern should error")
+	}
+}
+
+func TestMarkedQuery(t *testing.T) {
+	p := Parse("XX")
+	q, err := p.MarkedQuery(sigmaAB, 'p', 'q')
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.IsBoolean() {
+		t.Error("marked query should be Boolean")
+	}
+	if len(q.PathAtoms) != 4 { // 2 pattern atoms + 2 markers
+		t.Errorf("marked query has %d path atoms", len(q.PathAtoms))
+	}
+}

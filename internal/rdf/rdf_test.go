@@ -1,0 +1,100 @@
+package rdf
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestHierarchyClosure(t *testing.T) {
+	h := NewHierarchy().Sub('a', 'b').Sub('b', 'c')
+	if !h.Prec('a', 'b') || !h.Prec('a', 'c') || !h.Prec('b', 'c') {
+		t.Error("transitive closure wrong")
+	}
+	if h.Prec('c', 'a') || h.Prec('a', 'a') {
+		t.Error("no reflexivity or inversion expected")
+	}
+	h.Reflexive()
+	if !h.Prec('a', 'a') || !h.Prec('c', 'c') {
+		t.Error("Reflexive should add a ≺ a")
+	}
+	props := h.Properties()
+	if len(props) != 3 || props[0] != 'a' || props[2] != 'c' {
+		t.Errorf("Properties = %v", props)
+	}
+}
+
+func TestRhoIsoRelation(t *testing.T) {
+	h := NewHierarchy().Sub('a', 'b')
+	rho := h.RhoIso([]rune{'a', 'b', 'c'})
+	if !rho.ContainsStrings("ab", "ba") {
+		t.Error("positionwise comparable sequences should be ρ-isomorphic")
+	}
+	if rho.ContainsStrings("c", "c") {
+		t.Error("incomparable letters are not related without reflexivity")
+	}
+}
+
+func TestIsoAssociated(t *testing.T) {
+	// x --a--> m, y --b--> n with a ≺ b: x and y are ρ-isoAssociated.
+	h := NewHierarchy().Sub('a', 'b')
+	g := graph.NewDB()
+	x := g.AddNode("x")
+	m := g.AddNode("m")
+	y := g.AddNode("y")
+	n := g.AddNode("n")
+	w := g.AddNode("w")
+	g.AddEdge(x, 'a', m)
+	g.AddEdge(y, 'b', n)
+	g.AddEdge(w, 'c', n) // c unrelated to anything
+	pairs, err := h.IsoAssociated(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[[2]graph.Node]bool{}
+	for _, p := range pairs {
+		got[p] = true
+	}
+	if !got[[2]graph.Node{x, y}] || !got[[2]graph.Node{y, x}] {
+		t.Errorf("x,y should be associated both ways: %v", got)
+	}
+	for p := range got {
+		if p[0] == w || p[1] == w {
+			t.Errorf("w has no comparable property: %v", p)
+		}
+	}
+}
+
+func TestRhoQueryReturnsPaths(t *testing.T) {
+	h := NewHierarchy().Sub('a', 'b').Reflexive()
+	g := graph.NewDB()
+	u := g.AddNode("u")
+	m1 := g.AddNode("m1")
+	m2 := g.AddNode("m2")
+	v := g.AddNode("v")
+	n1 := g.AddNode("n1")
+	g.AddEdge(u, 'a', m1)
+	g.AddEdge(m1, 'a', m2)
+	g.AddEdge(v, 'b', n1)
+	pairs, err := h.RhoQuery(g, u, v, 10, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) == 0 {
+		t.Fatal("expected ρ-isomorphic sequence pairs")
+	}
+	for _, pr := range pairs {
+		if pr[0].From() != u || pr[1].From() != v {
+			t.Error("paths should originate at u and v")
+		}
+		if pr[0].Len() != pr[1].Len() {
+			t.Error("ρ-isomorphic sequences must have equal length")
+		}
+		if err := pr[0].Validate(g); err != nil {
+			t.Error(err)
+		}
+		if err := pr[1].Validate(g); err != nil {
+			t.Error(err)
+		}
+	}
+}

@@ -1,0 +1,155 @@
+package regex
+
+import "fmt"
+
+// ParseTuple parses a regular expression over n-tuple symbols, the concrete
+// syntax for the paper's regular expressions over (Σ⊥)ⁿ that denote n-ary
+// regular relations (Section 2).
+//
+// Tuple symbols are written <a,b,...>: for example the prefix relation of
+// the paper is (<a,a>|<b,b>)*(<_,a>|<_,b>)* over Σ = {a,b}, and the
+// equal-length relation el is (<a,a>|<a,b>|<b,a>|<b,b>)*. "_" denotes ⊥.
+//
+// Every tuple symbol must have exactly arity components; a symbol is
+// encoded as the Go string of its arity runes, which is the symbol type
+// used throughout package relations.
+func ParseTuple(src string, arity int) (*Node[string], error) {
+	if arity <= 0 {
+		return nil, fmt.Errorf("regex: tuple arity must be positive, got %d", arity)
+	}
+	p := &tupleParser{parser: parser{src: src}, arity: arity}
+	n, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if !p.eof() {
+		return nil, p.errorf("unexpected %q", p.peek())
+	}
+	return n, nil
+}
+
+// MustParseTuple is ParseTuple that panics on error.
+func MustParseTuple(src string, arity int) *Node[string] {
+	n, err := ParseTuple(src, arity)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+type tupleParser struct {
+	parser
+	arity int
+}
+
+func (p *tupleParser) parseExpr() (*Node[string], error) {
+	n, err := p.parseBranch()
+	if err != nil {
+		return nil, err
+	}
+	for !p.eof() && p.peek() == '|' {
+		p.next()
+		m, err := p.parseBranch()
+		if err != nil {
+			return nil, err
+		}
+		n = Or(n, m)
+	}
+	return n, nil
+}
+
+func (p *tupleParser) parseBranch() (*Node[string], error) {
+	res := Eps[string]()
+	for !p.eof() {
+		switch p.peek() {
+		case '|', ')':
+			return res, nil
+		}
+		f, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		res = Seq(res, f)
+	}
+	return res, nil
+}
+
+func (p *tupleParser) parseFactor() (*Node[string], error) {
+	n, err := p.parseAtom()
+	if err != nil {
+		return nil, err
+	}
+	for !p.eof() {
+		switch p.peek() {
+		case '*':
+			p.next()
+			n = Kleene(n)
+		case '+':
+			p.next()
+			n = Repeat(n)
+		case '?':
+			p.next()
+			n = Opt(n)
+		default:
+			return n, nil
+		}
+	}
+	return n, nil
+}
+
+func (p *tupleParser) parseAtom() (*Node[string], error) {
+	if p.eof() {
+		return nil, p.errorf("unexpected end of expression")
+	}
+	switch r := p.peek(); r {
+	case '(':
+		p.next()
+		if !p.eof() && p.peek() == ')' {
+			p.next()
+			return Eps[string](), nil
+		}
+		n, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if p.eof() || p.peek() != ')' {
+			return nil, p.errorf("missing ')'")
+		}
+		p.next()
+		return n, nil
+	case '<':
+		return p.parseTupleSym()
+	default:
+		return nil, p.errorf("unexpected %q (tuple symbols are written <a,b,...>)", r)
+	}
+}
+
+func (p *tupleParser) parseTupleSym() (*Node[string], error) {
+	p.next() // consume '<'
+	runes := make([]rune, 0, p.arity)
+	for {
+		if p.eof() {
+			return nil, p.errorf("missing '>'")
+		}
+		s, err := p.parseSym()
+		if err != nil {
+			return nil, err
+		}
+		runes = append(runes, s)
+		if p.eof() {
+			return nil, p.errorf("missing '>'")
+		}
+		switch p.peek() {
+		case ',':
+			p.next()
+		case '>':
+			p.next()
+			if len(runes) != p.arity {
+				return nil, p.errorf("tuple symbol has %d components, want %d", len(runes), p.arity)
+			}
+			return Lit(string(runes)), nil
+		default:
+			return nil, p.errorf("unexpected %q in tuple symbol", p.peek())
+		}
+	}
+}

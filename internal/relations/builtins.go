@@ -1,0 +1,190 @@
+package relations
+
+import (
+	"fmt"
+
+	"repro/internal/automata"
+)
+
+// Equality returns the binary relation {(s,s) | s ∈ Σ*}: the path
+// equality π₁ = π₂ of Section 3.
+func Equality(sigma []rune) *Relation {
+	n := automata.NewNFA[TupleSym]()
+	q := n.AddState()
+	n.SetStart(q)
+	n.SetFinal(q, true)
+	for _, a := range sigma {
+		n.AddTransition(q, MakeSym(a, a), q)
+	}
+	return &Relation{Name: "eq", Arity: 2, A: n}
+}
+
+// EqualLength returns the binary relation el = {(s,s') : |s| = |s'|}
+// (Section 2).
+func EqualLength(sigma []rune) *Relation {
+	n := automata.NewNFA[TupleSym]()
+	q := n.AddState()
+	n.SetStart(q)
+	n.SetFinal(q, true)
+	for _, a := range sigma {
+		for _, b := range sigma {
+			n.AddTransition(q, MakeSym(a, b), q)
+		}
+	}
+	return &Relation{Name: "el", Arity: 2, A: n}
+}
+
+// Prefix returns the binary relation {(s,s') : s ⪯ s'} — s is a prefix of
+// s' (Section 2: letters (a,a)* followed by (⊥,b)*).
+func Prefix(sigma []rune) *Relation {
+	n := automata.NewNFA[TupleSym]()
+	q0 := n.AddState()
+	q1 := n.AddState()
+	n.SetStart(q0)
+	n.SetFinal(q0, true)
+	n.SetFinal(q1, true)
+	for _, a := range sigma {
+		n.AddTransition(q0, MakeSym(a, a), q0)
+		n.AddTransition(q0, MakeSym(Bot, a), q1)
+		n.AddTransition(q1, MakeSym(Bot, a), q1)
+	}
+	return &Relation{Name: "prefix", Arity: 2, A: n}
+}
+
+// ShorterLen returns {(s,s') : |s| < |s'|}, the strict length comparison
+// of Section 2 (definable in the universal automatic structure).
+func ShorterLen(sigma []rune) *Relation {
+	n := automata.NewNFA[TupleSym]()
+	q0 := n.AddState()
+	q1 := n.AddState()
+	n.SetStart(q0)
+	n.SetFinal(q1, true)
+	for _, a := range sigma {
+		for _, b := range sigma {
+			n.AddTransition(q0, MakeSym(a, b), q0)
+		}
+		n.AddTransition(q0, MakeSym(Bot, a), q1)
+		n.AddTransition(q1, MakeSym(Bot, a), q1)
+	}
+	return &Relation{Name: "lt", Arity: 2, A: n}
+}
+
+// ShorterEqLen returns {(s,s') : |s| ≤ |s'|}.
+func ShorterEqLen(sigma []rune) *Relation {
+	r := Union(ShorterLen(sigma), EqualLength(sigma))
+	r.Name = "le"
+	return r
+}
+
+// Morphism returns the synchronous transformation relation of Section 1:
+// {(a₁…aₙ, h(a₁)…h(aₙ))} for the letter map h. Letters of sigma missing
+// from h are mapped to themselves.
+func Morphism(sigma []rune, h map[rune]rune) *Relation {
+	n := automata.NewNFA[TupleSym]()
+	q := n.AddState()
+	n.SetStart(q)
+	n.SetFinal(q, true)
+	for _, a := range sigma {
+		b, ok := h[a]
+		if !ok {
+			b = a
+		}
+		n.AddTransition(q, MakeSym(a, b), q)
+	}
+	return &Relation{Name: "morph", Arity: 2, A: n}
+}
+
+// RhoIso returns the ρ-isomorphism relation of Section 4 (Anyanwu–Sheth
+// semantic associations): pairs of equal-length property sequences whose
+// letters at each position are related by prec in either direction:
+// (⋃_{a,b: a≺b ∨ b≺a} (a,b))*.
+func RhoIso(sigma []rune, prec func(a, b rune) bool) *Relation {
+	n := automata.NewNFA[TupleSym]()
+	q := n.AddState()
+	n.SetStart(q)
+	n.SetFinal(q, true)
+	for _, a := range sigma {
+		for _, b := range sigma {
+			if prec(a, b) || prec(b, a) {
+				n.AddTransition(q, MakeSym(a, b), q)
+			}
+		}
+	}
+	return &Relation{Name: "rho-iso", Arity: 2, A: n}
+}
+
+// MismatchOrGap returns the finite binary relation of Section 4's
+// alignment query: all pairs (a, b) with a ≠ b, a, b ∈ Σ ∪ {ε}, excluding
+// (ε, ε). The ε cases are the single-letter-to-empty-string pairs, i.e.
+// convolutions (a,⊥) and (⊥,b).
+func MismatchOrGap(sigma []rune) *Relation {
+	n := automata.NewNFA[TupleSym]()
+	q0 := n.AddState()
+	q1 := n.AddState()
+	n.SetStart(q0)
+	n.SetFinal(q1, true)
+	for _, a := range sigma {
+		for _, b := range sigma {
+			if a != b {
+				n.AddTransition(q0, MakeSym(a, b), q1)
+			}
+		}
+		n.AddTransition(q0, MakeSym(a, Bot), q1)
+		n.AddTransition(q0, MakeSym(Bot, a), q1)
+	}
+	return &Relation{Name: "mismatch", Arity: 2, A: n}
+}
+
+// AnyTuple returns the full relation (Σ*)ⁿ of the given arity; useful for
+// padding a query with unconstrained relation atoms.
+func AnyTuple(sigma []rune, arity int) *Relation {
+	n := automata.NewNFA[TupleSym]()
+	q := n.AddState()
+	n.SetStart(q)
+	n.SetFinal(q, true)
+	for _, sym := range TupleAlphabet(sigma, arity) {
+		n.AddTransition(q, sym, q)
+	}
+	return &Relation{Name: fmt.Sprintf("any%d", arity), Arity: arity, A: n}
+}
+
+// FixedShift returns {(s, s') : |s'| = |s| + d} for d ≥ 0; a building
+// block for queries relating path lengths by a constant offset.
+func FixedShift(sigma []rune, d int) *Relation {
+	n := automata.NewNFA[TupleSym]()
+	states := make([]int, d+1)
+	for i := range states {
+		states[i] = n.AddState()
+	}
+	n.SetStart(states[0])
+	n.SetFinal(states[d], true)
+	for _, a := range sigma {
+		for _, b := range sigma {
+			n.AddTransition(states[0], MakeSym(a, b), states[0])
+		}
+		for i := 0; i < d; i++ {
+			n.AddTransition(states[i], MakeSym(Bot, a), states[i+1])
+		}
+	}
+	return &Relation{Name: fmt.Sprintf("shift%d", d), Arity: 2, A: n}
+}
+
+// NonEmptyPair returns the binary relation {(s, s') : s ≠ ε and s' ≠ ε};
+// a guard used to exclude trivial empty-sequence answers from
+// association queries (Section 4).
+func NonEmptyPair(sigma []rune) *Relation {
+	n := automata.NewNFA[TupleSym]()
+	q0 := n.AddState()
+	q1 := n.AddState()
+	n.SetStart(q0)
+	n.SetFinal(q1, true)
+	for _, a := range sigma {
+		for _, b := range sigma {
+			n.AddTransition(q0, MakeSym(a, b), q1)
+		}
+	}
+	for _, sym := range TupleAlphabet(sigma, 2) {
+		n.AddTransition(q1, sym, q1)
+	}
+	return &Relation{Name: "nonempty2", Arity: 2, A: n}
+}

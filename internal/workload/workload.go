@@ -1,0 +1,218 @@
+// Package workload generates the graph databases and query families used
+// by the benchmark harness to regenerate the paper's complexity landscape
+// (Figure 1), plus the motivating workloads of the introduction and
+// Section 8.2: string graphs, advisor genealogies, the REI hardness
+// graphs of Theorem 6.3, random labeled graphs and DAGs, and flight
+// networks.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/ecrpq"
+	"repro/internal/graph"
+	"repro/internal/regex"
+	"repro/internal/relations"
+)
+
+// StringGraph builds the graph G_s of Proposition 3.2 for s: a simple
+// line whose edge labels spell s. It returns the graph and the endpoints.
+func StringGraph(s string) (*graph.DB, graph.Node, graph.Node) {
+	g := graph.NewDB()
+	first := g.AddNode("v0")
+	prev := first
+	for i, r := range s {
+		next := g.AddNode(fmt.Sprintf("v%d", i+1))
+		g.AddEdge(prev, r, next)
+		prev = next
+	}
+	return g, first, prev
+}
+
+// Random builds a random Σ-labeled graph with n nodes and approximately
+// avgDeg outgoing edges per node.
+func Random(r *rand.Rand, n int, avgDeg float64, sigma []rune) *graph.DB {
+	g := graph.NewDB()
+	for i := 0; i < n; i++ {
+		g.AddNode("")
+	}
+	edges := int(avgDeg * float64(n))
+	for e := 0; e < edges; e++ {
+		from := graph.Node(r.Intn(n))
+		to := graph.Node(r.Intn(n))
+		g.AddEdge(from, sigma[r.Intn(len(sigma))], to)
+	}
+	return g
+}
+
+// RandomDAG builds a random DAG (edges only from lower to higher ids)
+// with the given edge density; on DAGs the naive evaluator is complete.
+func RandomDAG(r *rand.Rand, n int, density float64, sigma []rune) *graph.DB {
+	g := graph.NewDB()
+	for i := 0; i < n; i++ {
+		g.AddNode("")
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if r.Float64() < density {
+				g.AddEdge(graph.Node(i), sigma[r.Intn(len(sigma))], graph.Node(j))
+			}
+		}
+	}
+	return g
+}
+
+// AdvisorForest builds the student→advisor graph of the paper's
+// introduction: a forest of advisor trees with the single edge label 'a'
+// pointing from student to advisor; depth levels, branch students per
+// advisor, roots root advisors.
+func AdvisorForest(roots, depth, branch int) *graph.DB {
+	g := graph.NewDB()
+	var grow func(advisor graph.Node, level int)
+	id := 0
+	grow = func(advisor graph.Node, level int) {
+		if level == depth {
+			return
+		}
+		for b := 0; b < branch; b++ {
+			id++
+			student := g.AddNode(fmt.Sprintf("s%d", id))
+			g.AddEdge(student, 'a', advisor)
+			grow(student, level+1)
+		}
+	}
+	for rt := 0; rt < roots; rt++ {
+		root := g.AddNode(fmt.Sprintf("root%d", rt))
+		grow(root, 0)
+	}
+	return g
+}
+
+// REIGraph builds the graph G_R^Σ of Theorem 6.3's hardness reduction:
+// nodes v1..v(n+1) over Σ = {a1..an}, with an edge (vi, a, vj) for every
+// i ≠ j, where a = a(j−1) if i < j and a = aj otherwise. Its defining
+// property: from every node, every string over Σ labels some path.
+func REIGraph(sigma []rune) *graph.DB {
+	n := len(sigma)
+	g := graph.NewDB()
+	for i := 0; i <= n; i++ {
+		g.AddNode(fmt.Sprintf("v%d", i+1))
+	}
+	for i := 1; i <= n+1; i++ {
+		for j := 1; j <= n+1; j++ {
+			if i == j {
+				continue
+			}
+			var a rune
+			if i < j {
+				a = sigma[j-2]
+			} else {
+				a = sigma[j-1]
+			}
+			g.AddEdge(graph.Node(i-1), a, graph.Node(j-1))
+		}
+	}
+	return g
+}
+
+// REIQuery builds the Boolean ECRPQ Q_R of Theorem 6.3 for the given
+// regular expressions: ⋀ᵢ (xᵢ,πᵢ,yᵢ), Rᵢ(πᵢ), ⋀ᵢ πᵢ = πᵢ₊₁ (chained
+// equality is equivalent to the paper's pairwise equalities). Evaluating
+// it on REIGraph(sigma) decides nonemptiness of ⋂ᵢ L(Rᵢ) — the
+// PSPACE-hard regular expression intersection problem.
+func REIQuery(exprs []string, sigma []rune) (*ecrpq.Query, error) {
+	b := ecrpq.NewBuilder()
+	eq := relations.Equality(sigma)
+	for i, src := range exprs {
+		node, err := regex.Parse(src)
+		if err != nil {
+			return nil, err
+		}
+		b.Path(fmt.Sprintf("x%d", i), fmt.Sprintf("p%d", i), fmt.Sprintf("y%d", i))
+		b.Rel(relations.FromLanguage(src, node), fmt.Sprintf("p%d", i))
+		if i > 0 {
+			b.Rel(eq, fmt.Sprintf("p%d", i-1), fmt.Sprintf("p%d", i))
+		}
+	}
+	return b.Build()
+}
+
+// REIRepetitionQuery builds the CRPQ-with-repetition of Proposition 6.8:
+// ⋀ᵢ (xᵢ,π,yᵢ), Rᵢ(π) — a single path variable shared by every atom.
+func REIRepetitionQuery(exprs []string, sigma []rune) (*ecrpq.Query, error) {
+	b := ecrpq.NewBuilder().AllowRepeatedPathVars()
+	for i, src := range exprs {
+		node, err := regex.Parse(src)
+		if err != nil {
+			return nil, err
+		}
+		b.Path(fmt.Sprintf("x%d", i), "p", fmt.Sprintf("y%d", i))
+		b.Rel(relations.FromLanguage(src, node), "p")
+	}
+	return b.Build()
+}
+
+// ChainCRPQ builds the acyclic chain CRPQ of length m:
+// Ans(x0, xm) ← (x0,p1,x1), …, (x(m−1),pm,xm) with language atoms drawn
+// cyclically from langs.
+func ChainCRPQ(m int, langs []string) (*ecrpq.Query, error) {
+	b := ecrpq.NewBuilder()
+	for i := 0; i < m; i++ {
+		src := langs[i%len(langs)]
+		node, err := regex.Parse(src)
+		if err != nil {
+			return nil, err
+		}
+		b.Path(fmt.Sprintf("x%d", i), fmt.Sprintf("p%d", i+1), fmt.Sprintf("x%d", i+1))
+		b.Rel(relations.FromLanguage(src, node), fmt.Sprintf("p%d", i+1))
+	}
+	b.HeadNodes("x0", fmt.Sprintf("x%d", m))
+	return b.Build()
+}
+
+// CycleCRPQ builds the cyclic CRPQ with m atoms forming a variable cycle
+// x0 → x1 → … → x0.
+func CycleCRPQ(m int, langs []string) (*ecrpq.Query, error) {
+	b := ecrpq.NewBuilder()
+	for i := 0; i < m; i++ {
+		src := langs[i%len(langs)]
+		node, err := regex.Parse(src)
+		if err != nil {
+			return nil, err
+		}
+		b.Path(fmt.Sprintf("x%d", i), fmt.Sprintf("p%d", i+1), fmt.Sprintf("x%d", (i+1)%m))
+		b.Rel(relations.FromLanguage(src, node), fmt.Sprintf("p%d", i+1))
+	}
+	return b.Build()
+}
+
+// FlightNetwork builds the Section 8.2 itinerary workload: nCities
+// cities, hub-and-spoke plus random long-haul edges, labels = airlines.
+// City 0 is the origin ("London"), city nCities−1 the destination
+// ("Sydney").
+func FlightNetwork(r *rand.Rand, nCities int, airlines []rune) *graph.DB {
+	g := graph.NewDB()
+	for i := 0; i < nCities; i++ {
+		g.AddNode(fmt.Sprintf("city%d", i))
+	}
+	// Ring so the graph is connected.
+	for i := 0; i < nCities-1; i++ {
+		g.AddEdge(graph.Node(i), airlines[i%len(airlines)], graph.Node(i+1))
+	}
+	// Random long-hauls, both directions.
+	for e := 0; e < 2*nCities; e++ {
+		from := graph.Node(r.Intn(nCities))
+		to := graph.Node(r.Intn(nCities))
+		if from != to {
+			g.AddEdge(from, airlines[r.Intn(len(airlines))], to)
+		}
+	}
+	return g
+}
+
+// PropertyGraph builds an RDF-like graph with a property alphabet and a
+// bias toward short property chains, for the semantic-web experiments.
+func PropertyGraph(r *rand.Rand, n int, properties []rune, avgDeg float64) *graph.DB {
+	return Random(r, n, avgDeg, properties)
+}

@@ -1,0 +1,137 @@
+// Package pathquery is the public API of this repository: a complete Go
+// implementation of extended conjunctive regular path queries (ECRPQs)
+// from Barceló, Libkin, Lin and Wood, "Expressive Languages for Path
+// Queries over Graph-Structured Data" (PODS 2010 / ACM TODS 37(4), 2012).
+//
+// The package re-exports the building blocks a downstream user needs:
+//
+//   - Graph databases: Graph, Node, Path (Σ-labeled directed graphs).
+//   - Queries: Query, parsed from text (ParseQuery) or built fluently
+//     (NewQuery); CRPQs are the unary-relation special case.
+//   - Regular relations on path labels: Relation, with the paper's
+//     library (Equality, EqualLength, Prefix, EditDistance, …) and
+//     arbitrary tuple regular expressions (TupleRegex).
+//   - Evaluation: Eval (Section 5 convolution construction), Member
+//     (the ECRPQ-EVAL decision problem of Section 6), PathAutomaton
+//     (Proposition 5.2 answer representation).
+//   - Extensions: the length abstraction Q_len (Section 6.3), linear
+//     constraints on label occurrences and path lengths (Section 8.2),
+//     the negation fragment ECRPQ¬ (Section 8.1, package
+//     internal/neg), and containment checking (Section 7).
+//
+// A minimal session:
+//
+//	g := pathquery.NewGraph()
+//	u, v, w := g.AddNode("u"), g.AddNode("v"), g.AddNode("w")
+//	g.AddEdge(u, 'a', v)
+//	g.AddEdge(v, 'b', w)
+//	q, _ := pathquery.ParseQuery(
+//		"Ans(x, y) <- (x,p1,z), (z,p2,y), a+(p1), b+(p2), el(p1,p2)",
+//		pathquery.Env{Sigma: []rune{'a', 'b'}})
+//	res, _ := pathquery.Eval(q, g, pathquery.Options{})
+//	for _, ans := range res.Answers { ... }
+package pathquery
+
+import (
+	"repro/internal/ecrpq"
+	"repro/internal/graph"
+	"repro/internal/regex"
+	"repro/internal/relations"
+)
+
+// Core data model.
+type (
+	// Graph is a Σ-labeled graph database (Section 2 of the paper).
+	Graph = graph.DB
+	// Node identifies a graph node.
+	Node = graph.Node
+	// Path is a path v₀a₀v₁⋯ with its label λ(ρ).
+	Path = graph.Path
+	// Query is an ECRPQ (Definition 3.1).
+	Query = ecrpq.Query
+	// NodeVar and PathVar are query variables.
+	NodeVar = ecrpq.NodeVar
+	// PathVar is a path variable.
+	PathVar = ecrpq.PathVar
+	// Env supplies alphabet and named relations to the query parser.
+	Env = ecrpq.Env
+	// Options tune evaluation.
+	Options = ecrpq.Options
+	// Result is a query result with answers and path-automaton access.
+	Result = ecrpq.Result
+	// Answer is one output tuple (nodes, witness paths).
+	Answer = ecrpq.Answer
+	// Relation is an n-ary regular relation over path labels.
+	Relation = relations.Relation
+	// PathAutomaton is the Proposition 5.2 representation of all path
+	// answers.
+	PathAutomaton = ecrpq.PathAutomaton
+	// Builder assembles queries fluently.
+	Builder = ecrpq.Builder
+)
+
+// Bot is the padding symbol ⊥ (written "_" in textual regexes).
+const Bot = regex.Bot
+
+// NewGraph returns an empty graph database.
+func NewGraph() *Graph { return graph.NewDB() }
+
+// ParseQuery parses the textual ECRPQ syntax; see ecrpq.Parse.
+func ParseQuery(src string, env Env) (*Query, error) { return ecrpq.Parse(src, env) }
+
+// NewQuery starts a fluent query builder.
+func NewQuery() *Builder { return ecrpq.NewBuilder() }
+
+// Eval evaluates an ECRPQ by the convolution construction of Section 5.
+func Eval(q *Query, g *Graph, opts Options) (*Result, error) { return ecrpq.Eval(q, g, opts) }
+
+// Member decides (v̄, ρ̄) ∈ Q(G) — the ECRPQ-EVAL problem of Section 6.
+func Member(q *Query, g *Graph, nodes []Node, paths []Path, opts Options) (bool, error) {
+	return ecrpq.Member(q, g, nodes, paths, opts)
+}
+
+// BuildPathAutomaton constructs the Proposition 5.2 answer automaton for
+// fixed head-node values.
+func BuildPathAutomaton(q *Query, g *Graph, headNodes []Node) (*PathAutomaton, error) {
+	return ecrpq.BuildPathAutomaton(q, g, headNodes)
+}
+
+// Built-in regular relations (Sections 1–4 of the paper).
+var (
+	// Equality is π₁ = π₂.
+	Equality = relations.Equality
+	// EqualLength is el(π₁, π₂): |π₁| = |π₂|.
+	EqualLength = relations.EqualLength
+	// Prefix is π₁ ⪯ π₂.
+	Prefix = relations.Prefix
+	// ShorterLen is |π₁| < |π₂|.
+	ShorterLen = relations.ShorterLen
+	// ShorterEqLen is |π₁| ≤ |π₂|.
+	ShorterEqLen = relations.ShorterEqLen
+	// Morphism is the synchronous letter transformation.
+	Morphism = relations.Morphism
+	// EditDistance is D≤k, the bounded edit distance relation.
+	EditDistance = relations.EditDistance
+	// RhoIso is the ρ-isomorphism relation of semantic associations.
+	RhoIso = relations.RhoIso
+)
+
+// TupleRegex builds an n-ary relation from a regular expression over
+// tuple symbols, e.g. "(<a,a>|<b,b>)*(<_,a>|<_,b>)*" for prefix.
+func TupleRegex(name, src string, arity int) (*Relation, error) {
+	node, err := regex.ParseTuple(src, arity)
+	if err != nil {
+		return nil, err
+	}
+	return relations.FromTupleRegex(name, node, arity), nil
+}
+
+// LangRegex builds a unary relation (a regular language) from a regular
+// expression over Σ.
+func LangRegex(src string) (*Relation, error) {
+	node, err := regex.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return relations.FromLanguage(src, node), nil
+}

@@ -1,0 +1,112 @@
+package pathquery
+
+import (
+	"testing"
+)
+
+// TestFacadeEndToEnd exercises the public API exactly as the README's
+// quickstart does.
+func TestFacadeEndToEnd(t *testing.T) {
+	g := NewGraph()
+	var ns []Node
+	for i := 0; i <= 4; i++ {
+		ns = append(ns, g.AddNode(""))
+	}
+	g.AddEdge(ns[0], 'a', ns[1])
+	g.AddEdge(ns[1], 'a', ns[2])
+	g.AddEdge(ns[2], 'b', ns[3])
+	g.AddEdge(ns[3], 'b', ns[4])
+
+	env := Env{Sigma: []rune{'a', 'b'}}
+	q, err := ParseQuery("Ans(x, y) <- (x,p1,z), (z,p2,y), a+(p1), b+(p2), el(p1,p2)", env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Eval(q, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) != 2 {
+		t.Fatalf("want 2 answers (a²b² and a¹b¹), got %d", len(res.Answers))
+	}
+
+	ok, err := Member(q, g, []Node{ns[0], ns[4]}, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("(v0,v4) is an answer")
+	}
+
+	qp, err := ParseQuery("Ans(x, y, p1) <- (x,p1,y), a+(p1)", env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pa, err := BuildPathAutomaton(qp, g, []Node{ns[0], ns[2]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tuples := pa.Enumerate(5, 10)
+	if len(tuples) != 1 || tuples[0][0].LabelString() != "aa" {
+		t.Errorf("path enumeration = %v", tuples)
+	}
+}
+
+func TestFacadeBuilderAndRelations(t *testing.T) {
+	sigma := []rune{'a', 'b'}
+	g := NewGraph()
+	u := g.AddNode("u")
+	v := g.AddNode("v")
+	w := g.AddNode("w")
+	g.AddEdge(u, 'a', v)
+	g.AddEdge(u, 'b', w)
+
+	q, err := NewQuery().
+		Path("x", "p1", "y1").
+		Path("x", "p2", "y2").
+		Rel(EqualLength(sigma), "p1", "p2").
+		Rel(EditDistance(sigma, 1), "p1", "p2").
+		HeadNodes("y1", "y2").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Eval(q, g, Options{Bind: map[NodeVar]Node{"x": u}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pairs of equal-length within-distance-1 paths from u: includes
+	// (v,w) via "a"/"b".
+	found := false
+	for _, a := range res.Answers {
+		if a.Nodes[0] == v && a.Nodes[1] == w {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("(v,w) should be answered via a/b at edit distance 1")
+	}
+}
+
+func TestFacadeTupleRegex(t *testing.T) {
+	r, err := TupleRegex("shift", "(<a,a>|<a,b>|<b,a>|<b,b>)*(<_,a>|<_,b>)", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.ContainsStrings("a", "ab") || r.ContainsStrings("a", "a") {
+		t.Error("|s'| = |s|+1 relation wrong")
+	}
+	if _, err := TupleRegex("bad", "<a>", 2); err == nil {
+		t.Error("arity mismatch should error")
+	}
+	l, err := LangRegex("a+")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l.ContainsStrings("aa") {
+		t.Error("LangRegex wrong")
+	}
+	if _, err := LangRegex("(("); err == nil {
+		t.Error("bad regex should error")
+	}
+}
