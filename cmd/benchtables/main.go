@@ -4,8 +4,11 @@
 // empirical scaling sweep, plus the Proposition 3.2 separation, the
 // Proposition 5.2 answer-automaton sizes, and the two design ablations.
 //
-//	go run ./cmd/benchtables          # all experiments
-//	go run ./cmd/benchtables -only E8 # one experiment
+//	go run ./cmd/benchtables                   # all experiments
+//	go run ./cmd/benchtables -only E8          # one experiment
+//	go run ./cmd/benchtables -json BENCH.json  # machine-readable ECRPQ
+//	                                           # engine benchmarks, for
+//	                                           # cross-PR perf tracking
 //
 // The measured shapes are recorded against the paper in EXPERIMENTS.md.
 package main
@@ -21,7 +24,21 @@ import (
 
 func main() {
 	only := flag.String("only", "", "run a single experiment (E1..E16)")
+	jsonPath := flag.String("json", "", "run the Fig1a ECRPQ engine benchmarks and write machine-readable results to this file")
 	flag.Parse()
+	if *jsonPath != "" {
+		f, err := os.Create(*jsonPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := experiments.WriteBenchJSON(f, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	table := map[string]func(io.Writer){
 		"E1":  experiments.E1CRPQData,
 		"E2":  experiments.E2ECRPQData,

@@ -3,9 +3,11 @@ package ecrpq
 import (
 	"fmt"
 	"sort"
-	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/graph"
+	"repro/internal/intern"
 	"repro/internal/regex"
 	"repro/internal/relations"
 )
@@ -57,11 +59,11 @@ type Answer struct {
 
 // Key returns a hashable encoding of the node part of the answer.
 func (a Answer) Key() string {
-	var b strings.Builder
+	b := make([]byte, 0, 4*len(a.Nodes))
 	for _, v := range a.Nodes {
-		fmt.Fprintf(&b, "%d,", v)
+		b = fmt.Appendf(b, "%d,", v)
 	}
-	return b.String()
+	return string(b)
 }
 
 // Result is the output of Eval.
@@ -69,9 +71,6 @@ type Result struct {
 	Query   *Query
 	Graph   *graph.DB
 	Answers []Answer
-	// bindings holds, per answer, the full node binding (not just the
-	// head projection); used by PathAutomaton.
-	bindings []map[NodeVar]graph.Node
 }
 
 // Bool reports the boolean result (nonempty output).
@@ -85,6 +84,11 @@ func (r *Result) Bool() bool { return len(r.Answers) > 0 }
 // (never materialized; see relations.Joint), and component results are
 // joined relationally on shared node variables. For every answer a
 // shortest witness path per head path variable is produced.
+//
+// The product BFS runs entirely on interned dense integers: product
+// states, joint-automaton states and tuple symbols are mapped to small
+// ints once (see relations.JointRunner and package intern), so the hot
+// loop performs no string building and no per-state map allocation.
 func Eval(q *Query, g *graph.DB, opts Options) (*Result, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
@@ -92,33 +96,47 @@ func Eval(q *Query, g *graph.DB, opts Options) (*Result, error) {
 	if opts.MaxProductStates == 0 {
 		opts.MaxProductStates = 4_000_000
 	}
-	comps, err := decompose(q, opts.NoDecompose)
+	comps, err := takeEngineCache(q, g, opts.NoDecompose)
 	if err != nil {
 		return nil, err
 	}
 	budget := opts.MaxProductStates
-	rels := make([]*varRelation, len(comps))
-	for i, c := range comps {
-		vr, used, err := evalComponent(g, c, opts.Bind, budget)
+	rels := make([]*varRelation, len(comps.comps))
+	for i, e := range comps.engines {
+		e.reset(g, opts.Bind)
+		vr, used, err := evalComponent(e, opts.Bind, budget)
 		if err != nil {
+			// The engines stay structurally valid after a budget abort
+			// (reset clears all per-call state), so pool them: a query
+			// that keeps hitting ErrBudget shouldn't also keep rebuilding
+			// its joint runner from scratch.
+			putEngineCache(q, comps)
 			return nil, err
 		}
 		budget -= used
 		rels[i] = vr
 	}
+	putEngineCache(q, comps)
 	joined, err := joinAll(rels, opts.Join, q.HeadNodes, q.HeadPaths)
 	if err != nil {
 		return nil, err
 	}
 	res := &Result{Query: q, Graph: g}
-	seen := map[string]int{}
-	for _, row := range joined {
+	headPos := make([]int, len(q.HeadNodes))
+	for i, z := range q.HeadNodes {
+		headPos[i] = varPos(joined.vars, z)
+	}
+	seen := intern.NewTable(len(joined.rows))
+	keyBuf := make([]int, len(q.HeadNodes))
+	for _, row := range joined.rows {
 		ans := Answer{}
-		for _, z := range q.HeadNodes {
-			ans.Nodes = append(ans.Nodes, row.nodes[z])
+		for i, pos := range headPos {
+			n := row.nodes[pos]
+			ans.Nodes = append(ans.Nodes, n)
+			keyBuf[i] = int(n)
 		}
-		k := ans.Key()
-		if idx, ok := seen[k]; ok {
+		idx, added := seen.Intern(keyBuf)
+		if !added {
 			// Keep the shortest witnesses among duplicates.
 			old := &res.Answers[idx]
 			for pi, chi := range q.HeadPaths {
@@ -131,14 +149,163 @@ func Eval(q *Query, g *graph.DB, opts Options) (*Result, error) {
 		for _, chi := range q.HeadPaths {
 			ans.Paths = append(ans.Paths, row.paths[chi])
 		}
-		seen[k] = len(res.Answers)
 		res.Answers = append(res.Answers, ans)
-		res.bindings = append(res.bindings, row.nodes)
 	}
 	sort.Slice(res.Answers, func(i, j int) bool {
-		return res.Answers[i].Key() < res.Answers[j].Key()
+		return lessNodes(res.Answers[i].Nodes, res.Answers[j].Nodes)
 	})
 	return res, nil
+}
+
+// lessNodes orders node tuples lexicographically.
+func lessNodes(a, b []graph.Node) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// varPos returns the index of v in vars, or -1.
+func varPos(vars []NodeVar, v NodeVar) int {
+	for i, w := range vars {
+		if w == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// engineCache carries a query's decomposition and component engines
+// across Eval calls. Building an engine is not free — the joint runner,
+// its subset steppers and the interning tables all have setup cost, and
+// the runner's transition memo is only valuable if it survives — so Eval
+// keeps one engine set per query in a bounded package-level pool.
+// Engines are handed off atomically (taken out of the pool for the
+// duration of a call), so concurrent Evals of the same query are safe:
+// a second caller simply builds a fresh set, and the last one back wins
+// the slot. The interned joint transitions and tuple symbols are
+// label-based and therefore valid across graphs; everything
+// graph- or bind-dependent is refreshed by componentEngine.reset.
+type engineCache struct {
+	monolithic bool
+	// Structural fingerprint of the query at build time: if the caller
+	// mutated the query in place since, the cache is discarded.
+	pathAtoms []PathAtom
+	relAtoms  []RelAtom
+	headPaths []PathVar
+	comps     []*component
+	engines   []*componentEngine
+}
+
+const maxEngineCaches = 64
+
+var (
+	engineCaches     sync.Map // *Query → *engineCache
+	engineCacheCount atomic.Int32
+)
+
+func (ec *engineCache) valid(q *Query, monolithic bool) bool {
+	if ec.monolithic != monolithic ||
+		len(ec.pathAtoms) != len(q.PathAtoms) ||
+		len(ec.relAtoms) != len(q.RelAtoms) ||
+		len(ec.headPaths) != len(q.HeadPaths) {
+		return false
+	}
+	for i, a := range q.PathAtoms {
+		if ec.pathAtoms[i] != a {
+			return false
+		}
+	}
+	for i, ra := range q.RelAtoms {
+		if ec.relAtoms[i].Rel != ra.Rel || len(ec.relAtoms[i].Args) != len(ra.Args) {
+			return false
+		}
+		for j, v := range ra.Args {
+			if ec.relAtoms[i].Args[j] != v {
+				return false
+			}
+		}
+	}
+	for i, chi := range q.HeadPaths {
+		if ec.headPaths[i] != chi {
+			return false
+		}
+	}
+	return true
+}
+
+// takeEngineCache returns the query's cached engines (removing them from
+// the pool for exclusive use) or builds a fresh set.
+func takeEngineCache(q *Query, g *graph.DB, monolithic bool) (*engineCache, error) {
+	if v, ok := engineCaches.LoadAndDelete(q); ok {
+		engineCacheCount.Add(-1)
+		if ec := v.(*engineCache); ec.valid(q, monolithic) {
+			return ec, nil
+		}
+	}
+	comps, err := decompose(q, monolithic)
+	if err != nil {
+		return nil, err
+	}
+	keepPaths := map[PathVar]bool{}
+	for _, chi := range q.HeadPaths {
+		keepPaths[chi] = true
+	}
+	ec := &engineCache{
+		monolithic: monolithic,
+		pathAtoms:  append([]PathAtom(nil), q.PathAtoms...),
+		headPaths:  append([]PathVar(nil), q.HeadPaths...),
+		comps:      comps,
+		engines:    make([]*componentEngine, len(comps)),
+	}
+	ec.relAtoms = make([]RelAtom, len(q.RelAtoms))
+	for i, ra := range q.RelAtoms {
+		ec.relAtoms[i] = RelAtom{Rel: ra.Rel, Args: append([]PathVar(nil), ra.Args...)}
+	}
+	for i, c := range comps {
+		ec.engines[i] = newComponentEngine(g, c, keepPaths)
+	}
+	return ec, nil
+}
+
+// putEngineCache returns an engine set to the pool after a successful
+// evaluation. The pool is capped; beyond that new queries simply skip
+// caching.
+// maxPooledScratch bounds the per-state scratch (in elements) a pooled
+// engine may retain; a BFS that ran to millions of product states must
+// not pin its peak buffers for the process lifetime.
+const maxPooledScratch = 1 << 16
+
+func putEngineCache(q *Query, ec *engineCache) {
+	// Drop everything sized by the last evaluation before pooling: reset
+	// re-establishes the graph references, and a pooled engine must not
+	// pin a possibly huge graph, its adjacency snapshot, the last result
+	// relation, or peak-sized BFS scratch for an arbitrarily long time.
+	for _, e := range ec.engines {
+		e.g = nil
+		e.adj = nil
+		e.vr = nil
+		if cap(e.parentState) > maxPooledScratch {
+			e.curs, e.joints, e.parentState, e.parentSym = nil, nil, nil, nil
+		}
+		if e.prodTab.Cap() > maxPooledScratch {
+			e.prodTab = intern.NewTable(0)
+		}
+		if e.rowTab.Cap() > maxPooledScratch {
+			e.rowTab = intern.NewTable(0)
+		}
+	}
+	if engineCacheCount.Load() >= maxEngineCaches {
+		return
+	}
+	if _, loaded := engineCaches.LoadOrStore(q, ec); !loaded {
+		engineCacheCount.Add(1)
+	}
 }
 
 // component groups the path variables connected by relation atoms of
@@ -253,43 +420,141 @@ func (c *component) nodeVars() (all []NodeVar, xvars []NodeVar) {
 }
 
 // row is one component answer: a binding of the component's node
-// variables plus one shortest witness path per path variable.
+// variables — columnar, aligned to the owning varRelation's vars — plus
+// one shortest witness path per path variable.
 type row struct {
-	nodes map[NodeVar]graph.Node
+	nodes []graph.Node
 	paths map[PathVar]graph.Path
 }
 
 // varRelation is a relation over node variables: the result of one
-// component, input to the relational join.
+// component, input to the relational join. Rows are columnar: row i's
+// value for vars[j] is rows[i].nodes[j].
 type varRelation struct {
 	vars []NodeVar
 	rows []row
 }
 
+// acceptCheck is one Y-endpoint consistency obligation: the path on
+// coordinate coord must end at the node bound to variable slot yi.
+type acceptCheck struct {
+	coord int
+	yi    int
+}
+
+// componentEngine holds everything the dense product BFS needs for one
+// component: the shared product core (adjacency snapshot, joint runner,
+// symbol interning) plus row collection and the reusable per-state
+// buffers. Nothing in the BFS hot loop allocates beyond amortized slice
+// growth.
+type componentEngine struct {
+	prodCore
+
+	rowTab *intern.Table // row dedup on the allVars node tuple
+	vr     *varRelation
+
+	// Accept plan, fixed per component.
+	allVars []NodeVar
+	xvars   []NodeVar
+	bindVal []graph.Node // external binding per var slot; -1 if unbound
+	plan    []acceptCheck
+	// keptCoords lists the (coordinate, variable) pairs of the path
+	// variables whose witnesses the query outputs; witness paths are only
+	// reconstructed for these.
+	keptCoords []int
+	keptVars   []PathVar
+
+	// Product-state storage, reset per start assignment. State id i has
+	// node tuple curs[i*cnt:(i+1)*cnt] and joint state joints[i];
+	// parentState/parentSym record the BFS tree for witness extraction.
+	prodTab     *intern.Table
+	curs        []graph.Node
+	joints      []int32
+	parentState []int32
+	parentSym   []int32
+
+	// Scratch buffers.
+	tupBuf   []int
+	nodesBuf []graph.Node
+	keyBuf   []int
+	chainBuf []int32
+	tmpl     []graph.Node // accept template for the current start assignment
+}
+
+func newComponentEngine(g *graph.DB, c *component, keepPaths map[PathVar]bool) *componentEngine {
+	allVars, xvars := c.nodeVars()
+	cnt := len(c.vars)
+	e := &componentEngine{
+		prodCore: newProdCore(g, c),
+		rowTab:   intern.NewTable(0),
+		vr:       &varRelation{vars: allVars},
+		allVars:  allVars,
+		xvars:    xvars,
+		prodTab:  intern.NewTable(0),
+
+		tupBuf:   make([]int, 0, cnt+1),
+		nodesBuf: make([]graph.Node, len(allVars)),
+		keyBuf:   make([]int, len(allVars)),
+		tmpl:     make([]graph.Node, len(allVars)),
+		bindVal:  make([]graph.Node, len(allVars)),
+	}
+	slot := map[NodeVar]int{}
+	for i, v := range allVars {
+		slot[v] = i
+	}
+	for i, atoms := range c.atomsOf {
+		for _, a := range atoms {
+			e.plan = append(e.plan, acceptCheck{coord: i, yi: slot[a.Y]})
+		}
+	}
+	for i, v := range c.vars {
+		if keepPaths[v] {
+			e.keptCoords = append(e.keptCoords, i)
+			e.keptVars = append(e.keptVars, v)
+		}
+	}
+	return e
+}
+
+// reset prepares a (possibly cached) engine for one Eval call: the
+// graph snapshot, external bindings and result accumulators are
+// per-call; the joint runner and symbol table persist.
+func (e *componentEngine) reset(g *graph.DB, bind map[NodeVar]graph.Node) {
+	e.g = g
+	e.adj = g.Adjacency()
+	e.vr = &varRelation{vars: e.allVars}
+	e.rowTab.Reset()
+	for i, v := range e.allVars {
+		if n, ok := bind[v]; ok {
+			e.bindVal[i] = n
+		} else {
+			e.bindVal[i] = -1
+		}
+	}
+}
+
 // evalComponent runs the product BFS for one component, for every start
 // assignment consistent with bind. It returns the component's relation
 // and the number of product states explored.
-func evalComponent(g *graph.DB, c *component, bind map[NodeVar]graph.Node, budget int) (*varRelation, int, error) {
-	allVars, xvars := c.nodeVars()
+func evalComponent(e *componentEngine, bind map[NodeVar]graph.Node, budget int) (*varRelation, int, error) {
+	xvars := e.xvars
 	candidates := func(v NodeVar) []graph.Node {
 		if n, ok := bind[v]; ok {
 			return []graph.Node{n}
 		}
-		out := make([]graph.Node, g.NumNodes())
+		out := make([]graph.Node, e.g.NumNodes())
 		for i := range out {
 			out[i] = graph.Node(i)
 		}
 		return out
 	}
-	vr := &varRelation{vars: allVars}
 	used := 0
-	seenRows := map[string]int{}
 
 	assign := make(map[NodeVar]graph.Node, len(xvars))
 	var enumerate func(i int) error
 	enumerate = func(i int) error {
 		if i == len(xvars) {
-			u, err := bfsComponent(g, c, assign, bind, budget-used, vr, seenRows)
+			u, err := e.bfs(assign, budget-used)
 			used += u
 			return err
 		}
@@ -305,144 +570,92 @@ func evalComponent(g *graph.DB, c *component, bind map[NodeVar]graph.Node, budge
 	if err := enumerate(0); err != nil {
 		return nil, used, err
 	}
-	return vr, used, nil
+	return e.vr, used, nil
 }
 
-// prodState is one state of the component product BFS.
-type prodState struct {
-	cur   []graph.Node
-	joint relations.JointState
-}
-
-// prodParent records how a product state was first reached.
-type prodParent struct {
-	key string // parent state key; "" at the root
-	sym string // c-tuple symbol taken from the parent
-}
-
-func prodKey(cur []graph.Node, js relations.JointState) string {
-	var b strings.Builder
-	for _, v := range cur {
-		fmt.Fprintf(&b, "%d,", v)
+// bfs explores the product of G⊥^c with the component's joint relation
+// automaton from the start tuple given by assign, collecting accepting
+// bindings into e.vr. It returns the number of product states explored.
+func (e *componentEngine) bfs(assign map[NodeVar]graph.Node, budget int) (int, error) {
+	cnt := e.cnt
+	start, ok := e.startTuple(assign)
+	if !ok {
+		return 0, nil // inconsistent start for repeated path var
 	}
-	b.WriteByte('|')
-	b.WriteString(js.Key())
-	return b.String()
-}
+	// Accept template: X variables fixed by assign, the rest open (-1).
+	for i := range e.tmpl {
+		e.tmpl[i] = -1
+	}
+	for v, n := range assign {
+		e.tmpl[varPos(e.allVars, v)] = n
+	}
 
-// bfsComponent explores the product of G⊥^c with the component's joint
-// relation automaton from the start tuple given by assign, collecting
-// accepting bindings into vr.
-func bfsComponent(g *graph.DB, c *component, assign, bind map[NodeVar]graph.Node, budget int, vr *varRelation, seenRows map[string]int) (int, error) {
-	cnt := len(c.vars)
-	// Start tuple: each variable's atoms must agree on the start node.
-	start := make([]graph.Node, cnt)
-	for i, atoms := range c.atomsOf {
-		s := assign[atoms[0].X]
-		for _, a := range atoms[1:] {
-			if assign[a.X] != s {
-				return 0, nil // inconsistent start for repeated path var
-			}
+	e.prodTab.Reset()
+	e.curs = e.curs[:0]
+	e.joints = e.joints[:0]
+	e.parentState = e.parentState[:0]
+	e.parentSym = e.parentSym[:0]
+
+	addState := func(jointID int, nodes []graph.Node, parent, sym int32) (int, bool) {
+		tup := e.tupBuf[:0]
+		tup = append(tup, jointID)
+		for _, n := range nodes {
+			tup = append(tup, int(n))
 		}
-		start[i] = s
+		e.tupBuf = tup
+		id, added := e.prodTab.Intern(tup)
+		if !added {
+			return id, false
+		}
+		e.curs = append(e.curs, nodes...)
+		e.joints = append(e.joints, int32(jointID))
+		e.parentState = append(e.parentState, parent)
+		e.parentSym = append(e.parentSym, sym)
+		return id, true
 	}
-	parents := map[string]prodParent{}
-	states := map[string]prodState{}
-	var queue []string
-
-	js0 := c.joint.Start()
-	k0 := prodKey(start, js0)
-	states[k0] = prodState{cur: start, joint: js0}
-	parents[k0] = prodParent{}
-	queue = append(queue, k0)
+	addState(e.runner.StartID(), start, -1, -1)
 	used := 0
 
-	accept := func(k string, s prodState) {
-		if !c.joint.Accepting(s.joint) {
-			return
-		}
-		// Check Y-consistency and build the node binding.
-		nodes := make(map[NodeVar]graph.Node, 4)
-		for v, n := range assign {
-			nodes[v] = n
-		}
-		for i, atoms := range c.atomsOf {
-			for _, a := range atoms {
-				if prev, ok := nodes[a.Y]; ok {
-					if prev != s.cur[i] {
-						return
-					}
-				} else {
-					if b, ok := bind[a.Y]; ok && b != s.cur[i] {
-						return
-					}
-					nodes[a.Y] = s.cur[i]
-				}
-			}
-		}
-		paths := reconstruct(c, k, parents, states)
-		r := row{nodes: nodes, paths: paths}
-		rk := rowKey(vr.vars, nodes)
-		if idx, ok := seenRows[rk]; ok {
-			// keep shortest witnesses
-			for pv, p := range paths {
-				if old, ok := vr.rows[idx].paths[pv]; !ok || p.Len() < old.Len() {
-					vr.rows[idx].paths[pv] = p
-				}
-			}
-			return
-		}
-		seenRows[rk] = len(vr.rows)
-		vr.rows = append(vr.rows, r)
-	}
-
-	type move struct {
-		label rune
-		to    graph.Node
-	}
-	for head := 0; head < len(queue); head++ {
-		k := queue[head]
-		s := states[k]
-		accept(k, s)
-		// Per-coordinate moves: real edges plus the ⊥ stay-move.
-		moves := make([][]move, cnt)
-		for i, v := range s.cur {
-			ms := []move{{regex.Bot, v}}
-			g.EdgesFrom(v, func(a rune, to graph.Node) {
-				ms = append(ms, move{a, to})
-			})
-			moves[i] = ms
-		}
-		syms := make([]rune, cnt)
-		next := make([]graph.Node, cnt)
-		var rec func(i int) error
-		rec = func(i int) error {
-			if i == cnt {
-				js, ok := c.joint.Step(s.joint, string(syms))
-				if !ok {
-					return nil
-				}
-				nk := prodKey(next, js)
-				if _, ok := states[nk]; ok {
-					return nil
-				}
-				used++
-				if used > budget {
-					return ErrBudget
-				}
-				states[nk] = prodState{cur: append([]graph.Node(nil), next...), joint: js}
-				parents[nk] = prodParent{key: k, sym: string(syms)}
-				queue = append(queue, nk)
+	var head int
+	var cur []graph.Node
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == cnt {
+			symID := e.symID()
+			js, ok := e.runner.Step(int(e.joints[head]), symID)
+			if !ok {
 				return nil
 			}
-			for _, m := range moves[i] {
-				syms[i] = m.label
-				next[i] = m.to
-				if err := rec(i + 1); err != nil {
-					return err
-				}
+			if _, added := addState(js, e.next, int32(head), int32(symID)); !added {
+				return nil
+			}
+			used++
+			if used > budget {
+				return ErrBudget
 			}
 			return nil
+		}
+		// Per-coordinate moves: the ⊥ stay-move plus the real out-edges,
+		// straight from the graph's adjacency snapshot.
+		v := cur[i]
+		e.symInts[i] = int(regex.Bot)
+		e.next[i] = v
+		if err := rec(i + 1); err != nil {
+			return err
+		}
+		for _, ed := range e.adj[v] {
+			e.symInts[i] = int(ed.Label)
+			e.next[i] = ed.To
+			if err := rec(i + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for head = 0; head < len(e.joints); head++ {
+		cur = e.curs[head*cnt : head*cnt+cnt]
+		if e.runner.Accepting(int(e.joints[head])) {
+			e.accept(head, cur)
 		}
 		if err := rec(0); err != nil {
 			return used, err
@@ -451,52 +664,72 @@ func bfsComponent(g *graph.DB, c *component, assign, bind map[NodeVar]graph.Node
 	return used, nil
 }
 
-// reconstruct walks parent pointers back to the start and extracts the
-// per-variable witness paths, stripping ⊥ stay-moves (the stripping
-// operation ρ̄s(j) of Section 5).
-func reconstruct(c *component, k string, parents map[string]prodParent, states map[string]prodState) map[PathVar]graph.Path {
-	var symsRev []string
-	var tuplesRev [][]graph.Node
-	cur := k
-	for {
-		p := parents[cur]
-		tuplesRev = append(tuplesRev, states[cur].cur)
-		if p.key == "" {
-			break
+// accept checks Y-consistency of an accepting product state against the
+// template and external bindings, then records the row (deduplicated on
+// the node tuple, keeping shortest witnesses).
+func (e *componentEngine) accept(state int, cur []graph.Node) {
+	nodes := e.nodesBuf
+	copy(nodes, e.tmpl)
+	for _, ck := range e.plan {
+		val := cur[ck.coord]
+		if got := nodes[ck.yi]; got >= 0 {
+			if got != val {
+				return
+			}
+			continue
 		}
-		symsRev = append(symsRev, p.sym)
-		cur = p.key
+		if b := e.bindVal[ck.yi]; b >= 0 && b != val {
+			return
+		}
+		nodes[ck.yi] = val
 	}
-	n := len(tuplesRev)
-	tuples := make([][]graph.Node, n)
-	for i := range tuplesRev {
-		tuples[n-1-i] = tuplesRev[i]
+	for i, n := range nodes {
+		e.keyBuf[i] = int(n)
 	}
-	syms := make([]string, len(symsRev))
-	for i := range symsRev {
-		syms[len(symsRev)-1-i] = symsRev[i]
+	paths := e.reconstruct(state)
+	idx, added := e.rowTab.Intern(e.keyBuf)
+	if !added {
+		// Keep shortest witnesses.
+		for pv, p := range paths {
+			if old, ok := e.vr.rows[idx].paths[pv]; !ok || p.Len() < old.Len() {
+				e.vr.rows[idx].paths[pv] = p
+			}
+		}
+		return
 	}
-	out := make(map[PathVar]graph.Path, len(c.vars))
-	for i, v := range c.vars {
-		p := graph.Path{Nodes: []graph.Node{tuples[0][i]}}
-		for step, sym := range syms {
-			a := []rune(sym)[i]
+	e.vr.rows = append(e.vr.rows, row{nodes: append([]graph.Node(nil), nodes...), paths: paths})
+}
+
+// reconstruct walks the BFS tree back to the start and extracts the
+// witness paths of the kept path variables, stripping ⊥ stay-moves (the
+// stripping operation ρ̄s(j) of Section 5). Components whose witnesses
+// the query never outputs skip the walk entirely.
+func (e *componentEngine) reconstruct(state int) map[PathVar]graph.Path {
+	if len(e.keptCoords) == 0 {
+		return nil
+	}
+	chain := e.chainBuf[:0]
+	for cur := int32(state); cur >= 0; cur = e.parentState[cur] {
+		chain = append(chain, cur)
+	}
+	e.chainBuf = chain
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	cnt := e.cnt
+	out := make(map[PathVar]graph.Path, len(e.keptCoords))
+	for k, i := range e.keptCoords {
+		p := graph.Path{Nodes: []graph.Node{e.curs[int(chain[0])*cnt+i]}}
+		for step := 1; step < len(chain); step++ {
+			id := int(chain[step])
+			a := e.runner.SymRunes(int(e.parentSym[id]))[i]
 			if a == regex.Bot {
 				continue
 			}
-			p.Nodes = append(p.Nodes, tuples[step+1][i])
+			p.Nodes = append(p.Nodes, e.curs[id*cnt+i])
 			p.Labels = append(p.Labels, a)
 		}
-		out[v] = p
+		out[e.keptVars[k]] = p
 	}
 	return out
-}
-
-// rowKey encodes a binding of the given variables for deduplication.
-func rowKey(vars []NodeVar, nodes map[NodeVar]graph.Node) string {
-	var b strings.Builder
-	for _, v := range vars {
-		fmt.Fprintf(&b, "%d,", nodes[v])
-	}
-	return b.String()
 }

@@ -2,9 +2,9 @@ package ecrpq
 
 import (
 	"fmt"
-	"strings"
 
 	"repro/internal/graph"
+	"repro/internal/intern"
 )
 
 // joinAll joins the component relations on their shared node variables,
@@ -19,9 +19,12 @@ import (
 // Crucially the projected joins keep intermediate results polynomial;
 // materializing full assignments would be exponential in the query even
 // for chains.
-func joinAll(rels []*varRelation, mode JoinMode, keep []NodeVar, keepPaths []PathVar) ([]row, error) {
+//
+// Rows are columnar ([]graph.Node aligned to the relation's vars); hash
+// indexes are interned node tuples (package intern), never strings.
+func joinAll(rels []*varRelation, mode JoinMode, keep []NodeVar, keepPaths []PathVar) (*varRelation, error) {
 	if len(rels) == 0 {
-		return nil, nil
+		return &varRelation{}, nil
 	}
 	keepSet := map[NodeVar]bool{}
 	for _, v := range keep {
@@ -121,7 +124,7 @@ func gyoOrder(rels []*varRelation) (bool, []elimination) {
 // then bottom-up joins projected onto parent variables plus kept
 // columns. Relations are mutated in place; the roots are cross-joined at
 // the end (they share no variables).
-func yannakakis(rels []*varRelation, elims []elimination, keep map[NodeVar]bool, keepPaths map[PathVar]bool) []row {
+func yannakakis(rels []*varRelation, elims []elimination, keep map[NodeVar]bool, keepPaths map[PathVar]bool) *varRelation {
 	for _, e := range elims {
 		if e.parent >= 0 {
 			semijoin(rels[e.parent], rels[e.child])
@@ -145,29 +148,50 @@ func yannakakis(rels []*varRelation, elims []elimination, keep map[NodeVar]bool,
 	return backtrackJoin(roots, keep, keepPaths)
 }
 
+// positions maps each of vars to its column index in of (-1 if absent).
+func positions(vars, of []NodeVar) []int {
+	out := make([]int, len(vars))
+	for i, v := range vars {
+		out[i] = varPos(of, v)
+	}
+	return out
+}
+
+// gather copies the row's values at the given column positions into buf.
+func gather(nodes []graph.Node, pos []int, buf []int) []int {
+	buf = buf[:0]
+	for _, p := range pos {
+		buf = append(buf, int(nodes[p]))
+	}
+	return buf
+}
+
 // projectRelation projects a relation onto keep ∩ vars plus nothing
 // else, deduplicating rows (shortest witnesses win).
 func projectRelation(r *varRelation, keep map[NodeVar]bool, keepPaths map[PathVar]bool) *varRelation {
 	var cols []NodeVar
-	for _, v := range r.vars {
+	var pos []int
+	for i, v := range r.vars {
 		if keep[v] {
 			cols = append(cols, v)
+			pos = append(pos, i)
 		}
 	}
 	out := &varRelation{vars: cols}
-	seen := map[string]int{}
+	seen := intern.NewTable(len(r.rows))
+	buf := make([]int, 0, len(cols))
 	for _, rr := range r.rows {
-		nodes := map[NodeVar]graph.Node{}
-		for _, v := range cols {
-			nodes[v] = rr.nodes[v]
-		}
+		buf = gather(rr.nodes, pos, buf)
 		paths := filterPaths(rr.paths, keepPaths)
-		k := rowKey(cols, nodes)
-		if idx, ok := seen[k]; ok {
+		idx, added := seen.Intern(buf)
+		if !added {
 			mergeShorterPaths(&out.rows[idx], paths)
 			continue
 		}
-		seen[k] = len(out.rows)
+		nodes := make([]graph.Node, len(cols))
+		for i, p := range pos {
+			nodes[i] = rr.nodes[p]
+		}
 		out.rows = append(out.rows, row{nodes: nodes, paths: paths})
 	}
 	return out
@@ -177,57 +201,79 @@ func projectRelation(r *varRelation, keep map[NodeVar]bool, keepPaths map[PathVa
 // (kept columns present in child), deduplicating.
 func projectJoin(parent, child *varRelation, keep map[NodeVar]bool, keepPaths map[PathVar]bool) *varRelation {
 	shared := sharedVars(child, parent)
-	index := map[string][]int{}
+	childShared := positions(shared, child.vars)
+	parentShared := positions(shared, parent.vars)
+	index := intern.NewTable(len(child.rows))
+	rowsOf := [][]int32{}
+	buf := make([]int, 0, len(shared))
 	for i, rc := range child.rows {
-		index[projKey(shared, rc.nodes)] = append(index[projKey(shared, rc.nodes)], i)
+		buf = gather(rc.nodes, childShared, buf)
+		id, added := index.Intern(buf)
+		if added {
+			rowsOf = append(rowsOf, nil)
+		}
+		rowsOf[id] = append(rowsOf[id], int32(i))
 	}
 	// Output columns: parent's vars plus child's kept vars.
 	cols := append([]NodeVar(nil), parent.vars...)
-	inCols := map[NodeVar]bool{}
-	for _, v := range cols {
-		inCols[v] = true
-	}
-	for _, v := range child.vars {
-		if keep[v] && !inCols[v] {
-			inCols[v] = true
+	var childCols []int // positions in child.vars of appended columns
+	for i, v := range child.vars {
+		if keep[v] && varPos(cols, v) < 0 {
 			cols = append(cols, v)
+			childCols = append(childCols, i)
 		}
 	}
 	out := &varRelation{vars: cols}
-	seen := map[string]int{}
+	seen := intern.NewTable(len(parent.rows))
+	keyBuf := make([]int, len(cols))
 	for _, rp := range parent.rows {
-		for _, ci := range index[projKey(shared, rp.nodes)] {
+		buf = gather(rp.nodes, parentShared, buf)
+		id, ok := index.Lookup(buf)
+		if !ok {
+			continue
+		}
+		for _, ci := range rowsOf[id] {
 			rc := child.rows[ci]
-			nodes := map[NodeVar]graph.Node{}
-			for _, v := range cols {
-				if n, ok := rp.nodes[v]; ok {
-					nodes[v] = n
-				} else {
-					nodes[v] = rc.nodes[v]
-				}
+			for i := range rp.nodes {
+				keyBuf[i] = int(rp.nodes[i])
+			}
+			for i, cp := range childCols {
+				keyBuf[len(rp.nodes)+i] = int(rc.nodes[cp])
 			}
 			paths := filterPaths(rp.paths, keepPaths)
 			for pv, p := range filterPaths(rc.paths, keepPaths) {
 				if old, ok := paths[pv]; !ok || p.Len() < old.Len() {
+					if paths == nil {
+						paths = map[PathVar]graph.Path{}
+					}
 					paths[pv] = p
 				}
 			}
-			k := rowKey(cols, nodes)
-			if idx, ok := seen[k]; ok {
+			idx, added := seen.Intern(keyBuf)
+			if !added {
 				mergeShorterPaths(&out.rows[idx], paths)
 				continue
 			}
-			seen[k] = len(out.rows)
+			nodes := make([]graph.Node, len(cols))
+			for i, x := range keyBuf {
+				nodes[i] = graph.Node(x)
+			}
 			out.rows = append(out.rows, row{nodes: nodes, paths: paths})
 		}
 	}
 	return out
 }
 
+// filterPaths projects a witness map onto the kept path variables,
+// returning nil (not an empty map) when nothing survives; merge sites
+// allocate lazily.
 func filterPaths(paths map[PathVar]graph.Path, keepPaths map[PathVar]bool) map[PathVar]graph.Path {
-	out := map[PathVar]graph.Path{}
+	var out map[PathVar]graph.Path
 	for pv, p := range paths {
 		if keepPaths[pv] {
+			if out == nil {
+				out = make(map[PathVar]graph.Path, len(paths))
+			}
 			out[pv] = p
 		}
 	}
@@ -237,6 +283,9 @@ func filterPaths(paths map[PathVar]graph.Path, keepPaths map[PathVar]bool) map[P
 func mergeShorterPaths(dst *row, paths map[PathVar]graph.Path) {
 	for pv, p := range paths {
 		if old, ok := dst.paths[pv]; !ok || p.Len() < old.Len() {
+			if dst.paths == nil {
+				dst.paths = map[PathVar]graph.Path{}
+			}
 			dst.paths[pv] = p
 		}
 	}
@@ -252,13 +301,18 @@ func semijoin(a, b *varRelation) {
 		}
 		return
 	}
-	index := map[string]bool{}
+	aPos := positions(shared, a.vars)
+	bPos := positions(shared, b.vars)
+	index := intern.NewTable(len(b.rows))
+	buf := make([]int, 0, len(shared))
 	for _, rb := range b.rows {
-		index[projKey(shared, rb.nodes)] = true
+		buf = gather(rb.nodes, bPos, buf)
+		index.Intern(buf)
 	}
 	var kept []row
 	for _, ra := range a.rows {
-		if index[projKey(shared, ra.nodes)] {
+		buf = gather(ra.nodes, aPos, buf)
+		if _, ok := index.Lookup(buf); ok {
 			kept = append(kept, ra)
 		}
 	}
@@ -266,66 +320,75 @@ func semijoin(a, b *varRelation) {
 }
 
 func sharedVars(a, b *varRelation) []NodeVar {
-	inB := map[NodeVar]bool{}
-	for _, v := range b.vars {
-		inB[v] = true
-	}
 	var out []NodeVar
 	for _, v := range a.vars {
-		if inB[v] {
+		if varPos(b.vars, v) >= 0 {
 			out = append(out, v)
 		}
 	}
 	return out
 }
 
-func projKey(vars []NodeVar, nodes map[NodeVar]graph.Node) string {
-	var sb strings.Builder
-	for _, v := range vars {
-		fmt.Fprintf(&sb, "%d,", nodes[v])
-	}
-	return sb.String()
-}
-
 // backtrackJoin enumerates the natural join by backtracking with hash
 // indexes on the variables shared with the already-joined prefix,
 // deduplicating on the kept columns as it goes. For Boolean queries
 // (no kept columns) it stops at the first satisfying assignment.
-func backtrackJoin(rels []*varRelation, keep map[NodeVar]bool, keepPaths map[PathVar]bool) []row {
+func backtrackJoin(rels []*varRelation, keep map[NodeVar]bool, keepPaths map[PathVar]bool) *varRelation {
 	type indexed struct {
 		rel    *varRelation
-		shared []NodeVar
-		index  map[string][]int
+		shared []int // column positions (in rel.vars) shared with the prefix
+		index  *intern.Table
+		rowsOf [][]int32
+		// bindPos[j] is the slot in the global binding for rel.vars[j].
+		bindPos []int
 	}
+	// Global binding slots: one per distinct variable, in first-seen order.
+	var bindVars []NodeVar
+	slotOf := map[NodeVar]int{}
 	plan := make([]indexed, len(rels))
-	seenVar := map[NodeVar]bool{}
 	var keepCols []NodeVar
+	var keepSlots []int
 	for i, r := range rels {
-		var shared []NodeVar
-		for _, v := range r.vars {
-			if seenVar[v] {
-				shared = append(shared, v)
-			}
-		}
-		idx := map[string][]int{}
-		for ri, rr := range r.rows {
-			k := projKey(shared, rr.nodes)
-			idx[k] = append(idx[k], ri)
-		}
-		plan[i] = indexed{rel: r, shared: shared, index: idx}
-		for _, v := range r.vars {
-			if !seenVar[v] {
-				seenVar[v] = true
+		var sharedPos []int
+		bindPos := make([]int, len(r.vars))
+		for j, v := range r.vars {
+			if s, ok := slotOf[v]; ok {
+				sharedPos = append(sharedPos, j)
+				bindPos[j] = s
+			} else {
+				s := len(bindVars)
+				slotOf[v] = s
+				bindVars = append(bindVars, v)
+				bindPos[j] = s
 				if keep[v] {
 					keepCols = append(keepCols, v)
+					keepSlots = append(keepSlots, s)
 				}
 			}
 		}
+		idx := intern.NewTable(len(r.rows))
+		rowsOf := [][]int32{}
+		buf := make([]int, 0, len(sharedPos))
+		for ri, rr := range r.rows {
+			buf = gather(rr.nodes, sharedPos, buf)
+			id, added := idx.Intern(buf)
+			if added {
+				rowsOf = append(rowsOf, nil)
+			}
+			rowsOf[id] = append(rowsOf[id], int32(ri))
+		}
+		plan[i] = indexed{rel: r, shared: sharedPos, index: idx, rowsOf: rowsOf, bindPos: bindPos}
 	}
 	boolean := len(keepCols) == 0
-	var out []row
-	seenOut := map[string]int{}
-	binding := row{nodes: map[NodeVar]graph.Node{}, paths: map[PathVar]graph.Path{}}
+	out := &varRelation{vars: keepCols}
+	seenOut := intern.NewTable(16)
+	binding := make([]graph.Node, len(bindVars))
+	for i := range binding {
+		binding[i] = -1
+	}
+	bindPaths := map[PathVar]graph.Path{}
+	keyBuf := make([]int, len(keepCols))
+	probeBuf := make([]int, 0, 8)
 	done := false
 	var rec func(i int)
 	rec = func(i int) {
@@ -333,58 +396,68 @@ func backtrackJoin(rels []*varRelation, keep map[NodeVar]bool, keepPaths map[Pat
 			return
 		}
 		if i == len(plan) {
-			nodes := make(map[NodeVar]graph.Node, len(keepCols))
-			for _, v := range keepCols {
-				nodes[v] = binding.nodes[v]
+			for k, s := range keepSlots {
+				keyBuf[k] = int(binding[s])
 			}
-			paths := filterPaths(binding.paths, keepPaths)
-			k := rowKey(keepCols, nodes)
-			if idx, ok := seenOut[k]; ok {
-				mergeShorterPaths(&out[idx], paths)
+			paths := filterPaths(bindPaths, keepPaths)
+			idx, added := seenOut.Intern(keyBuf)
+			if !added {
+				mergeShorterPaths(&out.rows[idx], paths)
 				return
 			}
-			seenOut[k] = len(out)
-			out = append(out, row{nodes: nodes, paths: paths})
+			nodes := make([]graph.Node, len(keepCols))
+			for k, s := range keepSlots {
+				nodes[k] = binding[s]
+			}
+			out.rows = append(out.rows, row{nodes: nodes, paths: paths})
 			if boolean {
 				done = true
 			}
 			return
 		}
 		p := plan[i]
-		k := projKey(p.shared, binding.nodes)
-		for _, ri := range p.index[k] {
+		probeBuf = probeBuf[:0]
+		for _, j := range p.shared {
+			probeBuf = append(probeBuf, int(binding[p.bindPos[j]]))
+		}
+		id, ok := p.index.Lookup(probeBuf)
+		if !ok {
+			return
+		}
+		for _, ri := range p.rowsOf[id] {
 			if done {
 				return
 			}
 			rr := p.rel.rows[ri]
-			var added []NodeVar
+			var added []int
 			ok := true
-			for v, n := range rr.nodes {
-				if prev, exists := binding.nodes[v]; exists {
+			for j, n := range rr.nodes {
+				s := p.bindPos[j]
+				if prev := binding[s]; prev >= 0 {
 					if prev != n {
 						ok = false
 						break
 					}
 				} else {
-					binding.nodes[v] = n
-					added = append(added, v)
+					binding[s] = n
+					added = append(added, s)
 				}
 			}
 			if ok {
 				var addedPaths []PathVar
 				for pv, pp := range rr.paths {
-					if _, exists := binding.paths[pv]; !exists {
-						binding.paths[pv] = pp
+					if _, exists := bindPaths[pv]; !exists {
+						bindPaths[pv] = pp
 						addedPaths = append(addedPaths, pv)
 					}
 				}
 				rec(i + 1)
 				for _, pv := range addedPaths {
-					delete(binding.paths, pv)
+					delete(bindPaths, pv)
 				}
 			}
-			for _, v := range added {
-				delete(binding.nodes, v)
+			for _, s := range added {
+				binding[s] = -1
 			}
 		}
 	}

@@ -26,7 +26,7 @@ func NaiveEval(q *Query, g *graph.DB, maxLen int) ([]Answer, error) {
 	m := len(q.PathAtoms)
 	choice := make([]graph.Path, m)
 	var out []Answer
-	seen := map[string]bool{}
+	seen := map[string]int{}
 
 	var rec func(i int)
 	rec = func(i int) {
@@ -66,8 +66,17 @@ func NaiveEval(q *Query, g *graph.DB, maxLen int) ([]Answer, error) {
 			ans.Paths = append(ans.Paths, mu[chi])
 		}
 		k := ans.Key()
-		if !seen[k] {
-			seen[k] = true
+		if idx, ok := seen[k]; ok {
+			// Keep the shortest witness per head path variable, mirroring
+			// the production evaluator's merge, so NaiveEval serves as a
+			// witness-length oracle too.
+			for pi := range q.HeadPaths {
+				if ans.Paths[pi].Len() < out[idx].Paths[pi].Len() {
+					out[idx].Paths[pi] = ans.Paths[pi]
+				}
+			}
+		} else {
+			seen[k] = len(out)
 			out = append(out, ans)
 		}
 	}

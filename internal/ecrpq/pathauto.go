@@ -106,11 +106,12 @@ func BuildPathAutomaton(q *Query, g *graph.DB, headNodes []graph.Node) (*PathAut
 		return out
 	}
 
+	pb := newProductBuilder(g, c)
 	assign := map[NodeVar]graph.Node{}
 	var enumerate func(i int)
 	enumerate = func(i int) {
 		if i == len(xvars) {
-			buildRepBFS(full, globalStart, g, c, assign, bind, headIdx)
+			pb.buildRepBFS(full, globalStart, assign, bind)
 			return
 		}
 		for _, n := range candidates(xvars[i]) {
@@ -130,104 +131,39 @@ func BuildPathAutomaton(q *Query, g *graph.DB, headNodes []graph.Node) (*PathAut
 // run for one start assignment: globalStart --N(v̄₀)--> s(p₀), and
 // s(p) --L(ā)--> mid --N(v̄')--> s(p') for each product transition; s(p)
 // accepting iff the joint state accepts and the Y-consistency conditions
-// hold (the "Q-compatible" filter of Section 5).
-func buildRepBFS(full *automata.NFA[string], globalStart int, g *graph.DB, c *component, assign, bind map[NodeVar]graph.Node, headIdx []int) {
-	cnt := len(c.vars)
-	start := make([]graph.Node, cnt)
-	for i, atoms := range c.atomsOf {
-		s := assign[atoms[0].X]
-		for _, a := range atoms[1:] {
-			if assign[a.X] != s {
-				return
-			}
-		}
-		start[i] = s
+// hold (the "Q-compatible" filter of Section 5). The product states are
+// explored via the same dense interned BFS as the evaluator.
+func (pb *productBuilder) buildRepBFS(full *automata.NFA[string], globalStart int, assign, bind map[NodeVar]graph.Node) {
+	start, ok := pb.startTuple(assign)
+	if !ok {
+		return
 	}
-	ids := map[string]int{}
-	states := map[string]prodState{}
-	var queue []string
-	stateOf := func(ps prodState) int {
-		k := prodKey(ps.cur, ps.joint)
-		if id, ok := ids[k]; ok {
-			return id
-		}
+	pb.resetCopy()
+	addNFA := func(jointID int, cur []graph.Node) int32 {
 		id := full.AddState()
-		ids[k] = id
-		states[k] = ps
-		queue = append(queue, k)
-		full.SetFinal(id, acceptingState(c, ps, assign, bind))
-		return id
+		full.SetFinal(id, acceptingState(pb.c, pb.runner.Accepting(jointID), cur, assign, bind))
+		return int32(id)
 	}
-	js0 := c.joint.Start()
-	s0 := stateOf(prodState{cur: start, joint: js0})
-	full.AddTransition(globalStart, NodeSym(start), s0)
+	s0, _ := pb.stateOf(pb.runner.StartID(), start, addNFA)
+	full.AddTransition(globalStart, NodeSym(start), int(pb.nfaIDs[s0]))
 
-	type move struct {
-		label rune
-		to    graph.Node
-	}
-	for head := 0; head < len(queue); head++ {
-		k := queue[head]
-		s := states[k]
-		from := ids[k]
-		moves := make([][]move, cnt)
-		for i, v := range s.cur {
-			ms := []move{{regex.Bot, v}}
-			g.EdgesFrom(v, func(a rune, to graph.Node) {
-				ms = append(ms, move{a, to})
-			})
-			moves[i] = ms
-		}
-		syms := make([]rune, cnt)
-		next := make([]graph.Node, cnt)
-		var rec func(i int)
-		rec = func(i int) {
-			if i == cnt {
-				js, ok := c.joint.Step(s.joint, string(syms))
-				if !ok {
-					return
-				}
-				to := stateOf(prodState{cur: append([]graph.Node(nil), next...), joint: js})
-				mid := full.AddState()
-				full.AddTransition(from, LetterSym(syms), mid)
-				full.AddTransition(mid, NodeSym(next), to)
+	cnt := pb.cnt
+	for head := 0; head < len(pb.joints); head++ {
+		cur := pb.curs[head*cnt : head*cnt+cnt]
+		from := int(pb.nfaIDs[head])
+		joint := int(pb.joints[head])
+		pb.forEachMove(cur, func() {
+			sid := pb.symID()
+			js, ok := pb.runner.Step(joint, sid)
+			if !ok {
 				return
 			}
-			for _, mv := range moves[i] {
-				syms[i] = mv.label
-				next[i] = mv.to
-				rec(i + 1)
-			}
-		}
-		rec(0)
+			to, _ := pb.stateOf(js, pb.next, addNFA)
+			mid := full.AddState()
+			full.AddTransition(from, "L:"+pb.runner.SymString(sid), mid)
+			full.AddTransition(mid, NodeSym(pb.next), int(pb.nfaIDs[to]))
+		})
 	}
-}
-
-// acceptingState checks joint acceptance plus Y-consistency against the
-// start assignment and external bindings.
-func acceptingState(c *component, s prodState, assign, bind map[NodeVar]graph.Node) bool {
-	if !c.joint.Accepting(s.joint) {
-		return false
-	}
-	nodes := make(map[NodeVar]graph.Node, 4)
-	for v, n := range assign {
-		nodes[v] = n
-	}
-	for i, atoms := range c.atomsOf {
-		for _, a := range atoms {
-			if prev, ok := nodes[a.Y]; ok {
-				if prev != s.cur[i] {
-					return false
-				}
-			} else {
-				if b, ok := bind[a.Y]; ok && b != s.cur[i] {
-					return false
-				}
-				nodes[a.Y] = s.cur[i]
-			}
-		}
-	}
-	return true
 }
 
 // projectRep maps an m-tape representation automaton onto the head

@@ -1,0 +1,75 @@
+package ecrpq
+
+import (
+	"repro/internal/graph"
+	"repro/internal/intern"
+	"repro/internal/relations"
+)
+
+// prodCore is the machinery shared by every dense product-BFS driver
+// (the evaluator's componentEngine and the explicit-automaton
+// productBuilder): the component, the graph adjacency snapshot, the
+// joint runner, and the tuple-symbol interning whose dense ids must
+// stay aligned with the runner's — keeping that invariant in one place.
+type prodCore struct {
+	g   *graph.DB
+	c   *component
+	adj [][]graph.Edge
+	cnt int
+
+	runner *relations.JointRunner
+	symTab *intern.Table // label tuples → dense symbol ids (== runner ids)
+
+	// Scratch: the move enumeration fills symInts/next coordinate by
+	// coordinate.
+	symInts  []int
+	symRunes []rune
+	next     []graph.Node
+}
+
+func newProdCore(g *graph.DB, c *component) prodCore {
+	cnt := len(c.vars)
+	return prodCore{
+		g:        g,
+		c:        c,
+		adj:      g.Adjacency(),
+		cnt:      cnt,
+		runner:   relations.NewJointRunner(c.joint),
+		symTab:   intern.NewTable(0),
+		symInts:  make([]int, cnt),
+		symRunes: make([]rune, cnt),
+		next:     make([]graph.Node, cnt),
+	}
+}
+
+// symID interns the tuple symbol currently in symInts, registering it
+// with the joint runner on first sight. symTab and the runner assign
+// dense ids in the same insertion order, so the returned id is valid
+// for runner.Step/SymRunes/SymString.
+func (pc *prodCore) symID() int {
+	id, fresh := pc.symTab.Intern(pc.symInts)
+	if fresh {
+		for k, x := range pc.symInts {
+			pc.symRunes[k] = rune(x)
+		}
+		pc.runner.AddSym(pc.symRunes)
+	}
+	return id
+}
+
+// startTuple computes the start node tuple for assign into pc.next
+// (valid until the next move enumeration), or ok=false when a repeated
+// path variable's atoms disagree on the start node.
+func (pc *prodCore) startTuple(assign map[NodeVar]graph.Node) ([]graph.Node, bool) {
+	start := pc.next[:pc.cnt]
+	for i, atoms := range pc.c.atomsOf {
+		s := assign[atoms[0].X]
+		for _, a := range atoms[1:] {
+			if assign[a.X] != s {
+				return nil, false
+			}
+		}
+		start[i] = s
+	}
+	return start, true
+}

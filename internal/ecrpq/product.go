@@ -3,6 +3,7 @@ package ecrpq
 import (
 	"repro/internal/automata"
 	"repro/internal/graph"
+	"repro/internal/intern"
 	"repro/internal/regex"
 )
 
@@ -38,11 +39,12 @@ func ProductNFA(q *Query, g *graph.DB, bind map[NodeVar]graph.Node) (*automata.N
 		}
 		return all
 	}
+	pb := newProductBuilder(g, c)
 	assign := map[NodeVar]graph.Node{}
 	var enumerate func(i int)
 	enumerate = func(i int) {
 		if i == len(xvars) {
-			addProductCopy(out, g, c, assign, bind)
+			pb.addProductCopy(out, assign, bind)
 			return
 		}
 		for _, n := range candidates(xvars[i]) {
@@ -55,72 +57,135 @@ func ProductNFA(q *Query, g *graph.DB, bind map[NodeVar]graph.Node) (*automata.N
 	return automata.Trim(out), c.vars, nil
 }
 
-// addProductCopy adds one start-assignment copy of the product to out.
-func addProductCopy(out *automata.NFA[string], g *graph.DB, c *component, assign, bind map[NodeVar]graph.Node) {
-	cnt := len(c.vars)
-	start := make([]graph.Node, cnt)
-	for i, atoms := range c.atomsOf {
-		s := assign[atoms[0].X]
-		for _, a := range atoms[1:] {
-			if assign[a.X] != s {
-				return
-			}
-		}
-		start[i] = s
-	}
-	ids := map[string]int{}
-	states := map[string]prodState{}
-	var queue []string
-	stateOf := func(ps prodState) int {
-		k := prodKey(ps.cur, ps.joint)
-		if id, ok := ids[k]; ok {
-			return id
-		}
-		id := out.AddState()
-		ids[k] = id
-		states[k] = ps
-		queue = append(queue, k)
-		out.SetFinal(id, acceptingState(c, ps, assign, bind))
-		return id
-	}
-	js0 := c.joint.Start()
-	out.SetStart(stateOf(prodState{cur: start, joint: js0}))
+// productBuilder shares the dense joint runner, symbol interning and
+// adjacency snapshot (prodCore) across the per-start-assignment product
+// copies of ProductNFA and BuildPathAutomaton.
+type productBuilder struct {
+	prodCore
 
-	type move struct {
-		label rune
-		to    graph.Node
+	// Per-copy product-state interning: (jointID, nodes...).
+	prodTab *intern.Table
+	nfaIDs  []int32 // product state id → NFA state id
+	curs    []graph.Node
+	joints  []int32
+
+	tupBuf []int
+}
+
+func newProductBuilder(g *graph.DB, c *component) *productBuilder {
+	return &productBuilder{
+		prodCore: newProdCore(g, c),
+		prodTab:  intern.NewTable(0),
+		tupBuf:   make([]int, 0, len(c.vars)+1),
 	}
-	for head := 0; head < len(queue); head++ {
-		k := queue[head]
-		s := states[k]
-		from := ids[k]
-		moves := make([][]move, cnt)
-		for i, v := range s.cur {
-			ms := []move{{regex.Bot, v}}
-			g.EdgesFrom(v, func(a rune, to graph.Node) {
-				ms = append(ms, move{a, to})
-			})
-			moves[i] = ms
+}
+
+// stateOf interns the product state (jointID, nodes) for the current
+// copy, adding an NFA state via addNFA on first sight. It returns the
+// product id and whether it was new.
+func (pb *productBuilder) stateOf(jointID int, nodes []graph.Node, addNFA func(jointID int, cur []graph.Node) int32) (int, bool) {
+	tup := pb.tupBuf[:0]
+	tup = append(tup, jointID)
+	for _, n := range nodes {
+		tup = append(tup, int(n))
+	}
+	pb.tupBuf = tup
+	id, added := pb.prodTab.Intern(tup)
+	if !added {
+		return id, false
+	}
+	pb.curs = append(pb.curs, nodes...)
+	pb.joints = append(pb.joints, int32(jointID))
+	pb.nfaIDs = append(pb.nfaIDs, addNFA(jointID, nodes))
+	return id, true
+}
+
+// resetCopy clears the per-copy product-state tables.
+func (pb *productBuilder) resetCopy() {
+	pb.prodTab.Reset()
+	pb.nfaIDs = pb.nfaIDs[:0]
+	pb.curs = pb.curs[:0]
+	pb.joints = pb.joints[:0]
+}
+
+// forEachMove enumerates the per-coordinate move combinations of the
+// product state with node tuple cur (the ⊥ stay-move plus real edges per
+// coordinate), leaving each combination in pb.symInts/pb.next and
+// invoking f.
+func (pb *productBuilder) forEachMove(cur []graph.Node, f func()) {
+	var rec func(i int)
+	rec = func(i int) {
+		if i == pb.cnt {
+			f()
+			return
 		}
-		syms := make([]rune, cnt)
-		next := make([]graph.Node, cnt)
-		var rec func(i int)
-		rec = func(i int) {
-			if i == cnt {
-				js, ok := c.joint.Step(s.joint, string(syms))
-				if !ok {
-					return
-				}
-				to := stateOf(prodState{cur: append([]graph.Node(nil), next...), joint: js})
-				out.AddTransition(from, string(syms), to)
+		v := cur[i]
+		pb.symInts[i] = int(regex.Bot)
+		pb.next[i] = v
+		rec(i + 1)
+		for _, ed := range pb.adj[v] {
+			pb.symInts[i] = int(ed.Label)
+			pb.next[i] = ed.To
+			rec(i + 1)
+		}
+	}
+	rec(0)
+}
+
+// addProductCopy adds one start-assignment copy of the product to out.
+func (pb *productBuilder) addProductCopy(out *automata.NFA[string], assign, bind map[NodeVar]graph.Node) {
+	start, ok := pb.startTuple(assign)
+	if !ok {
+		return
+	}
+	pb.resetCopy()
+	addNFA := func(jointID int, cur []graph.Node) int32 {
+		id := out.AddState()
+		out.SetFinal(id, acceptingState(pb.c, pb.runner.Accepting(jointID), cur, assign, bind))
+		return int32(id)
+	}
+	s0, _ := pb.stateOf(pb.runner.StartID(), start, addNFA)
+	out.SetStart(int(pb.nfaIDs[s0]))
+	cnt := pb.cnt
+	for head := 0; head < len(pb.joints); head++ {
+		cur := pb.curs[head*cnt : head*cnt+cnt]
+		from := int(pb.nfaIDs[head])
+		joint := int(pb.joints[head])
+		pb.forEachMove(cur, func() {
+			sid := pb.symID()
+			js, ok := pb.runner.Step(joint, sid)
+			if !ok {
 				return
 			}
-			for _, mv := range moves[i] {
-				syms[i] = mv.label
-				next[i] = mv.to
-				rec(i + 1)
+			to, _ := pb.stateOf(js, pb.next, addNFA)
+			out.AddTransition(from, pb.runner.SymString(sid), int(pb.nfaIDs[to]))
+		})
+	}
+}
+
+// acceptingState checks joint acceptance plus Y-consistency against the
+// start assignment and external bindings.
+func acceptingState(c *component, jointAccepting bool, cur []graph.Node, assign, bind map[NodeVar]graph.Node) bool {
+	if !jointAccepting {
+		return false
+	}
+	nodes := make(map[NodeVar]graph.Node, 4)
+	for v, n := range assign {
+		nodes[v] = n
+	}
+	for i, atoms := range c.atomsOf {
+		for _, a := range atoms {
+			if prev, ok := nodes[a.Y]; ok {
+				if prev != cur[i] {
+					return false
+				}
+			} else {
+				if b, ok := bind[a.Y]; ok && b != cur[i] {
+					return false
+				}
+				nodes[a.Y] = cur[i]
 			}
 		}
-		rec(0)
 	}
+	return true
 }

@@ -1,0 +1,103 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+
+	"repro/internal/ecrpq"
+	"repro/internal/graph"
+	"repro/internal/workload"
+)
+
+// BenchResult is one machine-readable benchmark measurement, mirroring
+// `go test -bench -benchmem` output for a sub-benchmark.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// BenchReport is the top-level JSON document emitted by
+// `benchtables -json`; the driver tracks these files (BENCH_<pr>.json)
+// across PRs to follow the performance trajectory.
+type BenchReport struct {
+	Suite      string        `json:"suite"`
+	Benchmarks []BenchResult `json:"benchmarks"`
+}
+
+func runBench(name string, f func(b *testing.B)) BenchResult {
+	r := testing.Benchmark(f)
+	return BenchResult{
+		Name:        name,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+// BenchFig1aECRPQ reruns the ECRPQ evaluation benchmarks of the paper's
+// Figure 1(a) — the same workloads as BenchmarkFig1a_ECRPQ_Data and
+// BenchmarkFig1a_ECRPQ_Combined in bench_test.go (identical seeds and
+// sizes) — and returns machine-readable results.
+func BenchFig1aECRPQ() BenchReport {
+	sigma := []rune{'a', 'b'}
+	env := ecrpq.Env{Sigma: sigma}
+	rep := BenchReport{Suite: "Fig1a_ECRPQ"}
+
+	qd := ecrpq.MustParse("Ans(x,y) <- (x,p1,z), (z,p2,y), a+(p1), b+(p2), el(p1,p2)", env)
+	for _, n := range []int{8, 16, 32} {
+		g := workload.Random(rand.New(rand.NewSource(2)), n, 1.5, sigma)
+		bind := map[ecrpq.NodeVar]graph.Node{"x": 0, "y": graph.Node(n - 1)}
+		rep.Benchmarks = append(rep.Benchmarks, runBench(
+			fmt.Sprintf("Fig1a_ECRPQ_Data/n=%d", n),
+			func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := ecrpq.Eval(qd, g, ecrpq.Options{Bind: bind, MaxProductStates: 50_000_000}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}))
+	}
+
+	g := workload.REIGraph(sigma)
+	exprsAll := []string{"(a|b)*a", "a+|b+", "(ab|ba)*(a|b)?"}
+	for _, m := range []int{1, 2, 3} {
+		q, err := workload.REIQuery(exprsAll[:m], sigma)
+		if err != nil {
+			panic(err)
+		}
+		rep.Benchmarks = append(rep.Benchmarks, runBench(
+			fmt.Sprintf("Fig1a_ECRPQ_Combined/m=%d", m),
+			func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := ecrpq.Eval(q, g, ecrpq.Options{MaxProductStates: 50_000_000}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}))
+	}
+	return rep
+}
+
+// WriteBenchJSON runs BenchFig1aECRPQ and writes the report as indented
+// JSON, plus a short human-readable table to table (if non-nil).
+func WriteBenchJSON(jsonOut io.Writer, table io.Writer) error {
+	rep := BenchFig1aECRPQ()
+	if table != nil {
+		fmt.Fprintf(table, "%-28s %14s %12s %12s\n", "benchmark", "ns/op", "B/op", "allocs/op")
+		for _, r := range rep.Benchmarks {
+			fmt.Fprintf(table, "%-28s %14.0f %12d %12d\n", r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+		}
+	}
+	enc := json.NewEncoder(jsonOut)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

@@ -9,6 +9,7 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"repro/internal/regex"
 )
@@ -24,6 +25,19 @@ type DB struct {
 	byName map[string]Node
 	out    []map[rune][]Node
 	nEdges int
+	// adj caches the adjacency snapshot behind an atomic pointer so
+	// concurrent readers (e.g. parallel Evals sharing one DB) may build
+	// and publish it without a data race; mutations clear it.
+	adj atomic.Pointer[adjCache]
+}
+
+type adjCache struct{ edges [][]Edge }
+
+// Edge is one labeled out-edge of a node, as stored in the adjacency
+// slices returned by Adjacency.
+type Edge struct {
+	Label rune
+	To    Node
 }
 
 // NewDB returns an empty graph database.
@@ -85,6 +99,43 @@ func (g *DB) AddEdge(from Node, label rune, to Node) {
 	}
 	g.out[from][label] = append(g.out[from][label], to)
 	g.nEdges++
+	g.adj.Store(nil)
+}
+
+// Adjacency returns per-node out-edge slices: Adjacency()[v] lists every
+// edge leaving v, sorted by label then target. The snapshot is built
+// once and cached until the next AddEdge; callers must not modify it.
+// This is the hot-path view of the graph — the product-BFS evaluator
+// iterates these slices directly instead of walking the underlying
+// label→targets maps through EdgesFrom closures. Concurrent readers of
+// an otherwise-unmutated DB are safe: racing builders each publish a
+// complete snapshot and the last one wins.
+func (g *DB) Adjacency() [][]Edge {
+	if c := g.adj.Load(); c != nil && len(c.edges) == len(g.names) {
+		return c.edges
+	}
+	adj := make([][]Edge, len(g.names))
+	labels := make([]rune, 0, 8)
+	for v := range g.out {
+		deg := 0
+		labels = labels[:0]
+		for a, tos := range g.out[v] {
+			labels = append(labels, a)
+			deg += len(tos)
+		}
+		sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
+		es := make([]Edge, 0, deg)
+		for _, a := range labels {
+			tos := append([]Node(nil), g.out[v][a]...)
+			sort.Slice(tos, func(i, j int) bool { return tos[i] < tos[j] })
+			for _, to := range tos {
+				es = append(es, Edge{Label: a, To: to})
+			}
+		}
+		adj[v] = es
+	}
+	g.adj.Store(&adjCache{edges: adj})
+	return adj
 }
 
 // HasEdge reports whether (from, label, to) ∈ E.

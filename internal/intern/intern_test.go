@@ -1,0 +1,80 @@
+package intern
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestInternBasics(t *testing.T) {
+	tab := NewTable(0)
+	if tab.Len() != 0 {
+		t.Fatalf("empty table Len = %d", tab.Len())
+	}
+	if _, ok := tab.Lookup([]int{1, 2}); ok {
+		t.Fatal("lookup in empty table succeeded")
+	}
+	id, added := tab.Intern([]int{1, 2})
+	if id != 0 || !added {
+		t.Fatalf("first intern = (%d, %v)", id, added)
+	}
+	id, added = tab.Intern([]int{1, 2})
+	if id != 0 || added {
+		t.Fatalf("repeat intern = (%d, %v)", id, added)
+	}
+	id2, added := tab.Intern([]int{2, 1})
+	if id2 != 1 || !added {
+		t.Fatalf("distinct intern = (%d, %v)", id2, added)
+	}
+	if got := tab.At(1); len(got) != 2 || got[0] != 2 || got[1] != 1 {
+		t.Fatalf("At(1) = %v", got)
+	}
+	if id, ok := tab.Lookup([]int{2, 1}); !ok || id != 1 {
+		t.Fatalf("lookup = (%d, %v)", id, ok)
+	}
+}
+
+func TestInternVariableWidths(t *testing.T) {
+	tab := NewTable(4)
+	a, _ := tab.Intern([]int{5})
+	b, _ := tab.Intern([]int{5, 0})
+	c, _ := tab.Intern(nil)
+	if a == b || b == c || a == c {
+		t.Fatalf("width-distinct tuples collided: %d %d %d", a, b, c)
+	}
+	if id, ok := tab.Lookup([]int{}); !ok || id != c {
+		t.Fatalf("empty tuple lookup = (%d, %v)", id, ok)
+	}
+}
+
+func TestInternManyAndReset(t *testing.T) {
+	tab := NewTable(0)
+	r := rand.New(rand.NewSource(5))
+	ref := map[[3]int]int{}
+	for i := 0; i < 5000; i++ {
+		k := [3]int{r.Intn(20), r.Intn(20), r.Intn(20)}
+		id, added := tab.Intern(k[:])
+		if want, ok := ref[k]; ok {
+			if added || id != want {
+				t.Fatalf("tuple %v: got (%d, %v), want id %d", k, id, added, want)
+			}
+		} else {
+			if !added {
+				t.Fatalf("tuple %v: expected insertion", k)
+			}
+			ref[k] = id
+		}
+	}
+	if tab.Len() != len(ref) {
+		t.Fatalf("Len = %d, want %d", tab.Len(), len(ref))
+	}
+	tab.Reset()
+	if tab.Len() != 0 {
+		t.Fatalf("Len after Reset = %d", tab.Len())
+	}
+	if _, ok := tab.Lookup([]int{0, 0, 0}); ok {
+		t.Fatal("lookup after Reset succeeded")
+	}
+	if id, added := tab.Intern([]int{7, 7, 7}); id != 0 || !added {
+		t.Fatalf("intern after Reset = (%d, %v)", id, added)
+	}
+}

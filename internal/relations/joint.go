@@ -31,7 +31,13 @@ type Joint struct {
 }
 
 // NewJoint validates atom arities/positions and returns the joint stepper.
+// m is capped at 64 tapes: the padding state is a 64-bit mask, and a
+// silent wrap of `1 << i` past bit 63 would corrupt the padding
+// discipline, so larger joins are rejected up front.
 func NewJoint(m int, atoms []Atom) (*Joint, error) {
+	if m > 64 {
+		return nil, fmt.Errorf("relations: joint over %d tapes exceeds the 64-tape limit (the ⊥-padding mask is 64-bit)", m)
+	}
 	for _, at := range atoms {
 		if len(at.Pos) != at.Rel.Arity {
 			return nil, fmt.Errorf("relations: atom %s has %d positions, arity %d",
@@ -166,28 +172,25 @@ func (j *Joint) AcceptsTuple(ss [][]rune) bool {
 // Used by the answer-automaton construction of Proposition 5.2 and by
 // tests; evaluation itself uses Step directly.
 func (j *Joint) Materialize(symbols []TupleSym) *automata.NFA[TupleSym] {
-	n := automata.NewNFA[TupleSym]()
-	ids := map[string]int{}
-	var states []JointState
-	stateOf := func(s JointState) int {
-		k := s.Key()
-		if id, ok := ids[k]; ok {
-			return id
-		}
-		id := n.AddState()
-		ids[k] = id
-		n.SetFinal(id, j.Accepting(s))
-		states = append(states, s)
-		return id
+	r := NewJointRunner(j)
+	symIDs := make([]int, len(symbols))
+	for i, sym := range symbols {
+		symIDs[i] = r.AddSym([]rune(sym))
 	}
-	startID := stateOf(j.Start())
-	n.SetStart(startID)
-	for i := 0; i < len(states); i++ {
-		s := states[i]
-		from := ids[s.Key()]
-		for _, sym := range symbols {
-			if t, ok := j.Step(s, sym); ok {
-				n.AddTransition(from, sym, stateOf(t))
+	n := automata.NewNFA[TupleSym]()
+	// Dense joint-state ids double as NFA state ids: the runner interns
+	// states in first-reached order, matching the BFS below.
+	n.AddState()
+	n.SetFinal(0, r.Accepting(r.StartID()))
+	n.SetStart(0)
+	for from := 0; from < r.NumStates(); from++ {
+		for i, sid := range symIDs {
+			if to, ok := r.Step(from, sid); ok {
+				for to >= n.NumStates() {
+					q := n.AddState()
+					n.SetFinal(q, r.Accepting(q))
+				}
+				n.AddTransition(from, symbols[i], to)
 			}
 		}
 	}

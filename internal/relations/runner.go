@@ -1,0 +1,235 @@
+package relations
+
+import (
+	"repro/internal/automata"
+	"repro/internal/intern"
+)
+
+// JointRunner is the dense-integer execution engine for a Joint. The
+// plain Joint.Step API re-serializes subset-states into string keys and
+// re-runs NFA subset stepping on every call; on the product-BFS hot path
+// the same (state, symbol) pairs recur constantly — once per product
+// node that shares the joint coordinate. The runner interns:
+//
+//   - joint states to dense ids (per-atom subset sets interned first, so
+//     a state is a tiny int tuple: done-mask plus one set id per atom),
+//   - m-tuple symbols to dense ids, with the per-atom projections and
+//     padding masks precomputed at registration time,
+//   - (stateID, symID) → stateID transitions in a memo table, so
+//     repeated symbols never re-run subset stepping at all.
+//
+// A JointRunner is not safe for concurrent use.
+type JointRunner struct {
+	J *Joint
+
+	steppers []*automata.Stepper[TupleSym]
+	subsets  []*intern.Table // per atom: interned sorted NFA subset sets
+	states   *intern.Table   // joint states: (done, setID per atom)
+	accept   []int8          // memoized acceptance: 0 unknown, 1 yes, 2 no
+	trans    [][]int32       // trans[state][sym]: 0 unknown, -1 dead, else next+1
+
+	symRunes [][]rune
+	symStrs  []string
+	symInfo  []symInfo
+
+	startID int
+	tupBuf  []int
+}
+
+type symInfo struct {
+	botMask uint64     // bit i set: component i is ⊥
+	projs   []atomProj // per atom: projection onto its tapes
+}
+
+type atomProj struct {
+	sym    TupleSym
+	allBot bool
+}
+
+// NewJointRunner returns a runner for j with the start state interned as
+// id 0.
+func NewJointRunner(j *Joint) *JointRunner {
+	r := &JointRunner{
+		J:        j,
+		steppers: make([]*automata.Stepper[TupleSym], len(j.Atoms)),
+		subsets:  make([]*intern.Table, len(j.Atoms)),
+		states:   intern.NewTable(0),
+	}
+	tup := make([]int, 0, 1+len(j.Atoms))
+	tup = append(tup, 0) // done mask
+	for i, at := range j.Atoms {
+		r.steppers[i] = automata.NewStepper(at.Rel.A)
+		r.subsets[i] = intern.NewTable(0)
+		id, _ := r.subsets[i].Intern(at.Rel.A.EpsClosure(at.Rel.A.Start()))
+		tup = append(tup, id)
+	}
+	r.startID, _ = r.states.Intern(tup)
+	r.trans = append(r.trans, nil)
+	r.accept = append(r.accept, 0)
+	r.tupBuf = make([]int, 0, 1+len(j.Atoms))
+	return r
+}
+
+// StartID returns the dense id of the initial joint state.
+func (r *JointRunner) StartID() int { return r.startID }
+
+// NumStates returns the number of interned joint states.
+func (r *JointRunner) NumStates() int { return r.states.Len() }
+
+// NumSyms returns the number of registered symbols.
+func (r *JointRunner) NumSyms() int { return len(r.symRunes) }
+
+// AddSym registers the m-tuple symbol given by its component runes and
+// returns its dense id. The caller is responsible for registering each
+// distinct symbol once (typically behind its own interning table); the
+// runes are copied. Per-atom projections and the padding mask are
+// precomputed here so Step never touches runes again.
+func (r *JointRunner) AddSym(labels []rune) int {
+	if len(labels) != r.J.M {
+		panic("relations: AddSym arity mismatch")
+	}
+	id := len(r.symRunes)
+	cp := append([]rune(nil), labels...)
+	r.symRunes = append(r.symRunes, cp)
+	r.symStrs = append(r.symStrs, "")
+	info := symInfo{projs: make([]atomProj, len(r.J.Atoms))}
+	for i, c := range cp {
+		if c == Bot {
+			info.botMask |= 1 << i
+		}
+	}
+	proj := make([]rune, 0, 8)
+	for ai, at := range r.J.Atoms {
+		proj = proj[:0]
+		allBot := true
+		for _, p := range at.Pos {
+			proj = append(proj, cp[p])
+			if cp[p] != Bot {
+				allBot = false
+			}
+		}
+		info.projs[ai] = atomProj{sym: string(proj), allBot: allBot}
+	}
+	r.symInfo = append(r.symInfo, info)
+	return id
+}
+
+// SymRunes returns the component runes of symbol id (shared; do not
+// modify).
+func (r *JointRunner) SymRunes(id int) []rune { return r.symRunes[id] }
+
+// SymString returns the symbol as a TupleSym string, built on first use
+// and cached (the evaluator never needs it; the explicit automaton
+// constructions do).
+func (r *JointRunner) SymString(id int) TupleSym {
+	if r.symStrs[id] == "" {
+		r.symStrs[id] = string(r.symRunes[id])
+	}
+	return r.symStrs[id]
+}
+
+// Step advances joint state by symbol, both as dense ids. ok = false
+// means the symbol leads to a dead state. Results are memoized: the
+// subset stepping behind a (state, sym) pair runs at most once for the
+// lifetime of the runner.
+func (r *JointRunner) Step(state, sym int) (int, bool) {
+	row := r.trans[state]
+	if sym < len(row) {
+		if v := row[sym]; v != 0 {
+			if v < 0 {
+				return 0, false
+			}
+			return int(v - 1), true
+		}
+	} else {
+		grown := make([]int32, len(r.symRunes))
+		copy(grown, row)
+		r.trans[state] = grown
+		row = grown
+	}
+	next, ok := r.step(state, sym)
+	if !ok {
+		row[sym] = -1
+		return 0, false
+	}
+	row[sym] = int32(next + 1)
+	return next, true
+}
+
+func (r *JointRunner) step(state, sym int) (int, bool) {
+	// r.states.At aliases table storage, but nothing is appended to the
+	// state table until the final Intern below, so reading tup throughout
+	// the loop is safe.
+	tup := r.states.At(state)
+	done := uint64(tup[0])
+	info := &r.symInfo[sym]
+	nonBot := ^info.botMask
+	if r.J.M < 64 {
+		nonBot &= (1 << r.J.M) - 1
+	}
+	if nonBot == 0 {
+		return 0, false // all-⊥ symbol
+	}
+	if done&nonBot != 0 {
+		return 0, false // non-⊥ after padding started
+	}
+	newTup := r.tupBuf[:0]
+	newTup = append(newTup, int(done|info.botMask))
+	for ai := range r.J.Atoms {
+		setID := tup[1+ai]
+		ap := &info.projs[ai]
+		if ap.allBot {
+			// The atom's tapes have all finished; its automaton does not
+			// consume the all-⊥ projection (its convolution has ended).
+			newTup = append(newTup, setID)
+			continue
+		}
+		stepped := r.steppers[ai].Step(r.subsets[ai].At(setID), ap.sym)
+		if len(stepped) == 0 {
+			return 0, false
+		}
+		nid, _ := r.subsets[ai].Intern(stepped)
+		newTup = append(newTup, nid)
+	}
+	r.tupBuf = newTup
+	next, added := r.states.Intern(newTup)
+	if added {
+		r.trans = append(r.trans, nil)
+		r.accept = append(r.accept, 0)
+	}
+	return next, true
+}
+
+// Accepting reports whether joint state id is accepting, memoized.
+func (r *JointRunner) Accepting(state int) bool {
+	if v := r.accept[state]; v != 0 {
+		return v == 1
+	}
+	tup := r.states.At(state)
+	for ai, at := range r.J.Atoms {
+		ok := false
+		for _, q := range r.subsets[ai].At(tup[1+ai]) {
+			if at.Rel.A.IsFinal(q) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			r.accept[state] = 2
+			return false
+		}
+	}
+	r.accept[state] = 1
+	return true
+}
+
+// State reconstructs the explicit JointState for id, for interop with
+// the string-keyed Joint API (tests, Materialize); not a hot path.
+func (r *JointRunner) State(id int) JointState {
+	tup := r.states.At(id)
+	s := JointState{done: uint64(tup[0]), sets: make([][]int, len(r.J.Atoms))}
+	for ai := range r.J.Atoms {
+		s.sets[ai] = append([]int(nil), r.subsets[ai].At(tup[1+ai])...)
+	}
+	return s
+}
