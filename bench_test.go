@@ -5,6 +5,7 @@
 package pathquery
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/lenabs"
 	"repro/internal/linconstr"
 	"repro/internal/neg"
+	"repro/internal/plan"
 	"repro/internal/relations"
 	"repro/internal/workload"
 )
@@ -306,7 +308,7 @@ func BenchmarkProp52_AnswerAutomaton(b *testing.B) {
 		g, from, to := workload.StringGraph(s)
 		b.Run(fmt.Sprintf("E=%d", g.NumEdges()), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := ecrpq.BuildPathAutomaton(q, g, []graph.Node{from, to}); err != nil {
+				if _, err := ecrpq.BuildPathAutomaton(q, g, []graph.Node{from, to}, ecrpq.Options{}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -329,6 +331,62 @@ func BenchmarkAblation_Decomposition(b *testing.B) {
 	b.Run("monolithic", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := ecrpq.Eval(q, g, ecrpq.Options{Bind: bind, NoDecompose: true, MaxProductStates: 50_000_000}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// E17 — time-to-first-answer: the E2 graphs with unbound endpoints,
+// prepared once; Stream/Limit=1 vs the fully materializing Eval on the
+// same plan. The streaming executor stops the product BFS at the first
+// answer, so the gap widens with graph size.
+func BenchmarkFig1a_ECRPQ_TTFA(b *testing.B) {
+	q := ecrpq.MustParse("Ans(x,y) <- (x,p1,z), (z,p2,y), a+(p1), b+(p2), el(p1,p2)", benchEnv())
+	for _, n := range []int{8, 16, 32} {
+		g := workload.Random(rand.New(rand.NewSource(2)), n, 1.5, benchSigma)
+		p, err := plan.Compile(q, benchEnv())
+		if err != nil {
+			b.Fatal(err)
+		}
+		opts := ecrpq.Options{MaxProductStates: 50_000_000}
+		b.Run(fmt.Sprintf("stream_limit1/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				got := false
+				for _, err := range p.Stream(context.Background(), g, ecrpq.StreamOptions{Options: opts, Limit: 1}) {
+					if err != nil {
+						b.Fatal(err)
+					}
+					got = true
+				}
+				if !got {
+					b.Fatal("no answer streamed")
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("eval_full/n=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := p.Eval(context.Background(), g, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// E18 — prepared reuse: one shared Plan evaluated concurrently from
+// GOMAXPROCS goroutines (the production serving shape) vs sequential.
+func BenchmarkPreparedConcurrent(b *testing.B) {
+	q := ecrpq.MustParse("Ans(x,y) <- (x,p1,z), (z,p2,y), a+(p1), b+(p2), el(p1,p2)", benchEnv())
+	g := workload.Random(rand.New(rand.NewSource(2)), 16, 1.5, benchSigma)
+	p, err := plan.Compile(q, benchEnv())
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := ecrpq.Options{MaxProductStates: 50_000_000}
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := p.Eval(context.Background(), g, opts); err != nil {
 				b.Fatal(err)
 			}
 		}

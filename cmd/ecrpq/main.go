@@ -14,25 +14,39 @@
 //	              the answer automaton (Proposition 5.2)
 //	-maxlen L     path length cap for -paths enumeration (default 12)
 //	-budget N     product-state budget (default 4,000,000)
+//	-limit N      stream at most N answers and stop the evaluation early
+//	              (answers arrive in discovery order, unsorted)
+//	-timeout D    abort evaluation after duration D (e.g. 500ms, 2s)
+//	-explain      print the compiled plan before evaluating
+//
+// The query is compiled once into a plan (pathquery.Prepare) and then
+// executed; -limit switches from materialized evaluation to the
+// streaming executor.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"repro/internal/ecrpq"
 	"repro/internal/graph"
+	"repro/internal/plan"
 )
 
 // config carries the parsed flags; run executes the tool over the given
 // streams so tests can drive it without a process boundary.
 type config struct {
-	query  string
-	nPaths int
-	maxLen int
-	budget int
+	query   string
+	nPaths  int
+	maxLen  int
+	budget  int
+	limit   int
+	timeout time.Duration
+	explain bool
 }
 
 func main() {
@@ -41,6 +55,9 @@ func main() {
 	nPaths := flag.Int("paths", 0, "enumerate up to N path tuples per answer")
 	maxLen := flag.Int("maxlen", 12, "path length cap for -paths")
 	budget := flag.Int("budget", 0, "product-state budget (0 = default)")
+	limit := flag.Int("limit", 0, "stream at most N answers (0 = evaluate fully)")
+	timeout := flag.Duration("timeout", 0, "evaluation deadline (0 = none)")
+	explain := flag.Bool("explain", false, "print the compiled plan")
 	flag.Parse()
 
 	if *querySrc == "" {
@@ -57,7 +74,10 @@ func main() {
 		defer f.Close()
 		in = f
 	}
-	cfg := config{query: *querySrc, nPaths: *nPaths, maxLen: *maxLen, budget: *budget}
+	cfg := config{
+		query: *querySrc, nPaths: *nPaths, maxLen: *maxLen, budget: *budget,
+		limit: *limit, timeout: *timeout, explain: *explain,
+	}
 	if err := run(cfg, in, os.Stdout, os.Stderr); err != nil {
 		fatal(err)
 	}
@@ -73,7 +93,24 @@ func run(cfg config, in io.Reader, out, errw io.Writer) error {
 	if err != nil {
 		return err
 	}
-	res, err := ecrpq.Eval(q, g, ecrpq.Options{MaxProductStates: cfg.budget})
+	p, err := plan.Compile(q, env)
+	if err != nil {
+		return err
+	}
+	if cfg.explain {
+		fmt.Fprint(errw, p.Explain())
+	}
+	ctx := context.Background()
+	if cfg.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.timeout)
+		defer cancel()
+	}
+	opts := ecrpq.Options{MaxProductStates: cfg.budget}
+	if cfg.limit > 0 {
+		return runStream(ctx, cfg, p, q, g, opts, out, errw)
+	}
+	res, err := p.Eval(ctx, g, opts)
 	if err != nil {
 		return err
 	}
@@ -82,31 +119,62 @@ func run(cfg config, in io.Reader, out, errw io.Writer) error {
 		return nil
 	}
 	for _, a := range res.Answers {
-		for i, v := range a.Nodes {
-			if i > 0 {
-				fmt.Fprint(out, ", ")
-			}
-			fmt.Fprint(out, g.Name(v))
-		}
-		for _, p := range a.Paths {
-			fmt.Fprintf(out, " | %s", p.Format(g))
-		}
-		fmt.Fprintln(out)
-		if cfg.nPaths > 0 && len(q.HeadPaths) > 0 {
-			pa, err := ecrpq.BuildPathAutomaton(q, g, a.Nodes)
-			if err != nil {
-				return err
-			}
-			for _, tuple := range pa.Enumerate(cfg.nPaths, cfg.maxLen) {
-				fmt.Fprint(out, "    paths:")
-				for _, p := range tuple {
-					fmt.Fprintf(out, " %q", p.LabelString())
-				}
-				fmt.Fprintln(out)
-			}
+		if err := printAnswer(cfg, q, g, a, out); err != nil {
+			return err
 		}
 	}
 	fmt.Fprintf(errw, "%d answers\n", len(res.Answers))
+	return nil
+}
+
+// runStream prints answers as the streaming executor discovers them,
+// stopping the evaluation after cfg.limit answers.
+func runStream(ctx context.Context, cfg config, p *plan.Plan, q *ecrpq.Query, g *graph.DB, opts ecrpq.Options, out, errw io.Writer) error {
+	count := 0
+	for a, err := range p.Stream(ctx, g, ecrpq.StreamOptions{Options: opts, Limit: cfg.limit}) {
+		if err != nil {
+			return err
+		}
+		count++
+		if q.IsBoolean() {
+			fmt.Fprintln(out, true)
+			continue
+		}
+		if err := printAnswer(cfg, q, g, a, out); err != nil {
+			return err
+		}
+	}
+	if q.IsBoolean() && count == 0 {
+		fmt.Fprintln(out, false)
+	}
+	fmt.Fprintf(errw, "%d answers (limit %d)\n", count, cfg.limit)
+	return nil
+}
+
+func printAnswer(cfg config, q *ecrpq.Query, g *graph.DB, a ecrpq.Answer, out io.Writer) error {
+	for i, v := range a.Nodes {
+		if i > 0 {
+			fmt.Fprint(out, ", ")
+		}
+		fmt.Fprint(out, g.Name(v))
+	}
+	for _, p := range a.Paths {
+		fmt.Fprintf(out, " | %s", p.Format(g))
+	}
+	fmt.Fprintln(out)
+	if cfg.nPaths > 0 && len(q.HeadPaths) > 0 {
+		pa, err := ecrpq.BuildPathAutomaton(q, g, a.Nodes, ecrpq.Options{MaxProductStates: cfg.budget})
+		if err != nil {
+			return err
+		}
+		for _, tuple := range pa.Enumerate(cfg.nPaths, cfg.maxLen) {
+			fmt.Fprint(out, "    paths:")
+			for _, p := range tuple {
+				fmt.Fprintf(out, " %q", p.LabelString())
+			}
+			fmt.Fprintln(out)
+		}
+	}
 	return nil
 }
 

@@ -1,8 +1,11 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
+	"time"
 )
 
 const sampleGraph = `
@@ -47,6 +50,59 @@ func TestRunPathEnumeration(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), `paths: "kk"`) {
 		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestRunLimit(t *testing.T) {
+	// Streaming with -limit 1 prints exactly one (unsorted) answer and
+	// reports the limit on stderr.
+	var out, errw strings.Builder
+	err := run(config{query: "Ans(x,y) <- (x,p,y), k(p)", limit: 1},
+		strings.NewReader(sampleGraph), &out, &errw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 1 {
+		t.Errorf("limit 1 printed %d answers: %q", len(lines), out.String())
+	}
+	if !strings.Contains(errw.String(), "1 answers (limit 1)") {
+		t.Errorf("stderr = %q", errw.String())
+	}
+}
+
+func TestRunLimitBoolean(t *testing.T) {
+	var out, errw strings.Builder
+	err := run(config{query: "Ans() <- (x,p,y), f(p)", limit: 1},
+		strings.NewReader(sampleGraph), &out, &errw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out.String()) != "true" {
+		t.Errorf("output = %q", out.String())
+	}
+}
+
+func TestRunTimeout(t *testing.T) {
+	// A one-nanosecond deadline must abort with a context error rather
+	// than evaluating.
+	var out, errw strings.Builder
+	err := run(config{query: "Ans(x,y) <- (x,p,y), k+(p)", timeout: time.Nanosecond},
+		strings.NewReader(sampleGraph), &out, &errw)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestRunExplain(t *testing.T) {
+	var out, errw strings.Builder
+	err := run(config{query: "Ans(x,y) <- (x,p,y), k+(p)", explain: true},
+		strings.NewReader(sampleGraph), &out, &errw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errw.String(), "1 component(s)") {
+		t.Errorf("stderr = %q", errw.String())
 	}
 }
 

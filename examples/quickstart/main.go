@@ -1,10 +1,12 @@
-// Quickstart: build a small graph database, run CRPQs and ECRPQs, and
-// inspect node answers, witness paths, and the answer automaton.
+// Quickstart: build a small graph database, prepare CRPQs and ECRPQs
+// once, evaluate and stream them, and inspect node answers, witness
+// paths, and the answer automaton.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -28,11 +30,17 @@ func main() {
 	env := pathquery.Env{Sigma: []rune{'a', 'b'}}
 
 	// A plain CRPQ: which pairs are connected by a path in a+b+?
+	// Prepare compiles the query once; the prepared form is reusable
+	// across graphs and safe for concurrent use.
 	crpq, err := pathquery.ParseQuery("Ans(x, y) <- (x,p,y), a+b+(p)", env)
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err := pathquery.Eval(crpq, g, pathquery.Options{})
+	prep, err := pathquery.Prepare(crpq, env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := prep.Eval(g, pathquery.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -48,7 +56,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	res, err = pathquery.Eval(ecrpq, g, pathquery.Options{})
+	prepE, err := pathquery.Prepare(ecrpq, env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err = prepE.Eval(g, pathquery.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -59,9 +71,22 @@ func main() {
 			a.Paths[0].Format(g), a.Paths[1].Format(g))
 	}
 
+	// Streaming: answers arrive in discovery order; Limit stops the
+	// evaluation itself (not just the loop) after the first answer —
+	// the fast path for "does anything match, and show me one".
+	fmt.Println("\nFirst streamed answer:")
+	for a, err := range prepE.Stream(context.Background(), g,
+		pathquery.StreamOptions{Limit: 1}) {
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  (%s, %s)\n", g.Name(a.Nodes[0]), g.Name(a.Nodes[1]))
+	}
+
 	// The full (possibly infinite) set of path answers for one node pair,
 	// per Proposition 5.2.
-	pa, err := pathquery.BuildPathAutomaton(ecrpq, g, []pathquery.Node{nodes[0], nodes[4]})
+	pa, err := pathquery.BuildPathAutomaton(ecrpq, g,
+		[]pathquery.Node{nodes[0], nodes[4]}, pathquery.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

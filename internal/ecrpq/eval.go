@@ -1,8 +1,9 @@
 package ecrpq
 
 import (
+	"context"
+	"errors"
 	"fmt"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -40,12 +41,38 @@ type Options struct {
 	Join JoinMode
 	// NoDecompose disables the component decomposition and evaluates the
 	// full m-tape product, as in the paper's monolithic construction; used
-	// by the decomposition ablation benchmark.
+	// by the decomposition ablation benchmark. For a compiled Program the
+	// decomposition is fixed at compile time and this field is ignored;
+	// the Eval shim selects the matching program.
 	NoDecompose bool
 }
 
 // ErrBudget is returned when evaluation exceeds MaxProductStates.
 var ErrBudget = fmt.Errorf("ecrpq: product state budget exceeded")
+
+// errStopStream is the internal sentinel used by the streaming executor
+// to unwind the product BFS and join enumeration when the consumer stops
+// early (limit reached or range loop broken). It never escapes to users.
+var errStopStream = errors.New("ecrpq: stream stopped")
+
+// stateBudget is the shared product-state budget of one execution,
+// decremented atomically so concurrently evaluated components draw from
+// the same pool, exactly like the sequential accounting did.
+type stateBudget struct{ left atomic.Int64 }
+
+func newStateBudget(max int) *stateBudget {
+	if max == 0 {
+		max = defaultMaxProductStates
+	}
+	b := &stateBudget{}
+	b.left.Store(int64(max))
+	return b
+}
+
+// spend consumes one product state; false means the budget is exhausted.
+func (b *stateBudget) spend() bool { return b.left.Add(-1) >= 0 }
+
+const defaultMaxProductStates = 4_000_000
 
 // Answer is one tuple in the query output: values for the head node
 // variables (in HeadNodes order) and witness paths for the head path
@@ -78,83 +105,61 @@ func (r *Result) Bool() bool { return len(r.Answers) > 0 }
 
 // Eval evaluates the query over g per the semantics of Definition 3.1.
 //
-// The algorithm follows Section 5: each connected component of the
-// relation hypergraph is evaluated as an on-the-fly product of the
-// component's convolution power G^c with the joined relation automaton
-// (never materialized; see relations.Joint), and component results are
-// joined relationally on shared node variables. For every answer a
-// shortest witness path per head path variable is produced.
-//
-// The product BFS runs entirely on interned dense integers: product
-// states, joint-automaton states and tuple symbols are mapped to small
-// ints once (see relations.JointRunner and package intern), so the hot
-// loop performs no string building and no per-state map allocation.
+// Eval is a convenience shim over the plan/execute split: it compiles
+// the query into a Program (see CompileProgram) — or reuses one from a
+// bounded package-level cache keyed by the query object — and runs it
+// to completion with a background context. Prepared execution
+// (internal/plan, pathquery.Prepare) compiles once explicitly and adds
+// context cancellation, streaming, and concurrent reuse.
 func Eval(q *Query, g *graph.DB, opts Options) (*Result, error) {
-	if err := q.Validate(); err != nil {
-		return nil, err
-	}
-	if opts.MaxProductStates == 0 {
-		opts.MaxProductStates = 4_000_000
-	}
-	comps, err := takeEngineCache(q, g, opts.NoDecompose)
+	prog, err := sharedProgram(q, opts.NoDecompose)
 	if err != nil {
 		return nil, err
 	}
-	budget := opts.MaxProductStates
-	rels := make([]*varRelation, len(comps.comps))
-	for i, e := range comps.engines {
-		e.reset(g, opts.Bind)
-		vr, used, err := evalComponent(e, opts.Bind, budget)
-		if err != nil {
-			// The engines stay structurally valid after a budget abort
-			// (reset clears all per-call state), so pool them: a query
-			// that keeps hitting ErrBudget shouldn't also keep rebuilding
-			// its joint runner from scratch.
-			putEngineCache(q, comps)
-			return nil, err
+	return prog.Eval(context.Background(), g, opts)
+}
+
+// sharedProgram returns a cached compiled Program for q (compiling and
+// caching on miss). The cache is bounded; beyond the cap queries are
+// compiled per call. A Program is safe for concurrent use, so unlike
+// the old engine cache no handoff is needed: concurrent Evals of the
+// same query share one Program and borrow engines from its pools.
+const maxCachedPrograms = 64
+
+var (
+	progCache      sync.Map // *Query → *Program
+	progCacheCount atomic.Int32
+)
+
+// SharedProgram is the exported face of the cache for the extension
+// packages (via plan.Cached): repeated per-call evaluation of the same
+// query object reuses one compiled program, as ecrpq.Eval does.
+func SharedProgram(q *Query) (*Program, error) { return sharedProgram(q, false) }
+
+func sharedProgram(q *Query, monolithic bool) (*Program, error) {
+	if v, ok := progCache.Load(q); ok {
+		p := v.(*Program)
+		if p.valid(q, monolithic) {
+			return p, nil
 		}
-		budget -= used
-		rels[i] = vr
+		// The caller mutated the query in place (or flipped NoDecompose):
+		// drop the stale entry — but only that exact entry, so a fresh
+		// program stored by a concurrent caller is neither deleted nor
+		// double-counted.
+		if progCache.CompareAndDelete(q, v) {
+			progCacheCount.Add(-1)
+		}
 	}
-	putEngineCache(q, comps)
-	joined, err := joinAll(rels, opts.Join, q.HeadNodes, q.HeadPaths)
+	p, err := CompileProgram(q, monolithic)
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Query: q, Graph: g}
-	headPos := make([]int, len(q.HeadNodes))
-	for i, z := range q.HeadNodes {
-		headPos[i] = varPos(joined.vars, z)
+	if progCacheCount.Load() < maxCachedPrograms {
+		if _, loaded := progCache.LoadOrStore(q, p); !loaded {
+			progCacheCount.Add(1)
+		}
 	}
-	seen := intern.NewTable(len(joined.rows))
-	keyBuf := make([]int, len(q.HeadNodes))
-	for _, row := range joined.rows {
-		ans := Answer{}
-		for i, pos := range headPos {
-			n := row.nodes[pos]
-			ans.Nodes = append(ans.Nodes, n)
-			keyBuf[i] = int(n)
-		}
-		idx, added := seen.Intern(keyBuf)
-		if !added {
-			// Keep the shortest witnesses among duplicates.
-			old := &res.Answers[idx]
-			for pi, chi := range q.HeadPaths {
-				if p, ok := row.paths[chi]; ok && p.Len() < old.Paths[pi].Len() {
-					old.Paths[pi] = p
-				}
-			}
-			continue
-		}
-		for _, chi := range q.HeadPaths {
-			ans.Paths = append(ans.Paths, row.paths[chi])
-		}
-		res.Answers = append(res.Answers, ans)
-	}
-	sort.Slice(res.Answers, func(i, j int) bool {
-		return lessNodes(res.Answers[i].Nodes, res.Answers[j].Nodes)
-	})
-	return res, nil
+	return p, nil
 }
 
 // lessNodes orders node tuples lexicographically.
@@ -178,134 +183,6 @@ func varPos(vars []NodeVar, v NodeVar) int {
 		}
 	}
 	return -1
-}
-
-// engineCache carries a query's decomposition and component engines
-// across Eval calls. Building an engine is not free — the joint runner,
-// its subset steppers and the interning tables all have setup cost, and
-// the runner's transition memo is only valuable if it survives — so Eval
-// keeps one engine set per query in a bounded package-level pool.
-// Engines are handed off atomically (taken out of the pool for the
-// duration of a call), so concurrent Evals of the same query are safe:
-// a second caller simply builds a fresh set, and the last one back wins
-// the slot. The interned joint transitions and tuple symbols are
-// label-based and therefore valid across graphs; everything
-// graph- or bind-dependent is refreshed by componentEngine.reset.
-type engineCache struct {
-	monolithic bool
-	// Structural fingerprint of the query at build time: if the caller
-	// mutated the query in place since, the cache is discarded.
-	pathAtoms []PathAtom
-	relAtoms  []RelAtom
-	headPaths []PathVar
-	comps     []*component
-	engines   []*componentEngine
-}
-
-const maxEngineCaches = 64
-
-var (
-	engineCaches     sync.Map // *Query → *engineCache
-	engineCacheCount atomic.Int32
-)
-
-func (ec *engineCache) valid(q *Query, monolithic bool) bool {
-	if ec.monolithic != monolithic ||
-		len(ec.pathAtoms) != len(q.PathAtoms) ||
-		len(ec.relAtoms) != len(q.RelAtoms) ||
-		len(ec.headPaths) != len(q.HeadPaths) {
-		return false
-	}
-	for i, a := range q.PathAtoms {
-		if ec.pathAtoms[i] != a {
-			return false
-		}
-	}
-	for i, ra := range q.RelAtoms {
-		if ec.relAtoms[i].Rel != ra.Rel || len(ec.relAtoms[i].Args) != len(ra.Args) {
-			return false
-		}
-		for j, v := range ra.Args {
-			if ec.relAtoms[i].Args[j] != v {
-				return false
-			}
-		}
-	}
-	for i, chi := range q.HeadPaths {
-		if ec.headPaths[i] != chi {
-			return false
-		}
-	}
-	return true
-}
-
-// takeEngineCache returns the query's cached engines (removing them from
-// the pool for exclusive use) or builds a fresh set.
-func takeEngineCache(q *Query, g *graph.DB, monolithic bool) (*engineCache, error) {
-	if v, ok := engineCaches.LoadAndDelete(q); ok {
-		engineCacheCount.Add(-1)
-		if ec := v.(*engineCache); ec.valid(q, monolithic) {
-			return ec, nil
-		}
-	}
-	comps, err := decompose(q, monolithic)
-	if err != nil {
-		return nil, err
-	}
-	keepPaths := map[PathVar]bool{}
-	for _, chi := range q.HeadPaths {
-		keepPaths[chi] = true
-	}
-	ec := &engineCache{
-		monolithic: monolithic,
-		pathAtoms:  append([]PathAtom(nil), q.PathAtoms...),
-		headPaths:  append([]PathVar(nil), q.HeadPaths...),
-		comps:      comps,
-		engines:    make([]*componentEngine, len(comps)),
-	}
-	ec.relAtoms = make([]RelAtom, len(q.RelAtoms))
-	for i, ra := range q.RelAtoms {
-		ec.relAtoms[i] = RelAtom{Rel: ra.Rel, Args: append([]PathVar(nil), ra.Args...)}
-	}
-	for i, c := range comps {
-		ec.engines[i] = newComponentEngine(g, c, keepPaths)
-	}
-	return ec, nil
-}
-
-// putEngineCache returns an engine set to the pool after a successful
-// evaluation. The pool is capped; beyond that new queries simply skip
-// caching.
-// maxPooledScratch bounds the per-state scratch (in elements) a pooled
-// engine may retain; a BFS that ran to millions of product states must
-// not pin its peak buffers for the process lifetime.
-const maxPooledScratch = 1 << 16
-
-func putEngineCache(q *Query, ec *engineCache) {
-	// Drop everything sized by the last evaluation before pooling: reset
-	// re-establishes the graph references, and a pooled engine must not
-	// pin a possibly huge graph, its adjacency snapshot, the last result
-	// relation, or peak-sized BFS scratch for an arbitrarily long time.
-	for _, e := range ec.engines {
-		e.g = nil
-		e.adj = nil
-		e.vr = nil
-		if cap(e.parentState) > maxPooledScratch {
-			e.curs, e.joints, e.parentState, e.parentSym = nil, nil, nil, nil
-		}
-		if e.prodTab.Cap() > maxPooledScratch {
-			e.prodTab = intern.NewTable(0)
-		}
-		if e.rowTab.Cap() > maxPooledScratch {
-			e.rowTab = intern.NewTable(0)
-		}
-	}
-	if engineCacheCount.Load() >= maxEngineCaches {
-		return
-	}
-	if _, loaded := engineCaches.LoadOrStore(q, ec); !loaded {
-		engineCacheCount.Add(1)
-	}
 }
 
 // component groups the path variables connected by relation atoms of
@@ -453,6 +330,13 @@ type componentEngine struct {
 	rowTab *intern.Table // row dedup on the allVars node tuple
 	vr     *varRelation
 
+	// sink, when set, receives each fresh deduplicated row instead of
+	// accumulating it in vr — the hook the streaming executor uses for
+	// single-component queries. The nodes slice and paths map are only
+	// valid for the duration of the call; sinks must copy. Returning
+	// errStopStream aborts the BFS cleanly.
+	sink func(nodes []graph.Node, paths map[PathVar]graph.Path) error
+
 	// Accept plan, fixed per component.
 	allVars []NodeVar
 	xvars   []NodeVar
@@ -481,11 +365,14 @@ type componentEngine struct {
 	tmpl     []graph.Node // accept template for the current start assignment
 }
 
-func newComponentEngine(g *graph.DB, c *component, keepPaths map[PathVar]bool) *componentEngine {
+// newComponentEngine builds an engine for c. The graph is not needed at
+// construction time — reset supplies it before each execution — so
+// engines can be compiled into a Program ahead of any graph.
+func newComponentEngine(c *component, keepPaths map[PathVar]bool) *componentEngine {
 	allVars, xvars := c.nodeVars()
 	cnt := len(c.vars)
 	e := &componentEngine{
-		prodCore: newProdCore(g, c),
+		prodCore: newProdCore(nil, c),
 		rowTab:   intern.NewTable(0),
 		vr:       &varRelation{vars: allVars},
 		allVars:  allVars,
@@ -516,7 +403,7 @@ func newComponentEngine(g *graph.DB, c *component, keepPaths map[PathVar]bool) *
 	return e
 }
 
-// reset prepares a (possibly cached) engine for one Eval call: the
+// reset prepares a (possibly pooled) engine for one execution: the
 // graph snapshot, external bindings and result accumulators are
 // per-call; the joint runner and symbol table persist.
 func (e *componentEngine) reset(g *graph.DB, bind map[NodeVar]graph.Node) {
@@ -534,9 +421,10 @@ func (e *componentEngine) reset(g *graph.DB, bind map[NodeVar]graph.Node) {
 }
 
 // evalComponent runs the product BFS for one component, for every start
-// assignment consistent with bind. It returns the component's relation
-// and the number of product states explored.
-func evalComponent(e *componentEngine, bind map[NodeVar]graph.Node, budget int) (*varRelation, int, error) {
+// assignment consistent with bind, drawing on the shared state budget.
+// It returns the component's relation (empty when the engine's sink
+// consumed the rows instead).
+func evalComponent(ctx context.Context, e *componentEngine, bind map[NodeVar]graph.Node, bud *stateBudget) (*varRelation, error) {
 	xvars := e.xvars
 	candidates := func(v NodeVar) []graph.Node {
 		if n, ok := bind[v]; ok {
@@ -548,15 +436,12 @@ func evalComponent(e *componentEngine, bind map[NodeVar]graph.Node, budget int) 
 		}
 		return out
 	}
-	used := 0
 
 	assign := make(map[NodeVar]graph.Node, len(xvars))
 	var enumerate func(i int) error
 	enumerate = func(i int) error {
 		if i == len(xvars) {
-			u, err := e.bfs(assign, budget-used)
-			used += u
-			return err
+			return e.bfs(ctx, assign, bud)
 		}
 		for _, n := range candidates(xvars[i]) {
 			assign[xvars[i]] = n
@@ -568,19 +453,21 @@ func evalComponent(e *componentEngine, bind map[NodeVar]graph.Node, budget int) 
 		return nil
 	}
 	if err := enumerate(0); err != nil {
-		return nil, used, err
+		return nil, err
 	}
-	return e.vr, used, nil
+	return e.vr, nil
 }
 
 // bfs explores the product of G⊥^c with the component's joint relation
 // automaton from the start tuple given by assign, collecting accepting
-// bindings into e.vr. It returns the number of product states explored.
-func (e *componentEngine) bfs(assign map[NodeVar]graph.Node, budget int) (int, error) {
+// bindings into e.vr (or handing them to e.sink). Cancellation of ctx
+// is checked periodically inside the state loop so a deadline aborts a
+// long-running product promptly.
+func (e *componentEngine) bfs(ctx context.Context, assign map[NodeVar]graph.Node, bud *stateBudget) error {
 	cnt := e.cnt
 	start, ok := e.startTuple(assign)
 	if !ok {
-		return 0, nil // inconsistent start for repeated path var
+		return nil // inconsistent start for repeated path var
 	}
 	// Accept template: X variables fixed by assign, the rest open (-1).
 	for i := range e.tmpl {
@@ -614,7 +501,6 @@ func (e *componentEngine) bfs(assign map[NodeVar]graph.Node, budget int) (int, e
 		return id, true
 	}
 	addState(e.runner.StartID(), start, -1, -1)
-	used := 0
 
 	var head int
 	var cur []graph.Node
@@ -629,8 +515,7 @@ func (e *componentEngine) bfs(assign map[NodeVar]graph.Node, budget int) (int, e
 			if _, added := addState(js, e.next, int32(head), int32(symID)); !added {
 				return nil
 			}
-			used++
-			if used > budget {
+			if !bud.spend() {
 				return ErrBudget
 			}
 			return nil
@@ -653,33 +538,41 @@ func (e *componentEngine) bfs(assign map[NodeVar]graph.Node, budget int) (int, e
 		return nil
 	}
 	for head = 0; head < len(e.joints); head++ {
+		if head&255 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		cur = e.curs[head*cnt : head*cnt+cnt]
 		if e.runner.Accepting(int(e.joints[head])) {
-			e.accept(head, cur)
+			if err := e.accept(head, cur); err != nil {
+				return err
+			}
 		}
 		if err := rec(0); err != nil {
-			return used, err
+			return err
 		}
 	}
-	return used, nil
+	return nil
 }
 
 // accept checks Y-consistency of an accepting product state against the
 // template and external bindings, then records the row (deduplicated on
-// the node tuple, keeping shortest witnesses).
-func (e *componentEngine) accept(state int, cur []graph.Node) {
+// the node tuple, keeping shortest witnesses) — or streams it to the
+// engine's sink when one is installed.
+func (e *componentEngine) accept(state int, cur []graph.Node) error {
 	nodes := e.nodesBuf
 	copy(nodes, e.tmpl)
 	for _, ck := range e.plan {
 		val := cur[ck.coord]
 		if got := nodes[ck.yi]; got >= 0 {
 			if got != val {
-				return
+				return nil
 			}
 			continue
 		}
 		if b := e.bindVal[ck.yi]; b >= 0 && b != val {
-			return
+			return nil
 		}
 		nodes[ck.yi] = val
 	}
@@ -688,6 +581,14 @@ func (e *componentEngine) accept(state int, cur []graph.Node) {
 	}
 	paths := e.reconstruct(state)
 	idx, added := e.rowTab.Intern(e.keyBuf)
+	if e.sink != nil {
+		if !added {
+			// Streaming keeps the first witness per row; duplicates carry
+			// no new node tuple and are dropped.
+			return nil
+		}
+		return e.sink(nodes, paths)
+	}
 	if !added {
 		// Keep shortest witnesses.
 		for pv, p := range paths {
@@ -695,9 +596,10 @@ func (e *componentEngine) accept(state int, cur []graph.Node) {
 				e.vr.rows[idx].paths[pv] = p
 			}
 		}
-		return
+		return nil
 	}
 	e.vr.rows = append(e.vr.rows, row{nodes: append([]graph.Node(nil), nodes...), paths: paths})
+	return nil
 }
 
 // reconstruct walks the BFS tree back to the start and extracts the

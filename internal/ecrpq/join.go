@@ -1,11 +1,27 @@
 package ecrpq
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/graph"
 	"repro/internal/intern"
 )
+
+// joinPlan is the compile-time half of the join layer: the GYO
+// reduction of the hypergraph whose hyperedges are the components'
+// variable sets. It depends only on the query structure, so Programs
+// compute it once and reuse it for every execution.
+type joinPlan struct {
+	acyclic bool
+	elims   []elimination
+}
+
+// planJoin runs the GYO reduction over the component variable sets.
+func planJoin(varSets [][]NodeVar) joinPlan {
+	acyclic, elims := gyoOrder(varSets)
+	return joinPlan{acyclic: acyclic, elims: elims}
+}
 
 // joinAll joins the component relations on their shared node variables,
 // keeping only the columns in keep (the query's output variables) plus
@@ -22,7 +38,8 @@ import (
 //
 // Rows are columnar ([]graph.Node aligned to the relation's vars); hash
 // indexes are interned node tuples (package intern), never strings.
-func joinAll(rels []*varRelation, mode JoinMode, keep []NodeVar, keepPaths []PathVar) (*varRelation, error) {
+// Cancellation of ctx is honored inside the enumeration loops.
+func joinAll(ctx context.Context, rels []*varRelation, jp joinPlan, mode JoinMode, keep []NodeVar, keepPaths []PathVar) (*varRelation, error) {
 	if len(rels) == 0 {
 		return &varRelation{}, nil
 	}
@@ -34,20 +51,32 @@ func joinAll(rels []*varRelation, mode JoinMode, keep []NodeVar, keepPaths []Pat
 	for _, v := range keepPaths {
 		pathSet[v] = true
 	}
-	acyclic, order := gyoOrder(rels)
+	final, err := reduceJoin(ctx, rels, jp, mode, keepSet, pathSet)
+	if err != nil {
+		return nil, err
+	}
+	return backtrackJoin(ctx, final, keepSet, pathSet)
+}
+
+// reduceJoin runs everything up to the final enumeration: for the
+// Yannakakis strategy the semijoin phases and the projected bottom-up
+// joins, leaving only the per-tree roots (which share no variables); for
+// the backtracking strategy the relations pass through unchanged. The
+// returned relations feed backtrackJoin or the streaming joinEnum.
+func reduceJoin(ctx context.Context, rels []*varRelation, jp joinPlan, mode JoinMode, keep map[NodeVar]bool, keepPaths map[PathVar]bool) ([]*varRelation, error) {
 	switch mode {
 	case JoinYannakakis:
-		if !acyclic {
+		if !jp.acyclic {
 			return nil, fmt.Errorf("ecrpq: JoinYannakakis requested but the join hypergraph is cyclic")
 		}
-		return yannakakis(rels, order, keepSet, pathSet), nil
+		return yannakakisReduce(ctx, rels, jp.elims, keep, keepPaths)
 	case JoinAuto:
-		if acyclic {
-			return yannakakis(rels, order, keepSet, pathSet), nil
+		if jp.acyclic {
+			return yannakakisReduce(ctx, rels, jp.elims, keep, keepPaths)
 		}
-		return backtrackJoin(rels, keepSet, pathSet), nil
+		return rels, nil
 	default: // JoinBacktrack
-		return backtrackJoin(rels, keepSet, pathSet), nil
+		return rels, nil
 	}
 }
 
@@ -55,16 +84,16 @@ func joinAll(rels []*varRelation, mode JoinMode, keep []NodeVar, keepPaths []Pat
 // parent == -1 marks a root left at the end.
 type elimination struct{ child, parent int }
 
-// gyoOrder runs the GYO reduction on the hypergraph whose hyperedges are
-// the variable sets of the relations. It reports α-acyclicity and the
+// gyoOrder runs the GYO reduction on the hypergraph whose hyperedges
+// are the given variable sets. It reports α-acyclicity and the
 // elimination order.
-func gyoOrder(rels []*varRelation) (bool, []elimination) {
-	n := len(rels)
+func gyoOrder(varSets [][]NodeVar) (bool, []elimination) {
+	n := len(varSets)
 	varsOf := make([]map[NodeVar]bool, n)
 	alive := make([]bool, n)
-	for i, r := range rels {
+	for i, vs := range varSets {
 		varsOf[i] = map[NodeVar]bool{}
-		for _, v := range r.vars {
+		for _, v := range vs {
 			varsOf[i][v] = true
 		}
 		alive[i] = true
@@ -120,11 +149,12 @@ func gyoOrder(rels []*varRelation) (bool, []elimination) {
 	return true, elims
 }
 
-// yannakakis runs the three phases: bottom-up and top-down semijoins,
-// then bottom-up joins projected onto parent variables plus kept
-// columns. Relations are mutated in place; the roots are cross-joined at
-// the end (they share no variables).
-func yannakakis(rels []*varRelation, elims []elimination, keep map[NodeVar]bool, keepPaths map[PathVar]bool) *varRelation {
+// yannakakisReduce runs the first phases of the Yannakakis algorithm:
+// bottom-up and top-down semijoins, then bottom-up joins projected onto
+// parent variables plus kept columns. Relations are mutated in place;
+// the surviving per-tree roots are returned (they share no variables,
+// so the caller cross-joins them).
+func yannakakisReduce(ctx context.Context, rels []*varRelation, elims []elimination, keep map[NodeVar]bool, keepPaths map[PathVar]bool) ([]*varRelation, error) {
 	for _, e := range elims {
 		if e.parent >= 0 {
 			semijoin(rels[e.parent], rels[e.child])
@@ -138,14 +168,20 @@ func yannakakis(rels []*varRelation, elims []elimination, keep map[NodeVar]bool,
 	// Phase 3: projected joins child→parent in elimination order.
 	var roots []*varRelation
 	for _, e := range elims {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if e.parent < 0 {
 			roots = append(roots, projectRelation(rels[e.child], keep, keepPaths))
 			continue
 		}
-		rels[e.parent] = projectJoin(rels[e.parent], rels[e.child], keep, keepPaths)
+		pj, err := projectJoin(ctx, rels[e.parent], rels[e.child], keep, keepPaths)
+		if err != nil {
+			return nil, err
+		}
+		rels[e.parent] = pj
 	}
-	// Cross-join the per-component roots.
-	return backtrackJoin(roots, keep, keepPaths)
+	return roots, nil
 }
 
 // positions maps each of vars to its column index in of (-1 if absent).
@@ -199,7 +235,7 @@ func projectRelation(r *varRelation, keep map[NodeVar]bool, keepPaths map[PathVa
 
 // projectJoin joins parent ⋈ child and projects onto vars(parent) ∪
 // (kept columns present in child), deduplicating.
-func projectJoin(parent, child *varRelation, keep map[NodeVar]bool, keepPaths map[PathVar]bool) *varRelation {
+func projectJoin(ctx context.Context, parent, child *varRelation, keep map[NodeVar]bool, keepPaths map[PathVar]bool) (*varRelation, error) {
 	shared := sharedVars(child, parent)
 	childShared := positions(shared, child.vars)
 	parentShared := positions(shared, parent.vars)
@@ -226,7 +262,12 @@ func projectJoin(parent, child *varRelation, keep map[NodeVar]bool, keepPaths ma
 	out := &varRelation{vars: cols}
 	seen := intern.NewTable(len(parent.rows))
 	keyBuf := make([]int, len(cols))
-	for _, rp := range parent.rows {
+	for ri, rp := range parent.rows {
+		if ri&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		buf = gather(rp.nodes, parentShared, buf)
 		id, ok := index.Lookup(buf)
 		if !ok {
@@ -261,7 +302,7 @@ func projectJoin(parent, child *varRelation, keep map[NodeVar]bool, keepPaths ma
 			out.rows = append(out.rows, row{nodes: nodes, paths: paths})
 		}
 	}
-	return out
+	return out, nil
 }
 
 // filterPaths projects a witness map onto the kept path variables,
@@ -329,25 +370,37 @@ func sharedVars(a, b *varRelation) []NodeVar {
 	return out
 }
 
-// backtrackJoin enumerates the natural join by backtracking with hash
-// indexes on the variables shared with the already-joined prefix,
-// deduplicating on the kept columns as it goes. For Boolean queries
-// (no kept columns) it stops at the first satisfying assignment.
-func backtrackJoin(rels []*varRelation, keep map[NodeVar]bool, keepPaths map[PathVar]bool) *varRelation {
-	type indexed struct {
-		rel    *varRelation
-		shared []int // column positions (in rel.vars) shared with the prefix
-		index  *intern.Table
-		rowsOf [][]int32
-		// bindPos[j] is the slot in the global binding for rel.vars[j].
-		bindPos []int
-	}
-	// Global binding slots: one per distinct variable, in first-seen order.
-	var bindVars []NodeVar
+// joinEnum enumerates the natural join of a set of relations by
+// backtracking with hash indexes on the variables shared with the
+// already-joined prefix. It is the execution half shared by the
+// materializing backtrackJoin and the streaming executor: run invokes
+// the callback once per satisfying assignment (projected onto the kept
+// columns, duplicates included — callers deduplicate), stopping early
+// when the callback returns false.
+type joinEnum struct {
+	plan      []indexedRel
+	keepCols  []NodeVar
+	keepSlots []int
+	bindVars  []NodeVar
+	keepPaths map[PathVar]bool
+}
+
+type indexedRel struct {
+	rel    *varRelation
+	shared []int // column positions (in rel.vars) shared with the prefix
+	index  *intern.Table
+	rowsOf [][]int32
+	// bindPos[j] is the slot in the global binding for rel.vars[j].
+	bindPos []int
+}
+
+// newJoinEnum indexes the relations for enumeration. Global binding
+// slots are assigned per distinct variable in first-seen order; the
+// kept columns are keep ∩ (all variables), in that same order.
+func newJoinEnum(rels []*varRelation, keep map[NodeVar]bool, keepPaths map[PathVar]bool) *joinEnum {
+	je := &joinEnum{keepPaths: keepPaths}
 	slotOf := map[NodeVar]int{}
-	plan := make([]indexed, len(rels))
-	var keepCols []NodeVar
-	var keepSlots []int
+	je.plan = make([]indexedRel, len(rels))
 	for i, r := range rels {
 		var sharedPos []int
 		bindPos := make([]int, len(r.vars))
@@ -356,13 +409,13 @@ func backtrackJoin(rels []*varRelation, keep map[NodeVar]bool, keepPaths map[Pat
 				sharedPos = append(sharedPos, j)
 				bindPos[j] = s
 			} else {
-				s := len(bindVars)
+				s := len(je.bindVars)
 				slotOf[v] = s
-				bindVars = append(bindVars, v)
+				je.bindVars = append(je.bindVars, v)
 				bindPos[j] = s
 				if keep[v] {
-					keepCols = append(keepCols, v)
-					keepSlots = append(keepSlots, s)
+					je.keepCols = append(je.keepCols, v)
+					je.keepSlots = append(je.keepSlots, s)
 				}
 			}
 		}
@@ -377,45 +430,49 @@ func backtrackJoin(rels []*varRelation, keep map[NodeVar]bool, keepPaths map[Pat
 			}
 			rowsOf[id] = append(rowsOf[id], int32(ri))
 		}
-		plan[i] = indexed{rel: r, shared: sharedPos, index: idx, rowsOf: rowsOf, bindPos: bindPos}
+		je.plan[i] = indexedRel{rel: r, shared: sharedPos, index: idx, rowsOf: rowsOf, bindPos: bindPos}
 	}
-	boolean := len(keepCols) == 0
-	out := &varRelation{vars: keepCols}
-	seenOut := intern.NewTable(16)
-	binding := make([]graph.Node, len(bindVars))
+	return je
+}
+
+// run enumerates the join. each receives a transient node slice (in
+// keepCols order; callees must copy) and the filtered witness map, and
+// returns false to stop the enumeration. Cancellation of ctx is checked
+// periodically; run returns ctx.Err() when it fired.
+func (je *joinEnum) run(ctx context.Context, each func(nodes []graph.Node, paths map[PathVar]graph.Path) bool) error {
+	binding := make([]graph.Node, len(je.bindVars))
 	for i := range binding {
 		binding[i] = -1
 	}
 	bindPaths := map[PathVar]graph.Path{}
-	keyBuf := make([]int, len(keepCols))
+	rowBuf := make([]graph.Node, len(je.keepCols))
 	probeBuf := make([]int, 0, 8)
 	done := false
+	steps := 0
+	var ctxErr error
 	var rec func(i int)
 	rec = func(i int) {
 		if done {
 			return
 		}
-		if i == len(plan) {
-			for k, s := range keepSlots {
-				keyBuf[k] = int(binding[s])
-			}
-			paths := filterPaths(bindPaths, keepPaths)
-			idx, added := seenOut.Intern(keyBuf)
-			if !added {
-				mergeShorterPaths(&out.rows[idx], paths)
+		if steps++; steps&4095 == 0 {
+			if err := ctx.Err(); err != nil {
+				ctxErr = err
+				done = true
 				return
 			}
-			nodes := make([]graph.Node, len(keepCols))
-			for k, s := range keepSlots {
-				nodes[k] = binding[s]
+		}
+		if i == len(je.plan) {
+			for k, s := range je.keepSlots {
+				rowBuf[k] = binding[s]
 			}
-			out.rows = append(out.rows, row{nodes: nodes, paths: paths})
-			if boolean {
+			paths := filterPaths(bindPaths, je.keepPaths)
+			if !each(rowBuf, paths) {
 				done = true
 			}
 			return
 		}
-		p := plan[i]
+		p := je.plan[i]
 		probeBuf = probeBuf[:0]
 		for _, j := range p.shared {
 			probeBuf = append(probeBuf, int(binding[p.bindPos[j]]))
@@ -462,5 +519,32 @@ func backtrackJoin(rels []*varRelation, keep map[NodeVar]bool, keepPaths map[Pat
 		}
 	}
 	rec(0)
-	return out
+	return ctxErr
+}
+
+// backtrackJoin materializes the natural join, deduplicating on the
+// kept columns (shortest witnesses win). For Boolean queries (no kept
+// columns) it stops at the first satisfying assignment.
+func backtrackJoin(ctx context.Context, rels []*varRelation, keep map[NodeVar]bool, keepPaths map[PathVar]bool) (*varRelation, error) {
+	je := newJoinEnum(rels, keep, keepPaths)
+	out := &varRelation{vars: je.keepCols}
+	boolean := len(je.keepCols) == 0
+	seen := intern.NewTable(16)
+	keyBuf := make([]int, len(je.keepCols))
+	err := je.run(ctx, func(nodes []graph.Node, paths map[PathVar]graph.Path) bool {
+		for i, n := range nodes {
+			keyBuf[i] = int(n)
+		}
+		idx, added := seen.Intern(keyBuf)
+		if !added {
+			mergeShorterPaths(&out.rows[idx], paths)
+			return true
+		}
+		out.rows = append(out.rows, row{nodes: append([]graph.Node(nil), nodes...), paths: paths})
+		return !boolean
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }

@@ -57,11 +57,15 @@ func decodeNodeSym(s string) []graph.Node {
 // The automaton is polynomial in |E| for a fixed query, as the
 // proposition states; the constant is exponential in the query.
 func (r *Result) PathAutomaton(headNodes []graph.Node) (*PathAutomaton, error) {
-	return BuildPathAutomaton(r.Query, r.Graph, headNodes)
+	return BuildPathAutomaton(r.Query, r.Graph, headNodes, Options{})
 }
 
 // BuildPathAutomaton is the standalone form of Result.PathAutomaton.
-func BuildPathAutomaton(q *Query, g *graph.DB, headNodes []graph.Node) (*PathAutomaton, error) {
+// The construction explores the same kind of product as the evaluator
+// and honors opts.MaxProductStates (default 4,000,000) across all start
+// assignments, failing with ErrBudget beyond it; opts.Bind is ignored
+// (the head nodes are the binding).
+func BuildPathAutomaton(q *Query, g *graph.DB, headNodes []graph.Node, opts Options) (*PathAutomaton, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -106,21 +110,25 @@ func BuildPathAutomaton(q *Query, g *graph.DB, headNodes []graph.Node) (*PathAut
 		return out
 	}
 
-	pb := newProductBuilder(g, c)
+	pb := newProductBuilder(g, c, newStateBudget(opts.MaxProductStates))
 	assign := map[NodeVar]graph.Node{}
-	var enumerate func(i int)
-	enumerate = func(i int) {
+	var enumerate func(i int) error
+	enumerate = func(i int) error {
 		if i == len(xvars) {
-			pb.buildRepBFS(full, globalStart, assign, bind)
-			return
+			return pb.buildRepBFS(full, globalStart, assign, bind)
 		}
 		for _, n := range candidates(xvars[i]) {
 			assign[xvars[i]] = n
-			enumerate(i + 1)
+			if err := enumerate(i + 1); err != nil {
+				return err
+			}
 		}
 		delete(assign, xvars[i])
+		return nil
 	}
-	enumerate(0)
+	if err := enumerate(0); err != nil {
+		return nil, err
+	}
 
 	// Project the m-tape representation onto the head coordinates.
 	proj := projectRep(full, m, headIdx)
@@ -133,10 +141,10 @@ func BuildPathAutomaton(q *Query, g *graph.DB, headNodes []graph.Node) (*PathAut
 // accepting iff the joint state accepts and the Y-consistency conditions
 // hold (the "Q-compatible" filter of Section 5). The product states are
 // explored via the same dense interned BFS as the evaluator.
-func (pb *productBuilder) buildRepBFS(full *automata.NFA[string], globalStart int, assign, bind map[NodeVar]graph.Node) {
+func (pb *productBuilder) buildRepBFS(full *automata.NFA[string], globalStart int, assign, bind map[NodeVar]graph.Node) error {
 	start, ok := pb.startTuple(assign)
 	if !ok {
-		return
+		return nil
 	}
 	pb.resetCopy()
 	addNFA := func(jointID int, cur []graph.Node) int32 {
@@ -144,7 +152,10 @@ func (pb *productBuilder) buildRepBFS(full *automata.NFA[string], globalStart in
 		full.SetFinal(id, acceptingState(pb.c, pb.runner.Accepting(jointID), cur, assign, bind))
 		return int32(id)
 	}
-	s0, _ := pb.stateOf(pb.runner.StartID(), start, addNFA)
+	s0, _, err := pb.stateOf(pb.runner.StartID(), start, addNFA)
+	if err != nil {
+		return err
+	}
 	full.AddTransition(globalStart, NodeSym(start), int(pb.nfaIDs[s0]))
 
 	cnt := pb.cnt
@@ -152,18 +163,26 @@ func (pb *productBuilder) buildRepBFS(full *automata.NFA[string], globalStart in
 		cur := pb.curs[head*cnt : head*cnt+cnt]
 		from := int(pb.nfaIDs[head])
 		joint := int(pb.joints[head])
-		pb.forEachMove(cur, func() {
+		err := pb.forEachMove(cur, func() error {
 			sid := pb.symID()
 			js, ok := pb.runner.Step(joint, sid)
 			if !ok {
-				return
+				return nil
 			}
-			to, _ := pb.stateOf(js, pb.next, addNFA)
+			to, _, err := pb.stateOf(js, pb.next, addNFA)
+			if err != nil {
+				return err
+			}
 			mid := full.AddState()
 			full.AddTransition(from, "L:"+pb.runner.SymString(sid), mid)
 			full.AddTransition(mid, NodeSym(pb.next), int(pb.nfaIDs[to]))
+			return nil
 		})
+		if err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // projectRep maps an m-tape representation automaton onto the head
@@ -342,7 +361,7 @@ func Member(q *Query, g *graph.DB, nodes []graph.Node, paths []graph.Path, opts 
 		}
 		return res.Bool(), nil
 	}
-	pa, err := BuildPathAutomaton(q, g, nodes)
+	pa, err := BuildPathAutomaton(q, g, nodes, opts)
 	if err != nil {
 		return false, err
 	}

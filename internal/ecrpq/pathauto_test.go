@@ -16,7 +16,7 @@ func TestPathAutomatonSimple(t *testing.T) {
 	g.AddEdge(u, 'a', v)
 	g.AddEdge(v, 'a', u)
 	q := MustParse("Ans(x, y, p) <- (x,p,y), a+(p)", env())
-	pa, err := BuildPathAutomaton(q, g, []graph.Node{u, u})
+	pa, err := BuildPathAutomaton(q, g, []graph.Node{u, u}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,7 +50,7 @@ func TestPathAutomatonPairedOutput(t *testing.T) {
 	g := stringGraph("aabb")
 	v0, _ := g.NodeByName("v0")
 	v4, _ := g.NodeByName("v4")
-	pa, err := BuildPathAutomaton(q, g, []graph.Node{v0, v4})
+	pa, err := BuildPathAutomaton(q, g, []graph.Node{v0, v4}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +95,7 @@ func TestPathAutomatonAgainstNaive(t *testing.T) {
 		// instead verify every enumerated tuple validates and is accepted,
 		// and that counts match for pairs present.
 		for k, want := range byPair {
-			pa, err := BuildPathAutomaton(q, g, []graph.Node{k.x, k.y})
+			pa, err := BuildPathAutomaton(q, g, []graph.Node{k.x, k.y}, Options{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -124,7 +124,7 @@ func TestPathAutomatonEmptyForNonAnswer(t *testing.T) {
 	g := stringGraph("aa")
 	v0, _ := g.NodeByName("v0")
 	v1, _ := g.NodeByName("v1")
-	pa, err := BuildPathAutomaton(q, g, []graph.Node{v0, v1})
+	pa, err := BuildPathAutomaton(q, g, []graph.Node{v0, v1}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -27,12 +27,14 @@ type prodCore struct {
 	next     []graph.Node
 }
 
+// newProdCore builds the shared product machinery. g may be nil when
+// the core is compiled ahead of any graph (componentEngine.reset
+// installs the adjacency snapshot before each execution).
 func newProdCore(g *graph.DB, c *component) prodCore {
 	cnt := len(c.vars)
-	return prodCore{
+	pc := prodCore{
 		g:        g,
 		c:        c,
-		adj:      g.Adjacency(),
 		cnt:      cnt,
 		runner:   relations.NewJointRunner(c.joint),
 		symTab:   intern.NewTable(0),
@@ -40,6 +42,10 @@ func newProdCore(g *graph.DB, c *component) prodCore {
 		symRunes: make([]rune, cnt),
 		next:     make([]graph.Node, cnt),
 	}
+	if g != nil {
+		pc.adj = g.Adjacency()
+	}
+	return pc
 }
 
 // symID interns the tuple symbol currently in symInts, registering it

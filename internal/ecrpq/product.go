@@ -11,14 +11,17 @@ import (
 // g: an NFA over tuple symbols (strings of m runes over Σ⊥) accepting
 // exactly the convolutions [λ(ρ₁),…,λ(ρₘ)] of path tuples that satisfy
 // the relational part and all relation atoms, for some node assignment
-// consistent with bind. This is the automaton A_Q × Gᵐ of Theorem 6.3,
-// with one copy per start assignment σ (the paper's union over Θ) and
-// Q-compatibility folded into acceptance.
+// consistent with opts.Bind. This is the automaton A_Q × Gᵐ of Theorem
+// 6.3, with one copy per start assignment σ (the paper's union over Θ)
+// and Q-compatibility folded into acceptance.
+//
+// The construction draws on opts.MaxProductStates (default 4,000,000)
+// and fails with ErrBudget beyond it, like the evaluator.
 //
 // The second return value gives the tape order (path variables).
 // ProductNFA is the substrate for the extensions of Section 8.2: package
 // linconstr attaches Parikh-image counters to its transitions.
-func ProductNFA(q *Query, g *graph.DB, bind map[NodeVar]graph.Node) (*automata.NFA[string], []PathVar, error) {
+func ProductNFA(q *Query, g *graph.DB, opts Options) (*automata.NFA[string], []PathVar, error) {
 	if err := q.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -29,6 +32,7 @@ func ProductNFA(q *Query, g *graph.DB, bind map[NodeVar]graph.Node) (*automata.N
 	c := comps[0]
 	out := automata.NewNFA[string]()
 	_, xvars := c.nodeVars()
+	bind := opts.Bind
 	candidates := func(v NodeVar) []graph.Node {
 		if n, ok := bind[v]; ok {
 			return []graph.Node{n}
@@ -39,29 +43,36 @@ func ProductNFA(q *Query, g *graph.DB, bind map[NodeVar]graph.Node) (*automata.N
 		}
 		return all
 	}
-	pb := newProductBuilder(g, c)
+	pb := newProductBuilder(g, c, newStateBudget(opts.MaxProductStates))
 	assign := map[NodeVar]graph.Node{}
-	var enumerate func(i int)
-	enumerate = func(i int) {
+	var enumerate func(i int) error
+	enumerate = func(i int) error {
 		if i == len(xvars) {
-			pb.addProductCopy(out, assign, bind)
-			return
+			return pb.addProductCopy(out, assign, bind)
 		}
 		for _, n := range candidates(xvars[i]) {
 			assign[xvars[i]] = n
-			enumerate(i + 1)
+			if err := enumerate(i + 1); err != nil {
+				return err
+			}
 		}
 		delete(assign, xvars[i])
+		return nil
 	}
-	enumerate(0)
+	if err := enumerate(0); err != nil {
+		return nil, nil, err
+	}
 	return automata.Trim(out), c.vars, nil
 }
 
 // productBuilder shares the dense joint runner, symbol interning and
 // adjacency snapshot (prodCore) across the per-start-assignment product
-// copies of ProductNFA and BuildPathAutomaton.
+// copies of ProductNFA and BuildPathAutomaton, and enforces the product
+// state budget across all copies.
 type productBuilder struct {
 	prodCore
+
+	bud *stateBudget
 
 	// Per-copy product-state interning: (jointID, nodes...).
 	prodTab *intern.Table
@@ -72,9 +83,10 @@ type productBuilder struct {
 	tupBuf []int
 }
 
-func newProductBuilder(g *graph.DB, c *component) *productBuilder {
+func newProductBuilder(g *graph.DB, c *component, bud *stateBudget) *productBuilder {
 	return &productBuilder{
 		prodCore: newProdCore(g, c),
+		bud:      bud,
 		prodTab:  intern.NewTable(0),
 		tupBuf:   make([]int, 0, len(c.vars)+1),
 	}
@@ -82,8 +94,9 @@ func newProductBuilder(g *graph.DB, c *component) *productBuilder {
 
 // stateOf interns the product state (jointID, nodes) for the current
 // copy, adding an NFA state via addNFA on first sight. It returns the
-// product id and whether it was new.
-func (pb *productBuilder) stateOf(jointID int, nodes []graph.Node, addNFA func(jointID int, cur []graph.Node) int32) (int, bool) {
+// product id, whether it was new, and ErrBudget when the fresh state
+// exceeds the builder's budget.
+func (pb *productBuilder) stateOf(jointID int, nodes []graph.Node, addNFA func(jointID int, cur []graph.Node) int32) (int, bool, error) {
 	tup := pb.tupBuf[:0]
 	tup = append(tup, jointID)
 	for _, n := range nodes {
@@ -92,12 +105,15 @@ func (pb *productBuilder) stateOf(jointID int, nodes []graph.Node, addNFA func(j
 	pb.tupBuf = tup
 	id, added := pb.prodTab.Intern(tup)
 	if !added {
-		return id, false
+		return id, false, nil
+	}
+	if !pb.bud.spend() {
+		return 0, false, ErrBudget
 	}
 	pb.curs = append(pb.curs, nodes...)
 	pb.joints = append(pb.joints, int32(jointID))
 	pb.nfaIDs = append(pb.nfaIDs, addNFA(jointID, nodes))
-	return id, true
+	return id, true, nil
 }
 
 // resetCopy clears the per-copy product-state tables.
@@ -111,32 +127,36 @@ func (pb *productBuilder) resetCopy() {
 // forEachMove enumerates the per-coordinate move combinations of the
 // product state with node tuple cur (the ⊥ stay-move plus real edges per
 // coordinate), leaving each combination in pb.symInts/pb.next and
-// invoking f.
-func (pb *productBuilder) forEachMove(cur []graph.Node, f func()) {
-	var rec func(i int)
-	rec = func(i int) {
+// invoking f; a non-nil error from f stops the enumeration.
+func (pb *productBuilder) forEachMove(cur []graph.Node, f func() error) error {
+	var rec func(i int) error
+	rec = func(i int) error {
 		if i == pb.cnt {
-			f()
-			return
+			return f()
 		}
 		v := cur[i]
 		pb.symInts[i] = int(regex.Bot)
 		pb.next[i] = v
-		rec(i + 1)
+		if err := rec(i + 1); err != nil {
+			return err
+		}
 		for _, ed := range pb.adj[v] {
 			pb.symInts[i] = int(ed.Label)
 			pb.next[i] = ed.To
-			rec(i + 1)
+			if err := rec(i + 1); err != nil {
+				return err
+			}
 		}
+		return nil
 	}
-	rec(0)
+	return rec(0)
 }
 
 // addProductCopy adds one start-assignment copy of the product to out.
-func (pb *productBuilder) addProductCopy(out *automata.NFA[string], assign, bind map[NodeVar]graph.Node) {
+func (pb *productBuilder) addProductCopy(out *automata.NFA[string], assign, bind map[NodeVar]graph.Node) error {
 	start, ok := pb.startTuple(assign)
 	if !ok {
-		return
+		return nil
 	}
 	pb.resetCopy()
 	addNFA := func(jointID int, cur []graph.Node) int32 {
@@ -144,23 +164,34 @@ func (pb *productBuilder) addProductCopy(out *automata.NFA[string], assign, bind
 		out.SetFinal(id, acceptingState(pb.c, pb.runner.Accepting(jointID), cur, assign, bind))
 		return int32(id)
 	}
-	s0, _ := pb.stateOf(pb.runner.StartID(), start, addNFA)
+	s0, _, err := pb.stateOf(pb.runner.StartID(), start, addNFA)
+	if err != nil {
+		return err
+	}
 	out.SetStart(int(pb.nfaIDs[s0]))
 	cnt := pb.cnt
 	for head := 0; head < len(pb.joints); head++ {
 		cur := pb.curs[head*cnt : head*cnt+cnt]
 		from := int(pb.nfaIDs[head])
 		joint := int(pb.joints[head])
-		pb.forEachMove(cur, func() {
+		err := pb.forEachMove(cur, func() error {
 			sid := pb.symID()
 			js, ok := pb.runner.Step(joint, sid)
 			if !ok {
-				return
+				return nil
 			}
-			to, _ := pb.stateOf(js, pb.next, addNFA)
+			to, _, err := pb.stateOf(js, pb.next, addNFA)
+			if err != nil {
+				return err
+			}
 			out.AddTransition(from, pb.runner.SymString(sid), int(pb.nfaIDs[to]))
+			return nil
 		})
+		if err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // acceptingState checks joint acceptance plus Y-consistency against the

@@ -14,7 +14,7 @@ func TestProductNFAAcceptsSatisfyingConvolutions(t *testing.T) {
 	// path pairs; cross-validate against the naive evaluator on a DAG.
 	q := MustParse("Ans() <- (x,p1,z), (z,p2,y), a+(p1), b+(p2), el(p1,p2)", env())
 	g := stringGraph("aabb")
-	nfa, tapes, err := ProductNFA(q, g, nil)
+	nfa, tapes, err := ProductNFA(q, g, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -42,7 +42,7 @@ func TestProductNFAWithBind(t *testing.T) {
 	g := stringGraph("ab")
 	v0, _ := g.NodeByName("v0")
 	v1, _ := g.NodeByName("v1")
-	nfa, _, err := ProductNFA(q, g, map[NodeVar]graph.Node{"x": v0, "y": v1})
+	nfa, _, err := ProductNFA(q, g, Options{Bind: map[NodeVar]graph.Node{"x": v0, "y": v1}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +61,7 @@ func TestProductNFABooleanEmptiness(t *testing.T) {
 	r := rand.New(rand.NewSource(77))
 	for trial := 0; trial < 15; trial++ {
 		g := randomDAG(r, 5, 0.5, sigmaAB)
-		nfa, _, err := ProductNFA(q, g, nil)
+		nfa, _, err := ProductNFA(q, g, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,333 @@
+package ecrpq
+
+import (
+	"context"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/graph"
+	"repro/internal/intern"
+)
+
+// Program is the compiled, executable form of a query — the "plan" half
+// of the plan/execute split. Compilation performs everything that does
+// not depend on a graph or on per-call options:
+//
+//   - the component decomposition of the relation hypergraph,
+//   - the joint relation automaton of each component (relations.Joint),
+//   - the GYO reduction of the component join hypergraph (acyclicity and
+//     elimination order, backing the Yannakakis strategy of Theorem 6.5),
+//   - warm component engines whose joint-runner transition memos and
+//     symbol tables persist across executions.
+//
+// A Program is immutable after compilation and safe for concurrent use:
+// each execution borrows one engine per component from an internal pool
+// (building a fresh engine when the pool is empty), so any number of
+// goroutines may Eval or Stream the same Program against the same or
+// different graphs. The interned joint transitions are label-based and
+// therefore valid across graphs; everything graph- or bind-dependent is
+// refreshed per execution by componentEngine.reset.
+//
+// Programs subsume the per-query engine cache that Eval used to keep:
+// the Eval shim now compiles (or re-uses) a Program per query object.
+type Program struct {
+	q          *Query
+	monolithic bool
+
+	// Structural fingerprint of the query at compile time; if the caller
+	// mutated the query in place since, the cached program is discarded
+	// by the Eval shim (prepared callers must not mutate their query).
+	pathAtoms []PathAtom
+	relAtoms  []RelAtom
+	headPaths []PathVar
+
+	comps     []*component
+	keepPaths map[PathVar]bool
+	jp        joinPlan
+
+	pools []enginePool
+}
+
+// enginePool holds idle engines for one component.
+type enginePool struct {
+	mu   sync.Mutex
+	free []*componentEngine
+}
+
+// maxPooledEngines bounds idle engines kept per component; beyond it
+// engines returned from bursts of concurrency are dropped.
+const maxPooledEngines = 8
+
+// CompileProgram compiles q into an executable Program. With monolithic
+// set the component decomposition is disabled and the full m-tape
+// product is compiled (the Options.NoDecompose ablation).
+func CompileProgram(q *Query, monolithic bool) (*Program, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	comps, err := decompose(q, monolithic)
+	if err != nil {
+		return nil, err
+	}
+	keepPaths := map[PathVar]bool{}
+	for _, chi := range q.HeadPaths {
+		keepPaths[chi] = true
+	}
+	p := &Program{
+		q:          q,
+		monolithic: monolithic,
+		pathAtoms:  append([]PathAtom(nil), q.PathAtoms...),
+		headPaths:  append([]PathVar(nil), q.HeadPaths...),
+		comps:      comps,
+		keepPaths:  keepPaths,
+		pools:      make([]enginePool, len(comps)),
+	}
+	p.relAtoms = make([]RelAtom, len(q.RelAtoms))
+	for i, ra := range q.RelAtoms {
+		p.relAtoms[i] = RelAtom{Rel: ra.Rel, Args: append([]PathVar(nil), ra.Args...)}
+	}
+	// Warm one engine per component so the first execution pays no
+	// construction cost, and record each component's variable set for the
+	// compile-time join plan.
+	varSets := make([][]NodeVar, len(comps))
+	for i, c := range comps {
+		e := newComponentEngine(c, keepPaths)
+		varSets[i] = e.allVars
+		p.pools[i].free = append(p.pools[i].free, e)
+	}
+	p.jp = planJoin(varSets)
+	return p, nil
+}
+
+// valid reports whether the compiled fingerprint still matches q — the
+// guard behind the Eval shim's per-query program cache.
+func (p *Program) valid(q *Query, monolithic bool) bool {
+	if p.monolithic != monolithic ||
+		len(p.pathAtoms) != len(q.PathAtoms) ||
+		len(p.relAtoms) != len(q.RelAtoms) ||
+		len(p.headPaths) != len(q.HeadPaths) {
+		return false
+	}
+	for i, a := range q.PathAtoms {
+		if p.pathAtoms[i] != a {
+			return false
+		}
+	}
+	for i, ra := range q.RelAtoms {
+		if p.relAtoms[i].Rel != ra.Rel || len(p.relAtoms[i].Args) != len(ra.Args) {
+			return false
+		}
+		for j, v := range ra.Args {
+			if p.relAtoms[i].Args[j] != v {
+				return false
+			}
+		}
+	}
+	for i, chi := range q.HeadPaths {
+		if p.headPaths[i] != chi {
+			return false
+		}
+	}
+	return true
+}
+
+// NumComponents returns the number of connected components of the
+// relation hypergraph the program evaluates (1 when monolithic).
+func (p *Program) NumComponents() int { return len(p.comps) }
+
+// JoinAcyclic reports whether the component join hypergraph is
+// α-acyclic, i.e. whether JoinAuto will run Yannakakis semijoins.
+func (p *Program) JoinAcyclic() bool { return p.jp.acyclic }
+
+// ComponentInfo describes one compiled component for Explain-style
+// introspection.
+type ComponentInfo struct {
+	PathVars []PathVar
+	NodeVars []NodeVar
+}
+
+// Components describes the compiled component decomposition.
+func (p *Program) Components() []ComponentInfo {
+	out := make([]ComponentInfo, len(p.comps))
+	for i, c := range p.comps {
+		all, _ := c.nodeVars()
+		out[i] = ComponentInfo{
+			PathVars: append([]PathVar(nil), c.vars...),
+			NodeVars: append([]NodeVar(nil), all...),
+		}
+	}
+	return out
+}
+
+// take borrows an engine for component i.
+func (p *Program) take(i int) *componentEngine {
+	pool := &p.pools[i]
+	pool.mu.Lock()
+	if n := len(pool.free); n > 0 {
+		e := pool.free[n-1]
+		pool.free[n-1] = nil
+		pool.free = pool.free[:n-1]
+		pool.mu.Unlock()
+		return e
+	}
+	pool.mu.Unlock()
+	return newComponentEngine(p.comps[i], p.keepPaths)
+}
+
+// maxPooledScratch bounds the per-state scratch (in elements) a pooled
+// engine may retain; a BFS that ran to millions of product states must
+// not pin its peak buffers for the process lifetime.
+const maxPooledScratch = 1 << 16
+
+// put returns an engine to component i's pool after an execution. The
+// engine must not pin a possibly huge graph, its adjacency snapshot,
+// the last result relation, or peak-sized BFS scratch, so everything
+// sized by the last execution is dropped first.
+func (p *Program) put(i int, e *componentEngine) {
+	e.g = nil
+	e.adj = nil
+	e.vr = nil
+	e.sink = nil
+	if cap(e.parentState) > maxPooledScratch {
+		e.curs, e.joints, e.parentState, e.parentSym = nil, nil, nil, nil
+	}
+	if e.prodTab.Cap() > maxPooledScratch {
+		e.prodTab = intern.NewTable(0)
+	}
+	if e.rowTab.Cap() > maxPooledScratch {
+		e.rowTab = intern.NewTable(0)
+	}
+	pool := &p.pools[i]
+	pool.mu.Lock()
+	if len(pool.free) < maxPooledEngines {
+		pool.free = append(pool.free, e)
+	}
+	pool.mu.Unlock()
+}
+
+// evalComponents evaluates every component of the program over g,
+// borrowing one engine per component. Independent components run
+// concurrently on a worker pool bounded by GOMAXPROCS, all drawing from
+// one shared product-state budget; the first error cancels the rest.
+func (p *Program) evalComponents(ctx context.Context, g *graph.DB, opts Options) ([]*varRelation, error) {
+	bud := newStateBudget(opts.MaxProductStates)
+	n := len(p.comps)
+	engines := make([]*componentEngine, n)
+	for i := range engines {
+		engines[i] = p.take(i)
+	}
+	defer func() {
+		// Engines stay structurally valid after budget aborts and
+		// cancellations (reset clears all per-call state), so they are
+		// always pooled for reuse.
+		for i, e := range engines {
+			p.put(i, e)
+		}
+	}()
+	rels := make([]*varRelation, n)
+	if n == 1 {
+		e := engines[0]
+		e.reset(g, opts.Bind)
+		vr, err := evalComponent(ctx, e, opts.Bind, bud)
+		if err != nil {
+			return nil, err
+		}
+		rels[0] = vr
+		return rels, nil
+	}
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	workers := n
+	if mp := runtime.GOMAXPROCS(0); workers > mp {
+		workers = mp
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	var errOnce sync.Once
+	var firstErr error
+	for i := range p.comps {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if cctx.Err() != nil {
+				return
+			}
+			e := engines[i]
+			e.reset(g, opts.Bind)
+			vr, err := evalComponent(cctx, e, opts.Bind, bud)
+			if err != nil {
+				errOnce.Do(func() { firstErr = err; cancel() })
+				return
+			}
+			rels[i] = vr
+		}(i)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	// The components may all have finished before noticing a late
+	// cancellation of the caller's context; honor it anyway.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return rels, nil
+}
+
+// Eval runs the program to completion over g and materializes the full
+// answer set: component relations are joined per the compile-time join
+// plan, head projections deduplicated keeping shortest witnesses, and
+// answers sorted lexicographically — identical semantics to the
+// original one-shot Eval. Cancellation of ctx aborts the product BFS
+// and the joins promptly with ctx.Err().
+func (p *Program) Eval(ctx context.Context, g *graph.DB, opts Options) (*Result, error) {
+	q := p.q
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	rels, err := p.evalComponents(ctx, g, opts)
+	if err != nil {
+		return nil, err
+	}
+	joined, err := joinAll(ctx, rels, p.jp, opts.Join, q.HeadNodes, q.HeadPaths)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Query: q, Graph: g}
+	headPos := make([]int, len(q.HeadNodes))
+	for i, z := range q.HeadNodes {
+		headPos[i] = varPos(joined.vars, z)
+	}
+	seen := intern.NewTable(len(joined.rows))
+	keyBuf := make([]int, len(q.HeadNodes))
+	for _, row := range joined.rows {
+		ans := Answer{}
+		for i, pos := range headPos {
+			n := row.nodes[pos]
+			ans.Nodes = append(ans.Nodes, n)
+			keyBuf[i] = int(n)
+		}
+		idx, added := seen.Intern(keyBuf)
+		if !added {
+			// Keep the shortest witnesses among duplicates.
+			old := &res.Answers[idx]
+			for pi, chi := range q.HeadPaths {
+				if p, ok := row.paths[chi]; ok && p.Len() < old.Paths[pi].Len() {
+					old.Paths[pi] = p
+				}
+			}
+			continue
+		}
+		for _, chi := range q.HeadPaths {
+			ans.Paths = append(ans.Paths, row.paths[chi])
+		}
+		res.Answers = append(res.Answers, ans)
+	}
+	sort.Slice(res.Answers, func(i, j int) bool {
+		return lessNodes(res.Answers[i].Nodes, res.Answers[j].Nodes)
+	})
+	return res, nil
+}

@@ -1,0 +1,186 @@
+package ecrpq
+
+import (
+	"context"
+	"errors"
+	"iter"
+
+	"repro/internal/graph"
+	"repro/internal/intern"
+)
+
+// StreamOptions tune the streaming executor.
+type StreamOptions struct {
+	Options
+	// Limit stops the stream after this many answers; zero means
+	// unlimited. Unlike a caller-side break, the limit also stops the
+	// underlying product BFS and join enumeration, so Limit=1 returns
+	// the first answer without paying for the rest of the answer set.
+	Limit int
+}
+
+// Stream evaluates the program over g and yields answers incrementally
+// as an iterator. Semantics relative to Eval:
+//
+//   - The multiset of node tuples is identical to Eval's, but answers
+//     arrive in discovery order, not sorted.
+//   - Each node tuple is yielded exactly once (first discovery wins);
+//     witness paths are valid paths satisfying the query but are not
+//     guaranteed shortest — Eval refines duplicates, a stream cannot.
+//   - Cancellation of ctx is checked inside the product BFS and the
+//     join enumeration; the iterator then yields a final (Answer{},
+//     ctx.Err()) pair. Other failures (ErrBudget, validation) surface
+//     the same way.
+//   - Breaking out of the range loop, or reaching opts.Limit, tears the
+//     execution down promptly; no goroutines or engines leak.
+//
+// For single-component queries answers are emitted straight out of the
+// product BFS, so the time to first answer is proportional to how much
+// of the product must be explored to find it — not to the full
+// evaluation. Multi-component queries evaluate their components
+// concurrently (see Program.evalComponents) and then stream the final
+// join enumeration.
+func (p *Program) Stream(ctx context.Context, g *graph.DB, opts StreamOptions) iter.Seq2[Answer, error] {
+	return func(yield func(Answer, error) bool) {
+		err := p.stream(ctx, g, opts, func(a Answer) bool { return yield(a, nil) })
+		if err != nil {
+			yield(Answer{}, err)
+		}
+	}
+}
+
+// stream drives one streaming execution, calling emit for every
+// answer. It returns nil on normal completion and on early stop
+// (consumer break, limit, boolean short-circuit); real failures are
+// returned for the iterator to surface.
+func (p *Program) stream(ctx context.Context, g *graph.DB, opts StreamOptions, emit func(Answer) bool) error {
+	q := p.q
+	if err := q.Validate(); err != nil {
+		return err
+	}
+	sink := newAnswerSink(q, opts.Limit, emit)
+	var err error
+	if len(p.comps) == 1 {
+		err = p.streamSingle(ctx, g, opts, sink)
+	} else {
+		err = p.streamJoin(ctx, g, opts, sink)
+	}
+	if errors.Is(err, errStopStream) {
+		return nil
+	}
+	return err
+}
+
+// answerSink deduplicates head projections and applies the limit,
+// turning join/BFS rows into yielded Answers. It reports errStopStream
+// when the stream should end early.
+type answerSink struct {
+	headNodes []NodeVar
+	headPaths []PathVar
+	headPos   []int // positions of headNodes in the source columns
+	seen      *intern.Table
+	keyBuf    []int
+	limit     int
+	emitted   int
+	emit      func(Answer) bool
+}
+
+func newAnswerSink(q *Query, limit int, emit func(Answer) bool) *answerSink {
+	return &answerSink{
+		headNodes: q.HeadNodes,
+		headPaths: q.HeadPaths,
+		seen:      intern.NewTable(0),
+		keyBuf:    make([]int, len(q.HeadNodes)),
+		limit:     limit,
+		emit:      emit,
+	}
+}
+
+// bindCols resolves the head-variable positions against the columns of
+// the rows the sink will receive.
+func (s *answerSink) bindCols(cols []NodeVar) {
+	s.headPos = make([]int, len(s.headNodes))
+	for i, z := range s.headNodes {
+		s.headPos[i] = varPos(cols, z)
+	}
+}
+
+// row projects, deduplicates and emits one source row. nodes is
+// transient (indexed by the bound columns); paths may be retained.
+func (s *answerSink) row(nodes []graph.Node, paths map[PathVar]graph.Path) error {
+	for i, pos := range s.headPos {
+		s.keyBuf[i] = int(nodes[pos])
+	}
+	if _, added := s.seen.Intern(s.keyBuf); !added {
+		return nil
+	}
+	ans := Answer{}
+	for _, pos := range s.headPos {
+		ans.Nodes = append(ans.Nodes, nodes[pos])
+	}
+	for _, chi := range s.headPaths {
+		ans.Paths = append(ans.Paths, paths[chi])
+	}
+	if !s.emit(ans) {
+		return errStopStream
+	}
+	s.emitted++
+	if s.limit > 0 && s.emitted >= s.limit {
+		return errStopStream
+	}
+	if len(s.headNodes) == 0 {
+		// Every further row projects to the same (empty) head tuple, so
+		// no distinct answer can follow: stop the whole enumeration.
+		return errStopStream
+	}
+	return nil
+}
+
+// streamSingle streams a single-component program: the engine's sink
+// hook emits answers straight out of the product BFS.
+func (p *Program) streamSingle(ctx context.Context, g *graph.DB, opts StreamOptions, sink *answerSink) error {
+	e := p.take(0)
+	defer p.put(0, e)
+	e.reset(g, opts.Bind)
+	sink.bindCols(e.allVars)
+	e.sink = sink.row
+	bud := newStateBudget(opts.MaxProductStates)
+	_, err := evalComponent(ctx, e, opts.Bind, bud)
+	return err
+}
+
+// streamJoin streams a multi-component program: components evaluate
+// (concurrently) to completion, then the final join enumeration yields
+// answers incrementally.
+func (p *Program) streamJoin(ctx context.Context, g *graph.DB, opts StreamOptions, sink *answerSink) error {
+	rels, err := p.evalComponents(ctx, g, opts.Options)
+	if err != nil {
+		return err
+	}
+	keepSet := map[NodeVar]bool{}
+	for _, v := range p.q.HeadNodes {
+		keepSet[v] = true
+	}
+	pathSet := map[PathVar]bool{}
+	for _, v := range p.q.HeadPaths {
+		pathSet[v] = true
+	}
+	final, err := reduceJoin(ctx, rels, p.jp, opts.Join, keepSet, pathSet)
+	if err != nil {
+		return err
+	}
+	je := newJoinEnum(final, keepSet, pathSet)
+	sink.bindCols(je.keepCols)
+	var sinkErr error
+	err = je.run(ctx, func(nodes []graph.Node, paths map[PathVar]graph.Path) bool {
+		if err := sink.row(nodes, paths); err != nil {
+			sinkErr = err
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return err
+	}
+	return sinkErr
+}

@@ -1,0 +1,272 @@
+package ecrpq
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+)
+
+// collectStream drains a stream into answers, failing the test on a
+// stream error.
+func collectStream(t *testing.T, prog *Program, g *graph.DB, opts StreamOptions) []Answer {
+	t.Helper()
+	var out []Answer
+	for a, err := range prog.Stream(context.Background(), g, opts) {
+		if err != nil {
+			t.Fatalf("stream: %v", err)
+		}
+		out = append(out, a)
+	}
+	return out
+}
+
+// checkStreamAgainstEval verifies the streaming executor's contract on
+// one query/graph pair: the set of node tuples equals materialized
+// Eval's, each tuple appears exactly once, and every witness path is a
+// valid path of g.
+func checkStreamAgainstEval(t *testing.T, q *Query, g *graph.DB, label string) {
+	t.Helper()
+	res, err := Eval(q, g, Options{})
+	if err != nil {
+		t.Fatalf("%s: eval: %v", label, err)
+	}
+	prog, err := CompileProgram(q, false)
+	if err != nil {
+		t.Fatalf("%s: compile: %v", label, err)
+	}
+	streamed := collectStream(t, prog, g, StreamOptions{})
+	want := map[string]bool{}
+	for _, a := range res.Answers {
+		want[a.Key()] = true
+	}
+	got := map[string]bool{}
+	for _, a := range streamed {
+		k := a.Key()
+		if got[k] {
+			t.Fatalf("%s: query %q: stream yielded %s twice", label, q, k)
+		}
+		got[k] = true
+		if !want[k] {
+			t.Fatalf("%s: query %q: stream answer %s not in Eval output", label, q, k)
+		}
+		for pi, chi := range q.HeadPaths {
+			if err := a.Paths[pi].Validate(g); err != nil {
+				t.Fatalf("%s: query %q: stream witness for %s invalid: %v", label, q, chi, err)
+			}
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%s: query %q: stream yielded %d answers, Eval %d", label, q, len(got), len(want))
+	}
+}
+
+// TestStreamMatchesEval is the property test of the plan/execute split:
+// on the fixed oracle queries and random chain queries over random
+// DAGs, the collected stream equals the materialized Eval answer set.
+func TestStreamMatchesEval(t *testing.T) {
+	r := rand.New(rand.NewSource(101))
+	queries := oracleQueries(t)
+	for trial := 0; trial < 8; trial++ {
+		g := randomDAG(r, 5, 0.5, sigmaAB)
+		for qi, q := range queries {
+			checkStreamAgainstEval(t, q, g, fmt.Sprintf("trial %d query %d", trial, qi))
+		}
+	}
+	for trial := 0; trial < 25; trial++ {
+		g := randomDAG(r, 4+r.Intn(3), 0.45, sigmaAB)
+		q := randomOracleQuery(t, r)
+		checkStreamAgainstEval(t, q, g, fmt.Sprintf("random trial %d", trial))
+	}
+}
+
+// TestStreamLimit checks that Limit stops the stream after exactly N
+// answers and that those answers belong to the full answer set.
+func TestStreamLimit(t *testing.T) {
+	q := MustParse("Ans(x, y) <- (x,p,y), (a|b)*(p)", env())
+	r := rand.New(rand.NewSource(103))
+	g := randomDAG(r, 6, 0.6, sigmaAB)
+	res, err := Eval(q, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) < 3 {
+		t.Fatalf("workload too small: %d answers", len(res.Answers))
+	}
+	prog, err := CompileProgram(q, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{}
+	for _, a := range res.Answers {
+		want[a.Key()] = true
+	}
+	for _, limit := range []int{1, 2, len(res.Answers), len(res.Answers) + 5} {
+		got := collectStream(t, prog, g, StreamOptions{Limit: limit})
+		wantN := limit
+		if limit > len(res.Answers) {
+			wantN = len(res.Answers)
+		}
+		if len(got) != wantN {
+			t.Fatalf("limit %d: got %d answers, want %d", limit, len(got), wantN)
+		}
+		for _, a := range got {
+			if !want[a.Key()] {
+				t.Fatalf("limit %d: answer %s not in Eval output", limit, a.Key())
+			}
+		}
+	}
+}
+
+// TestStreamConsumerBreak verifies that breaking out of the range loop
+// tears the stream down cleanly (and does not yield a trailing error).
+func TestStreamConsumerBreak(t *testing.T) {
+	q := MustParse("Ans(x, y) <- (x,p,y), (a|b)*(p)", env())
+	r := rand.New(rand.NewSource(107))
+	g := randomDAG(r, 6, 0.6, sigmaAB)
+	prog, err := CompileProgram(q, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	for _, err := range prog.Stream(context.Background(), g, StreamOptions{}) {
+		if err != nil {
+			t.Fatalf("stream: %v", err)
+		}
+		count++
+		if count == 2 {
+			break
+		}
+	}
+	if count != 2 {
+		t.Fatalf("broke after %d answers, want 2", count)
+	}
+}
+
+// TestStreamBudget: the streaming executor enforces MaxProductStates
+// like Eval.
+func TestStreamBudget(t *testing.T) {
+	q := MustParse("Ans(x,y) <- (x,p1,z), (z,p2,y), a+(p1), b+(p2), el(p1,p2)", env())
+	g := stringGraph("aaaabbbb")
+	prog, err := CompileProgram(q, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last error
+	for _, err := range prog.Stream(context.Background(), g, StreamOptions{Options: Options{MaxProductStates: 3}}) {
+		last = err
+	}
+	if !errors.Is(last, ErrBudget) {
+		t.Fatalf("stream error = %v, want ErrBudget", last)
+	}
+}
+
+// heavyWorkload returns a query/graph pair whose full evaluation
+// explores a very large product, for cancellation tests: the aⁿbⁿ
+// ECRPQ over a dense random (cyclic) graph with unbound endpoints.
+func heavyWorkload() (*Query, *graph.DB) {
+	q := MustParse("Ans(x,y) <- (x,p1,z), (z,p2,y), a+(p1), b+(p2), el(p1,p2)", env())
+	r := rand.New(rand.NewSource(109))
+	g := graph.NewDB()
+	const n = 192
+	g.AddNodes(n)
+	for e := 0; e < 3*n; e++ {
+		g.AddEdge(graph.Node(r.Intn(n)), sigmaAB[r.Intn(len(sigmaAB))], graph.Node(r.Intn(n)))
+	}
+	return q, g
+}
+
+// TestEvalCancellation cancels a materializing evaluation mid-BFS and
+// expects a prompt return with ctx.Err().
+func TestEvalCancellation(t *testing.T) {
+	q, g := heavyWorkload()
+	prog, err := CompileProgram(q, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(30 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err = prog.Eval(ctx, g, Options{MaxProductStates: 1 << 40})
+	elapsed := time.Since(start)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// The workload runs for much longer than this uncancelled; a prompt
+	// abort is well under a few seconds even on a slow CI machine.
+	if elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v, want prompt return", elapsed)
+	}
+}
+
+// TestStreamCancellation does the same through the streaming executor:
+// the iterator must end with a final ctx.Err() pair.
+func TestStreamCancellation(t *testing.T) {
+	q, g := heavyWorkload()
+	prog, err := CompileProgram(q, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	var last error
+	for _, err := range prog.Stream(ctx, g, StreamOptions{Options: Options{MaxProductStates: 1 << 40}}) {
+		last = err
+	}
+	if !errors.Is(last, context.DeadlineExceeded) {
+		t.Fatalf("stream error = %v, want context.DeadlineExceeded", last)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancellation took %v, want prompt return", elapsed)
+	}
+}
+
+// TestStreamBooleanQuery: a Boolean query streams exactly one empty
+// answer when satisfiable and nothing otherwise, stopping the product
+// exploration after the first hit.
+func TestStreamBooleanQuery(t *testing.T) {
+	q := MustParse("Ans() <- (x,p1,y), (x,p2,y), el(p1,p2), a+(p1), b+(p2)", env())
+	prog, err := CompileProgram(q, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gYes := graph.NewDB()
+	u, v := gYes.AddNode(""), gYes.AddNode("")
+	gYes.AddEdge(u, 'a', v)
+	gYes.AddEdge(u, 'b', v)
+	if got := collectStream(t, prog, gYes, StreamOptions{}); len(got) != 1 || len(got[0].Nodes) != 0 {
+		t.Fatalf("satisfiable boolean query: got %v, want one empty answer", got)
+	}
+	if got := collectStream(t, prog, stringGraph("aa"), StreamOptions{}); len(got) != 0 {
+		t.Fatalf("unsatisfiable boolean query: got %v, want none", got)
+	}
+}
+
+// TestStreamWithBind: streaming honors Bind like Eval.
+func TestStreamWithBind(t *testing.T) {
+	q := MustParse("Ans(x,y) <- (x,p1,z), (z,p2,y), a+(p1), b+(p2), el(p1,p2)", env())
+	g := stringGraph("aabb")
+	v0, _ := g.NodeByName("n0")
+	v4, _ := g.NodeByName("n4")
+	bind := map[NodeVar]graph.Node{"x": v0, "y": v4}
+	res, err := Eval(q, g, Options{Bind: bind})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := CompileProgram(q, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collectStream(t, prog, g, StreamOptions{Options: Options{Bind: bind}})
+	if len(got) != len(res.Answers) {
+		t.Fatalf("stream %d answers, eval %d", len(got), len(res.Answers))
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -9,6 +10,7 @@ import (
 
 	"repro/internal/ecrpq"
 	"repro/internal/graph"
+	"repro/internal/plan"
 	"repro/internal/workload"
 )
 
@@ -80,6 +82,50 @@ func BenchFig1aECRPQ() BenchReport {
 				for i := 0; i < b.N; i++ {
 					if _, err := ecrpq.Eval(q, g, ecrpq.Options{MaxProductStates: 50_000_000}); err != nil {
 						b.Fatal(err)
+					}
+				}
+			}))
+	}
+
+	// Time-to-first-answer: the same Fig1a ECRPQ data workloads with
+	// unbound endpoints (so answers exist and full evaluation has real
+	// work to skip), prepared once, then Stream with Limit=1 against the
+	// fully materializing Eval on the identical plan.
+	for _, n := range []int{8, 16, 32} {
+		g := workload.Random(rand.New(rand.NewSource(2)), n, 1.5, sigma)
+		p, err := plan.Compile(qd, env)
+		if err != nil {
+			panic(err)
+		}
+		opts := ecrpq.Options{MaxProductStates: 50_000_000}
+		rep.Benchmarks = append(rep.Benchmarks, runBench(
+			fmt.Sprintf("Fig1a_ECRPQ_TTFA_Stream/n=%d", n),
+			func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					got := false
+					for _, err := range p.Stream(context.Background(), g, ecrpq.StreamOptions{Options: opts, Limit: 1}) {
+						if err != nil {
+							b.Fatal(err)
+						}
+						got = true
+					}
+					if !got {
+						b.Fatal("no answer streamed")
+					}
+				}
+			}))
+		rep.Benchmarks = append(rep.Benchmarks, runBench(
+			fmt.Sprintf("Fig1a_ECRPQ_TTFA_Eval/n=%d", n),
+			func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					res, err := p.Eval(context.Background(), g, opts)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(res.Answers) == 0 {
+						b.Fatal("no answers")
 					}
 				}
 			}))

@@ -380,7 +380,7 @@ func E14AnswerAutomaton(w io.Writer) {
 			s += "b"
 		}
 		g, from, to := workload.StringGraph(s)
-		pa, err := ecrpq.BuildPathAutomaton(q, g, []graph.Node{from, to})
+		pa, err := ecrpq.BuildPathAutomaton(q, g, []graph.Node{from, to}, ecrpq.Options{})
 		if err != nil {
 			panic(err)
 		}

@@ -19,6 +19,7 @@
 package lenabs
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/automata"
@@ -26,6 +27,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/ilp"
 	"repro/internal/parikh"
+	"repro/internal/plan"
 	"repro/internal/regex"
 	"repro/internal/relations"
 )
@@ -130,10 +132,39 @@ type Options struct {
 	MaxNodes int
 }
 
-// EvalLen evaluates Q_len(G) by the NP procedure of Theorem 6.7 and
-// returns the node answers (Q_len path outputs are not supported; the
-// abstraction concerns lengths, so project heads to nodes).
+// EvalAbstract evaluates Q_len(G) with the generic PSPACE engine: the
+// abstracted query (AbstractQuery) is compiled through the shared
+// plan/execute layer and run with ctx cancellation. It is the reference
+// implementation EvalLen is tested against, exposed so callers can pick
+// either procedure behind the same planner.
+func EvalAbstract(ctx context.Context, q *ecrpq.Query, g *graph.DB, sigma []rune, opts ecrpq.Options) ([]ecrpq.Answer, error) {
+	// The abstracted query is a fresh object per call, so the shared
+	// program cache cannot help here (and must not be polluted with
+	// per-call queries); callers that evaluate one abstraction
+	// repeatedly should AbstractQuery once and Prepare it themselves.
+	p, err := plan.Compile(AbstractQuery(q, sigma), ecrpq.Env{Sigma: sigma})
+	if err != nil {
+		return nil, err
+	}
+	res, err := p.Eval(ctx, g, opts)
+	if err != nil {
+		return nil, err
+	}
+	return res.Answers, nil
+}
+
+// EvalLen evaluates Q_len(G) with a background context; see
+// EvalLenContext.
 func EvalLen(q *ecrpq.Query, g *graph.DB, opts Options) ([]ecrpq.Answer, error) {
+	return EvalLenContext(context.Background(), q, g, opts)
+}
+
+// EvalLenContext evaluates Q_len(G) by the NP procedure of Theorem 6.7
+// and returns the node answers (Q_len path outputs are not supported;
+// the abstraction concerns lengths, so project heads to nodes).
+// Cancellation of ctx is checked between node assignments, so deadlines
+// abort the (exponential in the query) enumeration promptly.
+func EvalLenContext(ctx context.Context, q *ecrpq.Query, g *graph.DB, opts Options) ([]ecrpq.Answer, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -172,6 +203,9 @@ func EvalLen(q *ecrpq.Query, g *graph.DB, opts Options) ([]ecrpq.Answer, error) 
 			}
 			delete(assign, v)
 			return nil
+		}
+		if err := ctx.Err(); err != nil {
+			return err
 		}
 		ok, err := feasibleLengths(q, g, sigma, assign, tapeIdx, m, opts)
 		if err != nil {

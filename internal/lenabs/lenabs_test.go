@@ -1,6 +1,7 @@
 package lenabs
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -75,12 +76,11 @@ func TestEvalLenMatchesAbstractQuery(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%s: %v", src, err)
 			}
-			abs := AbstractQuery(q, sigmaAB)
-			want, err := ecrpq.Eval(abs, g, ecrpq.Options{})
+			want, err := EvalAbstract(context.Background(), q, g, sigmaAB, ecrpq.Options{})
 			if err != nil {
 				t.Fatal(err)
 			}
-			gs, ws := keySet(got), keySet(want.Answers)
+			gs, ws := keySet(got), keySet(want)
 			if len(gs) != len(ws) {
 				t.Fatalf("trial %d %s: EvalLen %d answers, generic %d\n%v\n%v", trial, src, len(gs), len(ws), gs, ws)
 			}

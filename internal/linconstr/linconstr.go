@@ -14,15 +14,22 @@
 // over accepted runs is decided exactly by the Parikh-image flow encoding
 // of package parikh (Verma–Seidl–Schwentick translation) with the ILP
 // substrate of package ilp — the NP procedure the theorem describes.
+//
+// The base-ECRPQ evaluation is routed through the shared plan/execute
+// layer (internal/plan): the query is compiled once per Eval call and
+// run with context cancellation, so deadlines abort both the product
+// BFS and the per-answer feasibility checks.
 package linconstr
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/ecrpq"
 	"repro/internal/graph"
 	"repro/internal/ilp"
 	"repro/internal/parikh"
+	"repro/internal/plan"
 )
 
 // Term is one summand Coef·ℓ_{Path,Label}. A zero Label denotes the
@@ -52,9 +59,13 @@ type Options struct {
 
 // Feasible decides whether the query with the linear constraints is
 // satisfiable over g under the given (possibly empty) binding of node
-// variables: the Boolean query evaluation of Theorem 8.5.
+// variables: the Boolean query evaluation of Theorem 8.5. The product
+// construction honors the base MaxProductStates budget.
 func Feasible(q *ecrpq.Query, cons []Constraint, g *graph.DB, sigma []rune, bind map[ecrpq.NodeVar]graph.Node, opts Options) (bool, error) {
-	nfa, tapes, err := ecrpq.ProductNFA(q, g, bind)
+	nfa, tapes, err := ecrpq.ProductNFA(q, g, ecrpq.Options{
+		Bind:             bind,
+		MaxProductStates: opts.Base.MaxProductStates,
+	})
 	if err != nil {
 		return false, err
 	}
@@ -109,16 +120,31 @@ func Feasible(q *ecrpq.Query, cons []Constraint, g *graph.DB, sigma []rune, bind
 	return ok, err
 }
 
-// Eval evaluates the query with linear constraints: the base ECRPQ is
-// evaluated first, and each candidate head tuple is kept iff the counter
-// constraints are feasible for that binding. Witness paths of the base
-// evaluation are not retained (they may violate the constraints); answers
-// carry node values only.
+// Eval evaluates the query with linear constraints with a background
+// context; see EvalContext.
 func Eval(q *ecrpq.Query, cons []Constraint, g *graph.DB, sigma []rune, opts Options) ([]ecrpq.Answer, error) {
+	return EvalContext(context.Background(), q, cons, g, sigma, opts)
+}
+
+// EvalContext evaluates the query with linear constraints: the base
+// ECRPQ is compiled through the shared planner and evaluated, and each
+// candidate head tuple is kept iff the counter constraints are feasible
+// for that binding. Witness paths of the base evaluation are not
+// retained (they may violate the constraints); answers carry node
+// values only. Cancellation of ctx aborts the base evaluation mid-BFS
+// and the per-answer checks between answers.
+func EvalContext(ctx context.Context, q *ecrpq.Query, cons []Constraint, g *graph.DB, sigma []rune, opts Options) ([]ecrpq.Answer, error) {
 	if len(q.HeadPaths) > 0 {
 		return nil, fmt.Errorf("linconstr: path outputs are not supported with linear constraints; project to nodes")
 	}
-	base, err := ecrpq.Eval(q, g, opts.Base)
+	// Cached: callers typically evaluate the same query object many
+	// times, and the shared program cache keeps its compiled engines warm
+	// across calls (the behavior the pre-split ecrpq.Eval route had).
+	p, err := plan.Cached(q, ecrpq.Env{Sigma: sigma})
+	if err != nil {
+		return nil, err
+	}
+	base, err := p.Eval(ctx, g, opts.Base)
 	if err != nil {
 		return nil, err
 	}
@@ -127,6 +153,9 @@ func Eval(q *ecrpq.Query, cons []Constraint, g *graph.DB, sigma []rune, opts Opt
 	}
 	var out []ecrpq.Answer
 	for _, a := range base.Answers {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		bind := map[ecrpq.NodeVar]graph.Node{}
 		okBind := true
 		for i, z := range q.HeadNodes {

@@ -1,6 +1,7 @@
 package neg
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/automata"
@@ -29,31 +30,49 @@ func NewEvaluator(g *graph.DB) *Evaluator {
 // MaxStates.
 var ErrTooLarge = fmt.Errorf("neg: intermediate automaton exceeds the state budget (the problem is non-elementary; shrink the formula or graph)")
 
-// Holds evaluates a sentence (no free variables).
+// Holds evaluates a sentence (no free variables) with a background
+// context; see HoldsContext.
 func (e *Evaluator) Holds(f Formula) (bool, error) {
+	return e.HoldsContext(context.Background(), f)
+}
+
+// HoldsContext evaluates a sentence (no free variables). The automaton
+// construction is non-elementary (Theorem 8.2), so ctx cancellation is
+// checked between construction steps and aborts with ctx.Err() — the
+// same deadline discipline as the planner-backed ECRPQ executor.
+func (e *Evaluator) HoldsContext(ctx context.Context, f Formula) (bool, error) {
 	if vs := FreeNodeVars(f); len(vs) != 0 {
 		return false, fmt.Errorf("neg: formula has free node variables %v", vs)
 	}
 	if vs := FreePathVars(f); len(vs) != 0 {
 		return false, fmt.Errorf("neg: formula has free path variables %v", vs)
 	}
-	a, err := e.build(f, map[ecrpq.NodeVar]graph.Node{}, nil)
+	a, err := e.build(ctx, f, map[ecrpq.NodeVar]graph.Node{}, nil)
 	if err != nil {
 		return false, err
 	}
 	return !a.IsEmpty(), nil
 }
 
-// EvalNodes returns the assignments to the free node variables (in
-// FreeNodeVars order) under which the formula is satisfiable; free path
-// variables are existentially interpreted.
+// EvalNodes is EvalNodesContext with a background context.
 func (e *Evaluator) EvalNodes(f Formula) ([][]graph.Node, error) {
+	return e.EvalNodesContext(context.Background(), f)
+}
+
+// EvalNodesContext returns the assignments to the free node variables
+// (in FreeNodeVars order) under which the formula is satisfiable; free
+// path variables are existentially interpreted. Cancellation of ctx is
+// checked per assignment.
+func (e *Evaluator) EvalNodesContext(ctx context.Context, f Formula) ([][]graph.Node, error) {
 	nv := FreeNodeVars(f)
 	pv := FreePathVars(f)
 	var out [][]graph.Node
 	assign := map[ecrpq.NodeVar]graph.Node{}
 	var rec func(i int) error
 	rec = func(i int) error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if i < len(nv) {
 			for v := 0; v < e.G.NumNodes(); v++ {
 				assign[nv[i]] = graph.Node(v)
@@ -64,7 +83,7 @@ func (e *Evaluator) EvalNodes(f Formula) ([][]graph.Node, error) {
 			delete(assign, nv[i])
 			return nil
 		}
-		a, err := e.build(f, assign, pv)
+		a, err := e.build(ctx, f, assign, pv)
 		if err != nil {
 			return err
 		}
@@ -88,7 +107,7 @@ func (e *Evaluator) EvalNodes(f Formula) ([][]graph.Node, error) {
 // representations of the free-path-variable tuples satisfying ϕ.
 func (e *Evaluator) PathAutomaton(f Formula, assign map[ecrpq.NodeVar]graph.Node) (*automata.NFA[string], []ecrpq.PathVar, error) {
 	pv := FreePathVars(f)
-	a, err := e.build(f, assign, pv)
+	a, err := e.build(context.Background(), f, assign, pv)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -98,7 +117,10 @@ func (e *Evaluator) PathAutomaton(f Formula, assign map[ecrpq.NodeVar]graph.Node
 // build returns the representation automaton of f over exactly the
 // coordinate set vars (a superset of f's free path variables), under the
 // node assignment.
-func (e *Evaluator) build(f Formula, assign map[ecrpq.NodeVar]graph.Node, vars []ecrpq.PathVar) (*automata.NFA[string], error) {
+func (e *Evaluator) build(ctx context.Context, f Formula, assign map[ecrpq.NodeVar]graph.Node, vars []ecrpq.PathVar) (*automata.NFA[string], error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	switch f := f.(type) {
 	case NodeEq:
 		vx, ok1 := assign[f.X]
@@ -116,7 +138,7 @@ func (e *Evaluator) build(f Formula, assign map[ecrpq.NodeVar]graph.Node, vars [
 		a := e.edgeAutomaton(vx, vy, f.P, vars)
 		return e.guard(a)
 	case PathEq:
-		return e.build(Rel{R: relations.Equality(e.Sigma), Args: []ecrpq.PathVar{f.P1, f.P2}}, assign, vars)
+		return e.build(ctx, Rel{R: relations.Equality(e.Sigma), Args: []ecrpq.PathVar{f.P1, f.P2}}, assign, vars)
 	case Rel:
 		a, err := e.relAutomaton(f, vars)
 		if err != nil {
@@ -124,27 +146,27 @@ func (e *Evaluator) build(f Formula, assign map[ecrpq.NodeVar]graph.Node, vars [
 		}
 		return e.guard(a)
 	case And:
-		l, err := e.build(f.F, assign, vars)
+		l, err := e.build(ctx, f.F, assign, vars)
 		if err != nil {
 			return nil, err
 		}
-		r, err := e.build(f.G, assign, vars)
+		r, err := e.build(ctx, f.G, assign, vars)
 		if err != nil {
 			return nil, err
 		}
 		return e.guard(automata.Trim(automata.Intersect(l, r)))
 	case Or:
-		l, err := e.build(f.F, assign, vars)
+		l, err := e.build(ctx, f.F, assign, vars)
 		if err != nil {
 			return nil, err
 		}
-		r, err := e.build(f.G, assign, vars)
+		r, err := e.build(ctx, f.G, assign, vars)
 		if err != nil {
 			return nil, err
 		}
 		return e.guard(automata.Union(l, r))
 	case Not:
-		inner, err := e.build(f.F, assign, vars)
+		inner, err := e.build(ctx, f.F, assign, vars)
 		if err != nil {
 			return nil, err
 		}
@@ -154,7 +176,7 @@ func (e *Evaluator) build(f Formula, assign map[ecrpq.NodeVar]graph.Node, vars [
 		for v := 0; v < e.G.NumNodes(); v++ {
 			a2 := cloneAssign(assign)
 			a2[f.X] = graph.Node(v)
-			a, err := e.build(f.F, a2, vars)
+			a, err := e.build(ctx, f.F, a2, vars)
 			if err != nil {
 				return nil, err
 			}
@@ -170,7 +192,7 @@ func (e *Evaluator) build(f Formula, assign map[ecrpq.NodeVar]graph.Node, vars [
 		return e.guard(automata.Trim(result))
 	case ExistsPath:
 		innerVars := addVar(vars, f.P)
-		a, err := e.build(f.F, assign, innerVars)
+		a, err := e.build(ctx, f.F, assign, innerVars)
 		if err != nil {
 			return nil, err
 		}

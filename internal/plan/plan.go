@@ -1,0 +1,161 @@
+// Package plan is the planning layer of the plan/execute split: it
+// turns an ECRPQ into a reusable, concurrency-safe Plan that can be
+// executed any number of times, against any graph, by any number of
+// goroutines.
+//
+// Compile performs everything that depends only on the query — the
+// component decomposition of the relation hypergraph, the joint
+// relation automata (Section 5's convolution construction, compiled to
+// dense-integer runners with persistent transition memos), and the join
+// strategy (GYO acyclicity test backing the Yannakakis algorithm of
+// Theorem 6.5). Execution then only pays for graph-dependent work.
+//
+// The executor lives in internal/ecrpq (Program); a Plan wraps it with
+// environment validation and introspection. The public surface is
+// pathquery.Prepare.
+package plan
+
+import (
+	"context"
+	"fmt"
+	"iter"
+	"strings"
+
+	"repro/internal/ecrpq"
+	"repro/internal/graph"
+	"repro/internal/regex"
+)
+
+// Plan is a compiled query. It is immutable and safe for concurrent
+// use; the underlying query must not be mutated while the plan is in
+// use.
+type Plan struct {
+	// Query is the compiled query (treat as read-only).
+	Query *ecrpq.Query
+
+	prog *ecrpq.Program
+}
+
+// Compile compiles q against env into an executable Plan. The env's
+// alphabet, when non-empty, is checked against the letters actually
+// used by the query's relation automata, catching the common mistake of
+// preparing a query against the wrong environment.
+func Compile(q *ecrpq.Query, env ecrpq.Env) (*Plan, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if len(env.Sigma) > 0 {
+		if err := checkAlphabet(q, env.Sigma); err != nil {
+			return nil, err
+		}
+	}
+	prog, err := ecrpq.CompileProgram(q, false)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{Query: q, prog: prog}, nil
+}
+
+// Cached is Compile backed by the bounded package-level program cache
+// shared with ecrpq.Eval: repeated calls with the same query object
+// reuse one compiled program and its warmed engines. It is meant for
+// per-call entry points that evaluate caller-owned queries repeatedly
+// (linconstr.Eval and friends); explicit Prepare-style callers should
+// use Compile and hold the Plan themselves. Do not use it for query
+// objects constructed per call — they would pin cache slots for the
+// process lifetime.
+func Cached(q *ecrpq.Query, env ecrpq.Env) (*Plan, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if len(env.Sigma) > 0 {
+		if err := checkAlphabet(q, env.Sigma); err != nil {
+			return nil, err
+		}
+	}
+	prog, err := ecrpq.SharedProgram(q)
+	if err != nil {
+		return nil, err
+	}
+	return &Plan{Query: q, prog: prog}, nil
+}
+
+// checkAlphabet verifies that every letter of every relation automaton
+// belongs to sigma (⊥ aside).
+func checkAlphabet(q *ecrpq.Query, sigma []rune) error {
+	in := map[rune]bool{}
+	for _, r := range sigma {
+		in[r] = true
+	}
+	for _, ra := range q.RelAtoms {
+		if ra.Rel == nil || ra.Rel.A == nil {
+			continue
+		}
+		for _, sym := range ra.Rel.A.Alphabet() {
+			for _, r := range sym {
+				if r != regex.Bot && !in[r] {
+					return fmt.Errorf("plan: relation %s uses letter %q outside the environment alphabet %q",
+						ra.Rel.Name, r, string(sigma))
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Eval executes the plan to completion over g, materializing the full
+// sorted answer set — identical semantics to ecrpq.Eval. Cancellation
+// of ctx aborts the product BFS and joins promptly with ctx.Err().
+func (p *Plan) Eval(ctx context.Context, g *graph.DB, opts ecrpq.Options) (*ecrpq.Result, error) {
+	return p.prog.Eval(ctx, g, opts)
+}
+
+// Stream executes the plan over g, yielding answers incrementally; see
+// ecrpq.Program.Stream for the exact semantics (unsorted, first witness
+// per node tuple, Limit and ctx honored inside the product BFS).
+func (p *Plan) Stream(ctx context.Context, g *graph.DB, opts ecrpq.StreamOptions) iter.Seq2[ecrpq.Answer, error] {
+	return p.prog.Stream(ctx, g, opts)
+}
+
+// NumComponents returns the number of independently evaluated
+// components of the relation hypergraph.
+func (p *Plan) NumComponents() int { return p.prog.NumComponents() }
+
+// Acyclic reports whether the component join hypergraph is α-acyclic,
+// i.e. whether the default join strategy is Yannakakis semijoins.
+func (p *Plan) Acyclic() bool { return p.prog.JoinAcyclic() }
+
+// Explain renders a human-readable description of the compiled plan:
+// the component decomposition and the join strategy.
+func (p *Plan) Explain() string {
+	var b strings.Builder
+	comps := p.prog.Components()
+	fmt.Fprintf(&b, "plan: %d component(s)", len(comps))
+	if len(comps) > 1 {
+		b.WriteString(", evaluated concurrently")
+	}
+	b.WriteString("\n")
+	for i, c := range comps {
+		fmt.Fprintf(&b, "  component %d: paths(", i)
+		for j, v := range c.PathVars {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(string(v))
+		}
+		b.WriteString(") nodes(")
+		for j, v := range c.NodeVars {
+			if j > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(string(v))
+		}
+		b.WriteString(")\n")
+	}
+	if p.prog.JoinAcyclic() {
+		b.WriteString("  join: acyclic hypergraph — Yannakakis semijoins (Theorem 6.5)\n")
+	} else {
+		b.WriteString("  join: cyclic hypergraph — backtracking with hash indexes\n")
+	}
+	return b.String()
+}

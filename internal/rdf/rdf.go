@@ -141,7 +141,7 @@ func (h *Hierarchy) RhoQuery(g *graph.DB, u, v graph.Node, limit, maxLen int) ([
 	if err != nil {
 		return nil, err
 	}
-	pa, err := ecrpq.BuildPathAutomaton(q, g, []graph.Node{u, v})
+	pa, err := ecrpq.BuildPathAutomaton(q, g, []graph.Node{u, v}, ecrpq.Options{})
 	if err != nil {
 		return nil, err
 	}

@@ -11,8 +11,10 @@
 //   - Regular relations on path labels: Relation, with the paper's
 //     library (Equality, EqualLength, Prefix, EditDistance, …) and
 //     arbitrary tuple regular expressions (TupleRegex).
-//   - Evaluation: Eval (Section 5 convolution construction), Member
-//     (the ECRPQ-EVAL decision problem of Section 6), PathAutomaton
+//   - Evaluation: Prepare/Prepared (plan once, then Eval or Stream
+//     concurrently with context cancellation and limits), Eval (the
+//     one-shot Section 5 convolution construction), Member (the
+//     ECRPQ-EVAL decision problem of Section 6), PathAutomaton
 //     (Proposition 5.2 answer representation).
 //   - Extensions: the length abstraction Q_len (Section 6.3), linear
 //     constraints on label occurrences and path lengths (Section 8.2),
@@ -33,8 +35,12 @@
 package pathquery
 
 import (
+	"context"
+	"iter"
+
 	"repro/internal/ecrpq"
 	"repro/internal/graph"
+	"repro/internal/plan"
 	"repro/internal/regex"
 	"repro/internal/relations"
 )
@@ -57,6 +63,8 @@ type (
 	Env = ecrpq.Env
 	// Options tune evaluation.
 	Options = ecrpq.Options
+	// StreamOptions tune streaming evaluation (Options plus Limit).
+	StreamOptions = ecrpq.StreamOptions
 	// Result is a query result with answers and path-automaton access.
 	Result = ecrpq.Result
 	// Answer is one output tuple (nodes, witness paths).
@@ -83,7 +91,58 @@ func ParseQuery(src string, env Env) (*Query, error) { return ecrpq.Parse(src, e
 func NewQuery() *Builder { return ecrpq.NewBuilder() }
 
 // Eval evaluates an ECRPQ by the convolution construction of Section 5.
+// It is a convenience shim over the plan/execute split: the query is
+// compiled once (and cached) and run to completion. For repeated
+// evaluation, deadlines, or streaming, use Prepare.
 func Eval(q *Query, g *Graph, opts Options) (*Result, error) { return ecrpq.Eval(q, g, opts) }
+
+// Prepared is a compiled query — the public face of the plan/execute
+// split. Prepare once, then Eval or Stream any number of times, against
+// any graph, from any number of goroutines: the component
+// decomposition, joint relation automata and join strategy are compiled
+// once and shared; only graph-dependent work is paid per call.
+type Prepared struct {
+	plan *plan.Plan
+}
+
+// Prepare compiles q against env into a reusable Prepared query. The
+// query must not be mutated while the Prepared is in use.
+func Prepare(q *Query, env Env) (*Prepared, error) {
+	p, err := plan.Compile(q, env)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{plan: p}, nil
+}
+
+// Eval runs the prepared query to completion over g, materializing the
+// full sorted answer set — identical semantics to the package-level
+// Eval.
+func (p *Prepared) Eval(g *Graph, opts Options) (*Result, error) {
+	return p.plan.Eval(context.Background(), g, opts)
+}
+
+// EvalContext is Eval with cancellation: ctx is checked inside the
+// product BFS and the joins, so a deadline or cancel aborts promptly
+// with ctx.Err().
+func (p *Prepared) EvalContext(ctx context.Context, g *Graph, opts Options) (*Result, error) {
+	return p.plan.Eval(ctx, g, opts)
+}
+
+// Stream runs the prepared query over g and yields answers
+// incrementally, in discovery order: each distinct node tuple is
+// yielded once with the first witness found (not necessarily the
+// shortest — Eval refines duplicates, a stream cannot). opts.Limit
+// stops the execution — not just the iteration — after that many
+// answers, and ctx cancellation is honored mid-BFS. Breaking out of
+// the range loop tears the execution down cleanly.
+func (p *Prepared) Stream(ctx context.Context, g *Graph, opts StreamOptions) iter.Seq2[Answer, error] {
+	return p.plan.Stream(ctx, g, opts)
+}
+
+// Explain describes the compiled plan: component decomposition and join
+// strategy.
+func (p *Prepared) Explain() string { return p.plan.Explain() }
 
 // Member decides (v̄, ρ̄) ∈ Q(G) — the ECRPQ-EVAL problem of Section 6.
 func Member(q *Query, g *Graph, nodes []Node, paths []Path, opts Options) (bool, error) {
@@ -91,9 +150,9 @@ func Member(q *Query, g *Graph, nodes []Node, paths []Path, opts Options) (bool,
 }
 
 // BuildPathAutomaton constructs the Proposition 5.2 answer automaton for
-// fixed head-node values.
-func BuildPathAutomaton(q *Query, g *Graph, headNodes []Node) (*PathAutomaton, error) {
-	return ecrpq.BuildPathAutomaton(q, g, headNodes)
+// fixed head-node values, honoring opts.MaxProductStates.
+func BuildPathAutomaton(q *Query, g *Graph, headNodes []Node, opts Options) (*PathAutomaton, error) {
+	return ecrpq.BuildPathAutomaton(q, g, headNodes, opts)
 }
 
 // Built-in regular relations (Sections 1–4 of the paper).

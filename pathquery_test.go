@@ -42,7 +42,7 @@ func TestFacadeEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pa, err := BuildPathAutomaton(qp, g, []Node{ns[0], ns[2]})
+	pa, err := BuildPathAutomaton(qp, g, []Node{ns[0], ns[2]}, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
