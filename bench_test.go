@@ -393,6 +393,26 @@ func BenchmarkPreparedConcurrent(b *testing.B) {
 	})
 }
 
+// E19 — scale: label-rich Zipf-skewed graphs (|Σ| ∈ {8, 32}, n up to
+// 256) under selective vs permissive regexes. Selective cases are where
+// the label-directed product BFS replaces the (deg+1)^m move
+// enumeration with the few live-label edges; permissive cases bound its
+// overhead when every label is live. For the exhaustive-enumeration
+// ablation on the same cases, run `benchtables -json out.json
+// -baseline` and `-compare` it against a non-baseline file.
+func BenchmarkScale_LabelRich(b *testing.B) {
+	for _, c := range workload.ScaleLabelRichCases() {
+		opts := ecrpq.Options{Bind: c.Bind, MaxProductStates: 50_000_000}
+		b.Run(c.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ecrpq.Eval(c.Query, c.Graph, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // E16 — ablation: Yannakakis vs backtracking join.
 func BenchmarkAblation_Yannakakis(b *testing.B) {
 	g := workload.Random(rand.New(rand.NewSource(16)), 48, 2.0, benchSigma)

@@ -7,8 +7,16 @@
 //	go run ./cmd/benchtables                   # all experiments
 //	go run ./cmd/benchtables -only E8          # one experiment
 //	go run ./cmd/benchtables -json BENCH.json  # machine-readable ECRPQ
-//	                                           # engine benchmarks, for
+//	                                           # engine benchmarks (Fig1a
+//	                                           # + Scale_LabelRich), for
 //	                                           # cross-PR perf tracking
+//	go run ./cmd/benchtables -json B.json -baseline
+//	                                           # same suites with the
+//	                                           # label-directed pruning
+//	                                           # disabled (ablation)
+//	go run ./cmd/benchtables -compare old.json new.json
+//	                                           # speedup/allocation table
+//	                                           # between two bench files
 //
 // The measured shapes are recorded against the paper in EXPERIMENTS.md.
 package main
@@ -24,8 +32,28 @@ import (
 
 func main() {
 	only := flag.String("only", "", "run a single experiment (E1..E16)")
-	jsonPath := flag.String("json", "", "run the Fig1a ECRPQ engine benchmarks and write machine-readable results to this file")
+	jsonPath := flag.String("json", "", "run the ECRPQ engine benchmarks and write machine-readable results to this file")
+	baseline := flag.Bool("baseline", false, "with -json: disable label-directed pruning (the exhaustive-enumeration ablation baseline)")
+	compare := flag.Bool("compare", false, "compare two bench JSON files (old new) and print a speedup table")
 	flag.Parse()
+	if *compare {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "benchtables: -compare needs exactly two file arguments: old.json new.json")
+			os.Exit(2)
+		}
+		oldRep, err := experiments.ReadBenchReport(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
+			os.Exit(1)
+		}
+		newRep, err := experiments.ReadBenchReport(flag.Arg(1))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
+			os.Exit(1)
+		}
+		experiments.CompareBenchReports(os.Stdout, oldRep, newRep)
+		return
+	}
 	if *jsonPath != "" {
 		f, err := os.Create(*jsonPath)
 		if err != nil {
@@ -33,7 +61,7 @@ func main() {
 			os.Exit(1)
 		}
 		defer f.Close()
-		if err := experiments.WriteBenchJSON(f, os.Stdout); err != nil {
+		if err := experiments.WriteBenchJSON(f, os.Stdout, *baseline); err != nil {
 			fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
 			os.Exit(1)
 		}

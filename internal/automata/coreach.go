@@ -1,0 +1,45 @@
+package automata
+
+// CoReachable reports, for every state, whether some accepting state is
+// reachable from it via any sequence of symbol and ε transitions (i.e.
+// whether the state is co-accessible). States for which this is false
+// are dead for acceptance purposes: once a run enters one it can never
+// accept, no matter the remaining input.
+//
+// The joint relation runner (package relations) uses this per-atom
+// analysis to prune subset states — and, transitively, product states of
+// the evaluator — that cannot contribute to any answer.
+func CoReachable[S comparable](n *NFA[S]) []bool {
+	co := make([]bool, n.NumStates())
+	rev := make([][]int32, n.NumStates())
+	for q := range n.trans {
+		for _, tos := range n.trans[q] {
+			for _, to := range tos {
+				rev[to] = append(rev[to], int32(q))
+			}
+		}
+	}
+	for q, es := range n.eps {
+		for _, to := range es {
+			rev[to] = append(rev[to], int32(q))
+		}
+	}
+	var stack []int32
+	for q, f := range n.final {
+		if f {
+			co[q] = true
+			stack = append(stack, int32(q))
+		}
+	}
+	for len(stack) > 0 {
+		q := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range rev[q] {
+			if !co[p] {
+				co[p] = true
+				stack = append(stack, p)
+			}
+		}
+	}
+	return co
+}

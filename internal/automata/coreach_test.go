@@ -1,0 +1,38 @@
+package automata
+
+import "testing"
+
+// TestCoReachable builds an automaton with a live spine, an ε-bridge and
+// a dead branch, and checks the co-accessibility classification.
+func TestCoReachable(t *testing.T) {
+	n := NewNFA[rune]()
+	n.AddStates(6)
+	n.SetStart(0)
+	n.AddTransition(0, 'a', 1) // live: 1 → 2(final) via ε
+	n.AddEps(1, 2)
+	n.SetFinal(2, true)
+	n.AddTransition(0, 'a', 3) // dead branch: 3 → 4, no acceptance below
+	n.AddTransition(3, 'c', 4)
+	n.AddTransition(5, 'b', 2) // live but unreachable from the start
+	co := CoReachable(n)
+	want := []bool{true, true, true, false, false, true}
+	for q, w := range want {
+		if co[q] != w {
+			t.Errorf("CoReachable[%d] = %v, want %v", q, co[q], w)
+		}
+	}
+}
+
+// TestCoReachableEmpty covers the empty-language automaton: nothing is
+// co-reachable.
+func TestCoReachableEmpty(t *testing.T) {
+	n := NewNFA[rune]()
+	n.AddStates(2)
+	n.SetStart(0)
+	n.AddTransition(0, 'a', 1)
+	for q, c := range CoReachable(n) {
+		if c {
+			t.Errorf("CoReachable[%d] = true in empty-language automaton", q)
+		}
+	}
+}

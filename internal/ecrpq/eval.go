@@ -45,6 +45,15 @@ type Options struct {
 	// decomposition is fixed at compile time and this field is ignored;
 	// the Eval shim selects the matching program.
 	NoDecompose bool
+	// NoPrune disables the label-directed move planning of the product
+	// BFS (the per-state intersection of the joint runner's live labels
+	// with the graph's label runs), falling back to exhaustive
+	// enumeration of every out-edge plus the ⊥ stay-move at every
+	// coordinate; the runner's dead-subset elimination remains active.
+	// Answers and witnesses are identical either way; only the cost
+	// changes. It exists as the ablation baseline for benchmarks and
+	// the pruned==unpruned property tests.
+	NoPrune bool
 }
 
 // ErrBudget is returned when evaluation exceeds MaxProductStates.
@@ -404,15 +413,17 @@ func newComponentEngine(c *component, keepPaths map[PathVar]bool) *componentEngi
 }
 
 // reset prepares a (possibly pooled) engine for one execution: the
-// graph snapshot, external bindings and result accumulators are
-// per-call; the joint runner and symbol table persist.
-func (e *componentEngine) reset(g *graph.DB, bind map[NodeVar]graph.Node) {
+// graph snapshot, external bindings, pruning mode and result
+// accumulators are per-call; the joint runner (with its live-label
+// memos) and symbol table persist.
+func (e *componentEngine) reset(g *graph.DB, opts Options) {
 	e.g = g
-	e.adj = g.Adjacency()
+	e.csr = g.Snapshot()
+	e.noPrune = opts.NoPrune
 	e.vr = &varRelation{vars: e.allVars}
 	e.rowTab.Reset()
 	for i, v := range e.allVars {
-		if n, ok := bind[v]; ok {
+		if n, ok := opts.Bind[v]; ok {
 			e.bindVal[i] = n
 		} else {
 			e.bindVal[i] = -1
@@ -504,6 +515,7 @@ func (e *componentEngine) bfs(ctx context.Context, assign map[NodeVar]graph.Node
 
 	var head int
 	var cur []graph.Node
+	edges := e.csr.Edges
 	var rec func(i int) error
 	rec = func(i int) error {
 		if i == cnt {
@@ -520,19 +532,23 @@ func (e *componentEngine) bfs(ctx context.Context, assign map[NodeVar]graph.Node
 			}
 			return nil
 		}
-		// Per-coordinate moves: the ⊥ stay-move plus the real out-edges,
-		// straight from the graph's adjacency snapshot.
-		v := cur[i]
-		e.symInts[i] = int(regex.Bot)
-		e.next[i] = v
-		if err := rec(i + 1); err != nil {
-			return err
-		}
-		for _, ed := range e.adj[v] {
-			e.symInts[i] = int(ed.Label)
-			e.next[i] = ed.To
+		// Per-coordinate moves planned by prepareMoves: the ⊥ stay-move
+		// when the runner admits it, then the live-label edge runs.
+		if e.botOK[i] {
+			e.symInts[i] = int(regex.Bot)
+			e.next[i] = cur[i]
 			if err := rec(i + 1); err != nil {
 				return err
+			}
+		}
+		rr := e.moveRuns[i]
+		for k := 0; k+1 < len(rr); k += 2 {
+			for _, ed := range edges[rr[k]:rr[k+1]] {
+				e.symInts[i] = int(ed.Label)
+				e.next[i] = ed.To
+				if err := rec(i + 1); err != nil {
+					return err
+				}
 			}
 		}
 		return nil
@@ -544,10 +560,19 @@ func (e *componentEngine) bfs(ctx context.Context, assign map[NodeVar]graph.Node
 			}
 		}
 		cur = e.curs[head*cnt : head*cnt+cnt]
-		if e.runner.Accepting(int(e.joints[head])) {
+		joint := int(e.joints[head])
+		if e.runner.Accepting(joint) {
 			if err := e.accept(head, cur); err != nil {
 				return err
 			}
+		}
+		// Label-directed expansion: per coordinate, only the moves in the
+		// intersection of the runner's live labels with the CSR label
+		// runs at the coordinate's node (⊥-stay included only when the
+		// runner admits it there); a coordinate with no move at all
+		// skips the state entirely.
+		if !e.prepareMoves(joint, cur) {
+			continue
 		}
 		if err := rec(0); err != nil {
 			return err

@@ -110,7 +110,7 @@ func BuildPathAutomaton(q *Query, g *graph.DB, headNodes []graph.Node, opts Opti
 		return out
 	}
 
-	pb := newProductBuilder(g, c, newStateBudget(opts.MaxProductStates))
+	pb := newProductBuilder(g, c, newStateBudget(opts.MaxProductStates), opts.NoPrune)
 	assign := map[NodeVar]graph.Node{}
 	var enumerate func(i int) error
 	enumerate = func(i int) error {
@@ -159,26 +159,30 @@ func (pb *productBuilder) buildRepBFS(full *automata.NFA[string], globalStart in
 	full.AddTransition(globalStart, NodeSym(start), int(pb.nfaIDs[s0]))
 
 	cnt := pb.cnt
+	var from, joint int
+	step := func() error {
+		sid := pb.symID()
+		js, ok := pb.runner.Step(joint, sid)
+		if !ok {
+			return nil
+		}
+		to, _, err := pb.stateOf(js, pb.next, addNFA)
+		if err != nil {
+			return err
+		}
+		mid := full.AddState()
+		full.AddTransition(from, "L:"+pb.runner.SymString(sid), mid)
+		full.AddTransition(mid, NodeSym(pb.next), int(pb.nfaIDs[to]))
+		return nil
+	}
 	for head := 0; head < len(pb.joints); head++ {
 		cur := pb.curs[head*cnt : head*cnt+cnt]
-		from := int(pb.nfaIDs[head])
-		joint := int(pb.joints[head])
-		err := pb.forEachMove(cur, func() error {
-			sid := pb.symID()
-			js, ok := pb.runner.Step(joint, sid)
-			if !ok {
-				return nil
-			}
-			to, _, err := pb.stateOf(js, pb.next, addNFA)
-			if err != nil {
-				return err
-			}
-			mid := full.AddState()
-			full.AddTransition(from, "L:"+pb.runner.SymString(sid), mid)
-			full.AddTransition(mid, NodeSym(pb.next), int(pb.nfaIDs[to]))
-			return nil
-		})
-		if err != nil {
+		from = int(pb.nfaIDs[head])
+		joint = int(pb.joints[head])
+		if !pb.prepareMoves(joint, cur) {
+			continue
+		}
+		if err := pb.forEachMove(cur, step); err != nil {
 			return err
 		}
 	}

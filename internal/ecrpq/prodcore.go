@@ -3,33 +3,59 @@ package ecrpq
 import (
 	"repro/internal/graph"
 	"repro/internal/intern"
+	"repro/internal/regex"
 	"repro/internal/relations"
 )
 
 // prodCore is the machinery shared by every dense product-BFS driver
 // (the evaluator's componentEngine and the explicit-automaton
-// productBuilder): the component, the graph adjacency snapshot, the
-// joint runner, and the tuple-symbol interning whose dense ids must
-// stay aligned with the runner's — keeping that invariant in one place.
+// productBuilder): the component, the graph's CSR label index, the joint
+// runner, the tuple-symbol interning whose dense ids must stay aligned
+// with the runner's, and the label-directed move plan — keeping those
+// invariants in one place.
 type prodCore struct {
 	g   *graph.DB
 	c   *component
-	adj [][]graph.Edge
+	csr *graph.CSR
 	cnt int
 
 	runner *relations.JointRunner
 	symTab *intern.Table // label tuples → dense symbol ids (== runner ids)
 
+	// noPrune disables the label-directed move planning: prepareMoves
+	// then plans the exhaustive enumeration (every out-edge plus ⊥ at
+	// every coordinate). The joint runner's dead-subset elimination
+	// stays active either way, so the ablation isolates move
+	// enumeration, not the whole analysis. Answers are identical.
+	noPrune bool
+
+	// Move plan for the product state currently being expanded, filled
+	// by prepareMoves: per coordinate, (start,end) pairs into csr.Edges
+	// of the admissible edge runs, plus whether the ⊥ stay-move is live.
+	moveRuns [][]int32
+	botOK    []bool
+
+	// effLive memoizes, per joint state id, the graph-effective live
+	// sets: the runner's live labels intersected with the snapshot's
+	// alphabet, collapsed to the All fast path when they cover it — so a
+	// permissive (full-alphabet) regex pays nothing per state. Valid for
+	// effCSR only; reset clears it when the snapshot changes.
+	effLive [][]relations.LiveSet
+	effCSR  *graph.CSR
+
 	// Scratch: the move enumeration fills symInts/next coordinate by
-	// coordinate.
+	// coordinate; moveCur and moveF hold the enumeration's inputs so the
+	// recursion is a method, not a per-state closure.
 	symInts  []int
 	symRunes []rune
 	next     []graph.Node
+	moveCur  []graph.Node
+	moveF    func() error
 }
 
 // newProdCore builds the shared product machinery. g may be nil when
 // the core is compiled ahead of any graph (componentEngine.reset
-// installs the adjacency snapshot before each execution).
+// installs the CSR snapshot before each execution).
 func newProdCore(g *graph.DB, c *component) prodCore {
 	cnt := len(c.vars)
 	pc := prodCore{
@@ -38,12 +64,14 @@ func newProdCore(g *graph.DB, c *component) prodCore {
 		cnt:      cnt,
 		runner:   relations.NewJointRunner(c.joint),
 		symTab:   intern.NewTable(0),
+		moveRuns: make([][]int32, cnt),
+		botOK:    make([]bool, cnt),
 		symInts:  make([]int, cnt),
 		symRunes: make([]rune, cnt),
 		next:     make([]graph.Node, cnt),
 	}
 	if g != nil {
-		pc.adj = g.Adjacency()
+		pc.csr = g.Snapshot()
 	}
 	return pc
 }
@@ -78,4 +106,156 @@ func (pc *prodCore) startTuple(assign map[NodeVar]graph.Node) ([]graph.Node, boo
 		start[i] = s
 	}
 	return start, true
+}
+
+// liveFor returns the graph-effective live sets of jointID, memoized
+// per joint state for the lifetime of the current CSR snapshot.
+func (pc *prodCore) liveFor(jointID int) []relations.LiveSet {
+	if pc.csr != pc.effCSR {
+		pc.effLive = pc.effLive[:0]
+		pc.effCSR = pc.csr
+	}
+	for len(pc.effLive) <= jointID {
+		pc.effLive = append(pc.effLive, nil)
+	}
+	if eff := pc.effLive[jointID]; eff != nil {
+		return eff
+	}
+	src := pc.runner.Live(jointID)
+	alpha := pc.csr.Alphabet()
+	eff := make([]relations.LiveSet, len(src))
+	for i, ls := range src {
+		if ls.All || len(ls.Labels) == 0 {
+			eff[i] = ls
+			continue
+		}
+		inter := intersectSortedRunes(ls.Labels, alpha)
+		eff[i] = relations.LiveSet{All: len(inter) == len(alpha), Bot: ls.Bot, Labels: inter}
+	}
+	pc.effLive[jointID] = eff
+	return eff
+}
+
+// intersectSortedRunes intersects two sorted rune slices.
+func intersectSortedRunes(a, b []rune) []rune {
+	out := make([]rune, 0, min(len(a), len(b)))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// prepareMoves computes the per-coordinate admissible moves for the
+// product state with joint state jointID and node tuple cur: the
+// intersection of the runner's live labels with the CSR label runs at
+// each coordinate's node, plus the ⊥ stay-move where the runner admits
+// it. It returns false when some coordinate has no move at all — the
+// state is dead and the caller skips its expansion entirely.
+func (pc *prodCore) prepareMoves(jointID int, cur []graph.Node) bool {
+	if pc.noPrune {
+		for i, v := range cur {
+			s, e := pc.csr.OutRange(v)
+			pc.moveRuns[i] = append(pc.moveRuns[i][:0], s, e)
+			pc.botOK[i] = true
+		}
+		return true
+	}
+	live := pc.liveFor(jointID)
+	for i, v := range cur {
+		ls := live[i]
+		rr := pc.moveRuns[i][:0]
+		switch {
+		case ls.All:
+			if s, e := pc.csr.OutRange(v); s < e {
+				rr = append(rr, s, e)
+			}
+		case len(ls.Labels) > 0:
+			// For each of the node's label runs (few — one per distinct
+			// out-label), binary-search the shrinking tail of the sorted
+			// live set: O(runs·log|live|), cheaper than a linear merge
+			// when the live set is broad. Adjacent selected runs coalesce
+			// into one contiguous range (they abut in the edge array), so
+			// a fully live node degrades to the single full-range case.
+			lab := ls.Labels
+			li := 0
+			for _, run := range pc.csr.Runs(v) {
+				lo, hi := li, len(lab)
+				for lo < hi {
+					mid := int(uint(lo+hi) >> 1)
+					if lab[mid] < run.Label {
+						lo = mid + 1
+					} else {
+						hi = mid
+					}
+				}
+				li = lo
+				if li == len(lab) {
+					break
+				}
+				if lab[li] == run.Label {
+					if n := len(rr); n > 0 && rr[n-1] == run.Start {
+						rr[n-1] = run.End
+					} else {
+						rr = append(rr, run.Start, run.End)
+					}
+					li++
+					if li == len(lab) {
+						break
+					}
+				}
+			}
+		}
+		pc.moveRuns[i] = rr
+		pc.botOK[i] = ls.Bot
+		if len(rr) == 0 && !ls.Bot {
+			return false
+		}
+	}
+	return true
+}
+
+// forEachMove enumerates the move combinations planned by the last
+// prepareMoves, leaving each combination in pc.symInts/pc.next and
+// invoking f; a non-nil error from f stops the enumeration. cur must be
+// the node tuple passed to prepareMoves (the ⊥ stay-move keeps the
+// coordinate's node).
+func (pc *prodCore) forEachMove(cur []graph.Node, f func() error) error {
+	pc.moveCur, pc.moveF = cur, f
+	err := pc.enumMoves(0)
+	pc.moveCur, pc.moveF = nil, nil
+	return err
+}
+
+func (pc *prodCore) enumMoves(i int) error {
+	if i == pc.cnt {
+		return pc.moveF()
+	}
+	if pc.botOK[i] {
+		pc.symInts[i] = int(regex.Bot)
+		pc.next[i] = pc.moveCur[i]
+		if err := pc.enumMoves(i + 1); err != nil {
+			return err
+		}
+	}
+	rr := pc.moveRuns[i]
+	for k := 0; k+1 < len(rr); k += 2 {
+		for _, ed := range pc.csr.Edges[rr[k]:rr[k+1]] {
+			pc.symInts[i] = int(ed.Label)
+			pc.next[i] = ed.To
+			if err := pc.enumMoves(i + 1); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }

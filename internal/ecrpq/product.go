@@ -4,7 +4,6 @@ import (
 	"repro/internal/automata"
 	"repro/internal/graph"
 	"repro/internal/intern"
-	"repro/internal/regex"
 )
 
 // ProductNFA builds the full m-tape product automaton of the query over
@@ -43,7 +42,7 @@ func ProductNFA(q *Query, g *graph.DB, opts Options) (*automata.NFA[string], []P
 		}
 		return all
 	}
-	pb := newProductBuilder(g, c, newStateBudget(opts.MaxProductStates))
+	pb := newProductBuilder(g, c, newStateBudget(opts.MaxProductStates), opts.NoPrune)
 	assign := map[NodeVar]graph.Node{}
 	var enumerate func(i int) error
 	enumerate = func(i int) error {
@@ -83,13 +82,15 @@ type productBuilder struct {
 	tupBuf []int
 }
 
-func newProductBuilder(g *graph.DB, c *component, bud *stateBudget) *productBuilder {
-	return &productBuilder{
+func newProductBuilder(g *graph.DB, c *component, bud *stateBudget, noPrune bool) *productBuilder {
+	pb := &productBuilder{
 		prodCore: newProdCore(g, c),
 		bud:      bud,
 		prodTab:  intern.NewTable(0),
 		tupBuf:   make([]int, 0, len(c.vars)+1),
 	}
+	pb.noPrune = noPrune
+	return pb
 }
 
 // stateOf interns the product state (jointID, nodes) for the current
@@ -124,35 +125,10 @@ func (pb *productBuilder) resetCopy() {
 	pb.joints = pb.joints[:0]
 }
 
-// forEachMove enumerates the per-coordinate move combinations of the
-// product state with node tuple cur (the ⊥ stay-move plus real edges per
-// coordinate), leaving each combination in pb.symInts/pb.next and
-// invoking f; a non-nil error from f stops the enumeration.
-func (pb *productBuilder) forEachMove(cur []graph.Node, f func() error) error {
-	var rec func(i int) error
-	rec = func(i int) error {
-		if i == pb.cnt {
-			return f()
-		}
-		v := cur[i]
-		pb.symInts[i] = int(regex.Bot)
-		pb.next[i] = v
-		if err := rec(i + 1); err != nil {
-			return err
-		}
-		for _, ed := range pb.adj[v] {
-			pb.symInts[i] = int(ed.Label)
-			pb.next[i] = ed.To
-			if err := rec(i + 1); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	return rec(0)
-}
-
 // addProductCopy adds one start-assignment copy of the product to out.
+// Expansion is label-directed exactly like the evaluator's BFS (see
+// prodCore.prepareMoves); the pruned transitions all lead to states that
+// cannot reach acceptance, so the accepted language is unchanged.
 func (pb *productBuilder) addProductCopy(out *automata.NFA[string], assign, bind map[NodeVar]graph.Node) error {
 	start, ok := pb.startTuple(assign)
 	if !ok {
@@ -170,24 +146,28 @@ func (pb *productBuilder) addProductCopy(out *automata.NFA[string], assign, bind
 	}
 	out.SetStart(int(pb.nfaIDs[s0]))
 	cnt := pb.cnt
+	var from, joint int
+	step := func() error {
+		sid := pb.symID()
+		js, ok := pb.runner.Step(joint, sid)
+		if !ok {
+			return nil
+		}
+		to, _, err := pb.stateOf(js, pb.next, addNFA)
+		if err != nil {
+			return err
+		}
+		out.AddTransition(from, pb.runner.SymString(sid), int(pb.nfaIDs[to]))
+		return nil
+	}
 	for head := 0; head < len(pb.joints); head++ {
 		cur := pb.curs[head*cnt : head*cnt+cnt]
-		from := int(pb.nfaIDs[head])
-		joint := int(pb.joints[head])
-		err := pb.forEachMove(cur, func() error {
-			sid := pb.symID()
-			js, ok := pb.runner.Step(joint, sid)
-			if !ok {
-				return nil
-			}
-			to, _, err := pb.stateOf(js, pb.next, addNFA)
-			if err != nil {
-				return err
-			}
-			out.AddTransition(from, pb.runner.SymString(sid), int(pb.nfaIDs[to]))
-			return nil
-		})
-		if err != nil {
+		from = int(pb.nfaIDs[head])
+		joint = int(pb.joints[head])
+		if !pb.prepareMoves(joint, cur) {
+			continue
+		}
+		if err := pb.forEachMove(cur, step); err != nil {
 			return err
 		}
 	}

@@ -145,6 +145,12 @@ func (p *Program) JoinAcyclic() bool { return p.jp.acyclic }
 type ComponentInfo struct {
 	PathVars []PathVar
 	NodeVars []NodeVar
+	// LiveStart renders, per path variable, the labels the
+	// label-directed product BFS will consider at the joint start state:
+	// "*" when the tape is unconstrained, otherwise the live labels,
+	// with "|⊥" appended when the ⊥ stay-move is admissible there. It is
+	// a compile-time picture of the query's selectivity.
+	LiveStart []string
 }
 
 // Components describes the compiled component decomposition.
@@ -152,9 +158,17 @@ func (p *Program) Components() []ComponentInfo {
 	out := make([]ComponentInfo, len(p.comps))
 	for i, c := range p.comps {
 		all, _ := c.nodeVars()
+		e := p.take(i)
+		live := e.runner.Live(e.runner.StartID())
+		starts := make([]string, len(live))
+		for t, ls := range live {
+			starts[t] = ls.String()
+		}
+		p.put(i, e)
 		out[i] = ComponentInfo{
-			PathVars: append([]PathVar(nil), c.vars...),
-			NodeVars: append([]NodeVar(nil), all...),
+			PathVars:  append([]PathVar(nil), c.vars...),
+			NodeVars:  append([]NodeVar(nil), all...),
+			LiveStart: starts,
 		}
 	}
 	return out
@@ -186,7 +200,7 @@ const maxPooledScratch = 1 << 16
 // sized by the last execution is dropped first.
 func (p *Program) put(i int, e *componentEngine) {
 	e.g = nil
-	e.adj = nil
+	e.csr = nil
 	e.vr = nil
 	e.sink = nil
 	if cap(e.parentState) > maxPooledScratch {
@@ -228,7 +242,7 @@ func (p *Program) evalComponents(ctx context.Context, g *graph.DB, opts Options)
 	rels := make([]*varRelation, n)
 	if n == 1 {
 		e := engines[0]
-		e.reset(g, opts.Bind)
+		e.reset(g, opts)
 		vr, err := evalComponent(ctx, e, opts.Bind, bud)
 		if err != nil {
 			return nil, err
@@ -256,7 +270,7 @@ func (p *Program) evalComponents(ctx context.Context, g *graph.DB, opts Options)
 				return
 			}
 			e := engines[i]
-			e.reset(g, opts.Bind)
+			e.reset(g, opts)
 			vr, err := evalComponent(cctx, e, opts.Bind, bud)
 			if err != nil {
 				errOnce.Do(func() { firstErr = err; cancel() })

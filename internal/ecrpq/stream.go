@@ -141,7 +141,7 @@ func (s *answerSink) row(nodes []graph.Node, paths map[PathVar]graph.Path) error
 func (p *Program) streamSingle(ctx context.Context, g *graph.DB, opts StreamOptions, sink *answerSink) error {
 	e := p.take(0)
 	defer p.put(0, e)
-	e.reset(g, opts.Bind)
+	e.reset(g, opts.Options)
 	sink.bindCols(e.allVars)
 	e.sink = sink.row
 	bud := newStateBudget(opts.MaxProductStates)

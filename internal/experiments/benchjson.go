@@ -46,8 +46,10 @@ func runBench(name string, f func(b *testing.B)) BenchResult {
 // BenchFig1aECRPQ reruns the ECRPQ evaluation benchmarks of the paper's
 // Figure 1(a) — the same workloads as BenchmarkFig1a_ECRPQ_Data and
 // BenchmarkFig1a_ECRPQ_Combined in bench_test.go (identical seeds and
-// sizes) — and returns machine-readable results.
-func BenchFig1aECRPQ() BenchReport {
+// sizes) — and returns machine-readable results. noPrune runs the
+// exhaustive-enumeration ablation (Options.NoPrune), the baseline of
+// the label-directed-BFS comparison.
+func BenchFig1aECRPQ(noPrune bool) BenchReport {
 	sigma := []rune{'a', 'b'}
 	env := ecrpq.Env{Sigma: sigma}
 	rep := BenchReport{Suite: "Fig1a_ECRPQ"}
@@ -61,7 +63,7 @@ func BenchFig1aECRPQ() BenchReport {
 			func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
-					if _, err := ecrpq.Eval(qd, g, ecrpq.Options{Bind: bind, MaxProductStates: 50_000_000}); err != nil {
+					if _, err := ecrpq.Eval(qd, g, ecrpq.Options{Bind: bind, MaxProductStates: 50_000_000, NoPrune: noPrune}); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -80,7 +82,7 @@ func BenchFig1aECRPQ() BenchReport {
 			func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
-					if _, err := ecrpq.Eval(q, g, ecrpq.Options{MaxProductStates: 50_000_000}); err != nil {
+					if _, err := ecrpq.Eval(q, g, ecrpq.Options{MaxProductStates: 50_000_000, NoPrune: noPrune}); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -133,14 +135,42 @@ func BenchFig1aECRPQ() BenchReport {
 	return rep
 }
 
-// WriteBenchJSON runs BenchFig1aECRPQ and writes the report as indented
-// JSON, plus a short human-readable table to table (if non-nil).
-func WriteBenchJSON(jsonOut io.Writer, table io.Writer) error {
-	rep := BenchFig1aECRPQ()
+// BenchScaleLabelRich runs the Scale_LabelRich suite (the same cases as
+// BenchmarkScale_LabelRich: label-rich Zipf-skewed graphs, selective vs
+// permissive regexes) and returns machine-readable results. noPrune
+// runs the exhaustive-enumeration ablation.
+func BenchScaleLabelRich(noPrune bool) BenchReport {
+	rep := BenchReport{Suite: "Scale_LabelRich"}
+	for _, c := range workload.ScaleLabelRichCases() {
+		c := c
+		opts := ecrpq.Options{Bind: c.Bind, MaxProductStates: 50_000_000, NoPrune: noPrune}
+		rep.Benchmarks = append(rep.Benchmarks, runBench(
+			"Scale_LabelRich/"+c.Name,
+			func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := ecrpq.Eval(c.Query, c.Graph, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}))
+	}
+	return rep
+}
+
+// WriteBenchJSON runs the ECRPQ engine suites (Fig1a + Scale_LabelRich)
+// and writes the combined report as indented JSON, plus a short
+// human-readable table to table (if non-nil). noPrune runs every suite
+// under the exhaustive-enumeration ablation, producing the baseline
+// file of a `benchtables -compare` pair.
+func WriteBenchJSON(jsonOut io.Writer, table io.Writer, noPrune bool) error {
+	rep := BenchFig1aECRPQ(noPrune)
+	rep.Suite = "ECRPQ_Engine"
+	rep.Benchmarks = append(rep.Benchmarks, BenchScaleLabelRich(noPrune).Benchmarks...)
 	if table != nil {
-		fmt.Fprintf(table, "%-28s %14s %12s %12s\n", "benchmark", "ns/op", "B/op", "allocs/op")
+		fmt.Fprintf(table, "%-40s %14s %12s %12s\n", "benchmark", "ns/op", "B/op", "allocs/op")
 		for _, r := range rep.Benchmarks {
-			fmt.Fprintf(table, "%-28s %14.0f %12d %12d\n", r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+			fmt.Fprintf(table, "%-40s %14.0f %12d %12d\n", r.Name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
 		}
 	}
 	enc := json.NewEncoder(jsonOut)

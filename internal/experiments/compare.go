@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// ReadBenchReport loads a bench JSON file written by WriteBenchJSON
+// (`benchtables -json`).
+func ReadBenchReport(path string) (BenchReport, error) {
+	var rep BenchReport
+	f, err := os.Open(path)
+	if err != nil {
+		return rep, err
+	}
+	defer f.Close()
+	if err := json.NewDecoder(f).Decode(&rep); err != nil {
+		return rep, fmt.Errorf("experiments: %s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// CompareBenchReports renders a per-benchmark comparison table between
+// two reports, matching benchmarks by name: old and new ns/op with the
+// speedup factor, and old and new B/op with the allocation-reduction
+// factor. Benchmarks present in only one report are listed afterwards,
+// so a new suite against an older file degrades gracefully. This is the
+// generator behind the docs/PERF.md tables (`benchtables -compare`).
+func CompareBenchReports(w io.Writer, oldRep, newRep BenchReport) {
+	oldBy := map[string]BenchResult{}
+	for _, r := range oldRep.Benchmarks {
+		oldBy[r.Name] = r
+	}
+	newBy := map[string]bool{}
+	fmt.Fprintf(w, "%-40s %12s %12s %8s %10s %10s %8s\n",
+		"benchmark", "old ns/op", "new ns/op", "speedup", "old B/op", "new B/op", "B ratio")
+	var onlyNew []string
+	for _, nr := range newRep.Benchmarks {
+		newBy[nr.Name] = true
+		or, ok := oldBy[nr.Name]
+		if !ok {
+			onlyNew = append(onlyNew, nr.Name)
+			continue
+		}
+		fmt.Fprintf(w, "%-40s %12.0f %12.0f %7.2fx %10d %10d %7.2fx\n",
+			nr.Name, or.NsPerOp, nr.NsPerOp, ratio(or.NsPerOp, nr.NsPerOp),
+			or.BytesPerOp, nr.BytesPerOp, ratio(float64(or.BytesPerOp), float64(nr.BytesPerOp)))
+	}
+	for _, r := range oldRep.Benchmarks {
+		if !newBy[r.Name] {
+			fmt.Fprintf(w, "%-40s %12.0f %12s (only in old file)\n", r.Name, r.NsPerOp, "-")
+		}
+	}
+	for _, name := range onlyNew {
+		fmt.Fprintf(w, "%-40s %12s %12s (only in new file)\n", name, "-", "-")
+	}
+}
+
+// ratio is old/new, guarding division by zero.
+func ratio(old, new float64) float64 {
+	if new == 0 {
+		return 0
+	}
+	return old / new
+}

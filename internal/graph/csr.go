@@ -1,0 +1,118 @@
+package graph
+
+import "sort"
+
+// LabelRun is one contiguous run of equally-labeled out-edges of a node
+// inside a CSR snapshot: the edges CSR.Edges[Start:End] all leave the
+// same node and carry Label.
+type LabelRun struct {
+	Label rune
+	Start int32
+	End   int32
+}
+
+// CSR is an immutable compressed-sparse-row snapshot of a DB: one flat
+// edge array holding every out-edge, grouped by source node and, within
+// a node, sorted by label then target, plus a per-node label-run index.
+// It is the hot-path view of the graph — the label-directed product BFS
+// asks it "which labels leave v" and "the edges of v with label a", both
+// answered with O(1)-ish contiguous slices instead of map walks.
+//
+// A CSR is safe for concurrent use by any number of readers; it never
+// changes after construction. Obtain one from DB.Snapshot.
+type CSR struct {
+	// Edges is the flat edge array; see the type comment for its order.
+	// Callers must not modify it.
+	Edges []Edge
+
+	nodeOff  []int32 // per node: range of its edges in Edges (len n+1)
+	runs     []LabelRun
+	runOff   []int32 // per node: range of its runs in runs (len n+1)
+	alphabet []rune  // distinct edge labels, sorted
+	perNode  [][]Edge
+}
+
+// Snapshot returns the CSR adjacency snapshot of the database, building
+// it on first use and caching it until the next AddEdge. Concurrent
+// readers of an otherwise-unmutated DB are safe: racing builders each
+// publish a complete snapshot and the last one wins.
+func (g *DB) Snapshot() *CSR {
+	if c := g.adj.Load(); c != nil && c.NumNodes() == len(g.names) {
+		return c
+	}
+	n := len(g.names)
+	c := &CSR{
+		Edges:   make([]Edge, 0, g.nEdges),
+		nodeOff: make([]int32, n+1),
+		runOff:  make([]int32, n+1),
+		perNode: make([][]Edge, n),
+	}
+	labels := make([]rune, 0, 8)
+	seen := map[rune]bool{}
+	for v := 0; v < n; v++ {
+		labels = labels[:0]
+		for a := range g.out[v] {
+			labels = append(labels, a)
+			if !seen[a] {
+				seen[a] = true
+				c.alphabet = append(c.alphabet, a)
+			}
+		}
+		sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
+		for _, a := range labels {
+			start := int32(len(c.Edges))
+			tos := append([]Node(nil), g.out[v][a]...)
+			sort.Slice(tos, func(i, j int) bool { return tos[i] < tos[j] })
+			for _, to := range tos {
+				c.Edges = append(c.Edges, Edge{Label: a, To: to})
+			}
+			c.runs = append(c.runs, LabelRun{Label: a, Start: start, End: int32(len(c.Edges))})
+		}
+		c.nodeOff[v+1] = int32(len(c.Edges))
+		c.runOff[v+1] = int32(len(c.runs))
+	}
+	sort.Slice(c.alphabet, func(i, j int) bool { return c.alphabet[i] < c.alphabet[j] })
+	for v := 0; v < n; v++ {
+		c.perNode[v] = c.Edges[c.nodeOff[v]:c.nodeOff[v+1]]
+	}
+	g.adj.Store(c)
+	return c
+}
+
+// NumNodes returns the number of nodes of the snapshot.
+func (c *CSR) NumNodes() int { return len(c.nodeOff) - 1 }
+
+// NumEdges returns the number of edges of the snapshot.
+func (c *CSR) NumEdges() int { return len(c.Edges) }
+
+// Out returns every out-edge of v, sorted by label then target (shared
+// slice; do not modify).
+func (c *CSR) Out(v Node) []Edge { return c.perNode[v] }
+
+// OutRange returns the range of v's edges in Edges.
+func (c *CSR) OutRange(v Node) (start, end int32) { return c.nodeOff[v], c.nodeOff[v+1] }
+
+// Runs returns the label runs of v, sorted by label: one entry per
+// distinct out-label, delimiting that label's edges in Edges (shared
+// slice; do not modify). This is "the labels present at v".
+func (c *CSR) Runs(v Node) []LabelRun { return c.runs[c.runOff[v]:c.runOff[v+1]] }
+
+// WithLabel returns the edges of v labeled a, found by binary search over
+// v's label runs (shared slice; do not modify).
+func (c *CSR) WithLabel(v Node, a rune) []Edge {
+	runs := c.Runs(v)
+	i := sort.Search(len(runs), func(i int) bool { return runs[i].Label >= a })
+	if i < len(runs) && runs[i].Label == a {
+		return c.Edges[runs[i].Start:runs[i].End]
+	}
+	return nil
+}
+
+// Alphabet returns the distinct edge labels of the snapshot, sorted
+// (shared slice; do not modify).
+func (c *CSR) Alphabet() []rune { return c.alphabet }
+
+// Adjacency returns the per-node out-edge view of the snapshot:
+// Adjacency()[v] lists every edge leaving v, sorted by label then
+// target. The slices alias Edges; callers must not modify them.
+func (c *CSR) Adjacency() [][]Edge { return c.perNode }

@@ -1,0 +1,143 @@
+package graph
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func randomTestDB(r *rand.Rand, n, edges int, sigma []rune) *DB {
+	g := NewDB()
+	for i := 0; i < n; i++ {
+		g.AddNode("")
+	}
+	for e := 0; e < edges; e++ {
+		g.AddEdge(Node(r.Intn(n)), sigma[r.Intn(len(sigma))], Node(r.Intn(n)))
+	}
+	return g
+}
+
+// TestCSRMatchesDB checks the CSR snapshot against the authoritative
+// map representation: edge content, per-node order (label then target),
+// label runs, per-label lookup and the cached alphabet.
+func TestCSRMatchesDB(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	sigma := []rune("abcde")
+	for trial := 0; trial < 20; trial++ {
+		g := randomTestDB(r, 2+r.Intn(10), r.Intn(60), sigma)
+		c := g.Snapshot()
+		if c.NumNodes() != g.NumNodes() || c.NumEdges() != g.NumEdges() {
+			t.Fatalf("snapshot size %d/%d, want %d/%d", c.NumNodes(), c.NumEdges(), g.NumNodes(), g.NumEdges())
+		}
+		total := 0
+		for v := 0; v < g.NumNodes(); v++ {
+			out := c.Out(Node(v))
+			s, e := c.OutRange(Node(v))
+			if len(out) != int(e-s) {
+				t.Fatalf("node %d: Out len %d, OutRange %d", v, len(out), e-s)
+			}
+			total += len(out)
+			for i := 1; i < len(out); i++ {
+				if out[i-1].Label > out[i].Label ||
+					(out[i-1].Label == out[i].Label && out[i-1].To >= out[i].To) {
+					t.Fatalf("node %d: edges not sorted by label,target: %v", v, out)
+				}
+			}
+			runs := c.Runs(Node(v))
+			covered := 0
+			for ri, run := range runs {
+				if ri > 0 && runs[ri-1].Label >= run.Label {
+					t.Fatalf("node %d: runs not label-sorted: %v", v, runs)
+				}
+				for _, ed := range c.Edges[run.Start:run.End] {
+					if ed.Label != run.Label {
+						t.Fatalf("node %d: run %q contains edge %v", v, run.Label, ed)
+					}
+					covered++
+				}
+				got := c.WithLabel(Node(v), run.Label)
+				want := append([]Node(nil), g.Successors(Node(v), run.Label)...)
+				sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+				if len(got) != len(want) {
+					t.Fatalf("node %d label %q: WithLabel %d edges, want %d", v, run.Label, len(got), len(want))
+				}
+				for i, ed := range got {
+					if ed.To != want[i] {
+						t.Fatalf("node %d label %q: WithLabel[%d] = %v, want %v", v, run.Label, i, ed, want[i])
+					}
+				}
+			}
+			if covered != len(out) {
+				t.Fatalf("node %d: runs cover %d edges, node has %d", v, covered, len(out))
+			}
+			if c.WithLabel(Node(v), 'z') != nil {
+				t.Fatalf("node %d: WithLabel on absent label not nil", v)
+			}
+		}
+		if total != g.NumEdges() {
+			t.Fatalf("snapshot covers %d edges, graph has %d", total, g.NumEdges())
+		}
+		// Alphabet agrees with a direct scan.
+		seen := map[rune]bool{}
+		g.EachEdge(func(_ Node, a rune, _ Node) { seen[a] = true })
+		if len(c.Alphabet()) != len(seen) {
+			t.Fatalf("alphabet %q, want %d labels", string(c.Alphabet()), len(seen))
+		}
+		for i, a := range c.Alphabet() {
+			if !seen[a] || (i > 0 && c.Alphabet()[i-1] >= a) {
+				t.Fatalf("alphabet %q wrong or unsorted", string(c.Alphabet()))
+			}
+		}
+	}
+}
+
+// TestCSRInvalidation checks that mutations rebuild the snapshot.
+func TestCSRInvalidation(t *testing.T) {
+	g := NewDB()
+	g.AddNodes(3)
+	g.AddEdge(0, 'a', 1)
+	c1 := g.Snapshot()
+	if c1.NumEdges() != 1 {
+		t.Fatalf("NumEdges = %d, want 1", c1.NumEdges())
+	}
+	g.AddEdge(1, 'b', 2)
+	c2 := g.Snapshot()
+	if c2 == c1 || c2.NumEdges() != 2 {
+		t.Fatalf("snapshot not rebuilt after AddEdge")
+	}
+	if got := string(g.Alphabet()); got != "ab" {
+		t.Fatalf("Alphabet = %q, want ab", got)
+	}
+	v := g.AddNode("late")
+	g.AddEdge(v, 'c', 0)
+	if got := string(g.Alphabet()); got != "abc" {
+		t.Fatalf("Alphabet after growth = %q, want abc", got)
+	}
+}
+
+// TestAddEdgeDedupLargeFanOut drives a single (node,label) pair far past
+// the dedup threshold: duplicates must be dropped in both regimes and
+// HasEdge must agree.
+func TestAddEdgeDedupLargeFanOut(t *testing.T) {
+	g := NewDB()
+	g.AddNodes(200)
+	for rep := 0; rep < 3; rep++ {
+		for i := 1; i < 150; i++ {
+			g.AddEdge(0, 'a', Node(i))
+		}
+	}
+	if g.NumEdges() != 149 {
+		t.Fatalf("NumEdges = %d, want 149", g.NumEdges())
+	}
+	for i := 1; i < 150; i++ {
+		if !g.HasEdge(0, 'a', Node(i)) {
+			t.Fatalf("missing edge to %d", i)
+		}
+	}
+	if g.HasEdge(0, 'a', 150) || g.HasEdge(0, 'b', 1) {
+		t.Fatal("HasEdge reports absent edge")
+	}
+	if got := len(g.Snapshot().WithLabel(0, 'a')); got != 149 {
+		t.Fatalf("WithLabel run has %d edges, want 149", got)
+	}
+}

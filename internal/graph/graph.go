@@ -8,7 +8,6 @@ package graph
 
 import (
 	"fmt"
-	"sort"
 	"sync/atomic"
 
 	"repro/internal/regex"
@@ -25,13 +24,19 @@ type DB struct {
 	byName map[string]Node
 	out    []map[rune][]Node
 	nEdges int
-	// adj caches the adjacency snapshot behind an atomic pointer so
-	// concurrent readers (e.g. parallel Evals sharing one DB) may build
-	// and publish it without a data race; mutations clear it.
-	adj atomic.Pointer[adjCache]
+	// dedup holds per-(node,label) membership sets for targets, built
+	// lazily once a (node,label) fan-out crosses dedupThreshold so bulk
+	// loads stay near-linear instead of paying an O(deg) scan per insert.
+	dedup []map[rune]map[Node]bool
+	// adj caches the CSR snapshot behind an atomic pointer so concurrent
+	// readers (e.g. parallel Evals sharing one DB) may build and publish
+	// it without a data race; mutations clear it.
+	adj atomic.Pointer[CSR]
 }
 
-type adjCache struct{ edges [][]Edge }
+// dedupThreshold is the (node,label) fan-out beyond which AddEdge and
+// HasEdge switch from a linear scan to a membership set.
+const dedupThreshold = 8
 
 // Edge is one labeled out-edge of a node, as stored in the adjacency
 // slices returned by Adjacency.
@@ -59,6 +64,7 @@ func (g *DB) AddNode(name string) Node {
 	g.names = append(g.names, name)
 	g.byName[name] = v
 	g.out = append(g.out, nil)
+	g.dedup = append(g.dedup, nil)
 	return v
 }
 
@@ -87,59 +93,52 @@ func (g *DB) NumNodes() int { return len(g.names) }
 func (g *DB) NumEdges() int { return g.nEdges }
 
 // AddEdge adds the labeled edge (from, label, to). Duplicate edges are
-// ignored.
+// ignored; beyond dedupThreshold parallel targets the duplicate check
+// uses a membership set, keeping bulk loads near-linear.
 func (g *DB) AddEdge(from Node, label rune, to Node) {
 	if g.out[from] == nil {
 		g.out[from] = make(map[rune][]Node)
 	}
-	for _, t := range g.out[from][label] {
-		if t == to {
+	tos := g.out[from][label]
+	if set := g.dedup[from][label]; set != nil {
+		if set[to] {
 			return
 		}
+		set[to] = true
+	} else {
+		for _, t := range tos {
+			if t == to {
+				return
+			}
+		}
+		if len(tos)+1 > dedupThreshold {
+			set = make(map[Node]bool, 2*len(tos))
+			for _, t := range tos {
+				set[t] = true
+			}
+			set[to] = true
+			if g.dedup[from] == nil {
+				g.dedup[from] = make(map[rune]map[Node]bool)
+			}
+			g.dedup[from][label] = set
+		}
 	}
-	g.out[from][label] = append(g.out[from][label], to)
+	g.out[from][label] = append(tos, to)
 	g.nEdges++
 	g.adj.Store(nil)
 }
 
 // Adjacency returns per-node out-edge slices: Adjacency()[v] lists every
-// edge leaving v, sorted by label then target. The snapshot is built
-// once and cached until the next AddEdge; callers must not modify it.
-// This is the hot-path view of the graph — the product-BFS evaluator
-// iterates these slices directly instead of walking the underlying
-// label→targets maps through EdgesFrom closures. Concurrent readers of
-// an otherwise-unmutated DB are safe: racing builders each publish a
-// complete snapshot and the last one wins.
-func (g *DB) Adjacency() [][]Edge {
-	if c := g.adj.Load(); c != nil && len(c.edges) == len(g.names) {
-		return c.edges
-	}
-	adj := make([][]Edge, len(g.names))
-	labels := make([]rune, 0, 8)
-	for v := range g.out {
-		deg := 0
-		labels = labels[:0]
-		for a, tos := range g.out[v] {
-			labels = append(labels, a)
-			deg += len(tos)
-		}
-		sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
-		es := make([]Edge, 0, deg)
-		for _, a := range labels {
-			tos := append([]Node(nil), g.out[v][a]...)
-			sort.Slice(tos, func(i, j int) bool { return tos[i] < tos[j] })
-			for _, to := range tos {
-				es = append(es, Edge{Label: a, To: to})
-			}
-		}
-		adj[v] = es
-	}
-	g.adj.Store(&adjCache{edges: adj})
-	return adj
-}
+// edge leaving v, sorted by label then target; callers must not modify
+// them. It is a shim over the CSR snapshot (see Snapshot), sharing its
+// cache and concurrency story.
+func (g *DB) Adjacency() [][]Edge { return g.Snapshot().Adjacency() }
 
 // HasEdge reports whether (from, label, to) ∈ E.
 func (g *DB) HasEdge(from Node, label rune, to Node) bool {
+	if set := g.dedup[from][label]; set != nil {
+		return set[to]
+	}
 	for _, t := range g.out[from][label] {
 		if t == to {
 			return true
@@ -172,21 +171,10 @@ func (g *DB) EdgesFrom(v Node, f func(label rune, to Node)) {
 	}
 }
 
-// Alphabet returns the edge labels used in the database, sorted.
-func (g *DB) Alphabet() []rune {
-	seen := map[rune]bool{}
-	var out []rune
-	for v := range g.out {
-		for a := range g.out[v] {
-			if !seen[a] {
-				seen[a] = true
-				out = append(out, a)
-			}
-		}
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
-}
+// Alphabet returns the edge labels used in the database, sorted. The
+// result is cached in the CSR snapshot (see Snapshot) instead of
+// rescanning every edge map per call; callers must not modify it.
+func (g *DB) Alphabet() []rune { return g.Snapshot().Alphabet() }
 
 // Clone returns a deep copy of the database.
 func (g *DB) Clone() *DB {

@@ -1,0 +1,33 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ecrpq"
+)
+
+// TestExplainShowsLiveLabels pins the live-label rendering of Explain:
+// the selective aⁿbⁿ query advertises exactly its usable labels, and an
+// unconstrained-alphabet query renders the All fast path.
+func TestExplainShowsLiveLabels(t *testing.T) {
+	env := ecrpq.Env{Sigma: []rune("abcdefgh")}
+	q := ecrpq.MustParse("Ans(x,y) <- (x,p1,z), (z,p2,y), a+(p1), b+(p2), el(p1,p2)", env)
+	p, err := Compile(q, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := p.Explain()
+	if !strings.Contains(out, "live(p1:a p2:b)") {
+		t.Fatalf("Explain missing selective live sets:\n%s", out)
+	}
+	q2 := ecrpq.MustParse("Ans(x,y) <- (x,p,y), [abcdefgh]*(p)", env)
+	p2, err := Compile(q2, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2 := p2.Explain()
+	if !strings.Contains(out2, "live(p:") {
+		t.Fatalf("Explain missing live sets:\n%s", out2)
+	}
+}

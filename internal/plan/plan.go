@@ -126,7 +126,9 @@ func (p *Plan) NumComponents() int { return p.prog.NumComponents() }
 func (p *Plan) Acyclic() bool { return p.prog.JoinAcyclic() }
 
 // Explain renders a human-readable description of the compiled plan:
-// the component decomposition and the join strategy.
+// the component decomposition, each component's start-state live labels
+// (the selectivity the label-directed product BFS exploits), and the
+// join strategy.
 func (p *Plan) Explain() string {
 	var b strings.Builder
 	comps := p.prog.Components()
@@ -149,6 +151,13 @@ func (p *Plan) Explain() string {
 				b.WriteString(", ")
 			}
 			b.WriteString(string(v))
+		}
+		b.WriteString(") live(")
+		for j, v := range c.PathVars {
+			if j > 0 {
+				b.WriteString(" ")
+			}
+			fmt.Fprintf(&b, "%s:%s", v, c.LiveStart[j])
 		}
 		b.WriteString(")\n")
 	}

@@ -1,0 +1,129 @@
+package relations
+
+import (
+	"testing"
+
+	"repro/internal/automata"
+	"repro/internal/regex"
+)
+
+func lang(t *testing.T, src string) *Relation {
+	t.Helper()
+	node, err := regex.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return FromLanguage(src, node)
+}
+
+// TestLiveSelectiveChain checks the live-label sets of the aⁿbⁿ query's
+// joint relation a+(π₀) ∧ b+(π₁) ∧ el(π₀,π₁): at the start only 'a' can
+// advance tape 0 and only 'b' tape 1, and ⊥ is inadmissible on both
+// (padding a tape before its a+/b+ obligation accepts strands it); after
+// one (a,b) step both obligations accept, so ⊥ becomes admissible.
+func TestLiveSelectiveChain(t *testing.T) {
+	j := newJoint(t, 2,
+		Atom{Rel: lang(t, "a+"), Pos: []int{0}},
+		Atom{Rel: lang(t, "b+"), Pos: []int{1}},
+		Atom{Rel: EqualLength(ab), Pos: []int{0, 1}},
+	)
+	r := NewJointRunner(j)
+	live := r.Live(r.StartID())
+	if len(live) != 2 {
+		t.Fatalf("Live returned %d tapes, want 2", len(live))
+	}
+	if live[0].All || string(live[0].Labels) != "a" || live[0].Bot {
+		t.Fatalf("tape 0 start live = %+v, want labels a, no ⊥", live[0])
+	}
+	if live[1].All || string(live[1].Labels) != "b" || live[1].Bot {
+		t.Fatalf("tape 1 start live = %+v, want labels b, no ⊥", live[1])
+	}
+	sym := r.AddSym([]rune{'a', 'b'})
+	next, ok := r.Step(r.StartID(), sym)
+	if !ok {
+		t.Fatal("(a,b) must step")
+	}
+	live = r.Live(next)
+	if string(live[0].Labels) != "a" || !live[0].Bot {
+		t.Fatalf("tape 0 live after (a,b) = %+v, want labels a with ⊥", live[0])
+	}
+	if string(live[1].Labels) != "b" || !live[1].Bot {
+		t.Fatalf("tape 1 live after (a,b) = %+v, want labels b with ⊥", live[1])
+	}
+}
+
+// TestLiveUnconstrainedAndFinishedTapes checks the All fast path for a
+// tape no atom covers, and the ⊥-only set of a finished tape.
+func TestLiveUnconstrainedAndFinishedTapes(t *testing.T) {
+	j := newJoint(t, 2, Atom{Rel: lang(t, "a+"), Pos: []int{0}})
+	r := NewJointRunner(j)
+	live := r.Live(r.StartID())
+	if !live[1].All || !live[1].Bot {
+		t.Fatalf("uncovered tape live = %+v, want All with ⊥", live[1])
+	}
+	if live[0].Bot {
+		t.Fatal("⊥ admissible on tape 0 before a+ accepts")
+	}
+	s1, ok := r.Step(r.StartID(), r.AddSym([]rune{'a', 'b'}))
+	if !ok {
+		t.Fatal("(a,b) must step")
+	}
+	s2, ok := r.Step(s1, r.AddSym([]rune{Bot, 'b'}))
+	if !ok {
+		t.Fatal("(⊥,b) must step once a+ accepts")
+	}
+	live = r.Live(s2)
+	if live[0].All || len(live[0].Labels) != 0 || !live[0].Bot {
+		t.Fatalf("finished tape live = %+v, want ⊥ only", live[0])
+	}
+	if live[0].String() != "⊥" || live[1].String() != "*" {
+		t.Fatalf("String() = %q/%q, want ⊥/*", live[0].String(), live[1].String())
+	}
+}
+
+// TestStepDeadStateElimination builds an atom automaton with a non-empty
+// but non-co-reachable branch: stepping into it must be reported dead
+// immediately instead of producing a live-looking joint state.
+func TestStepDeadStateElimination(t *testing.T) {
+	// Language {ab}, plus a dead 'c'-branch after 'a' that never accepts.
+	a := automata.NewNFA[TupleSym]()
+	a.AddStates(5)
+	a.SetStart(0)
+	a.AddTransition(0, "a", 1)
+	a.AddTransition(1, "b", 2)
+	a.SetFinal(2, true)
+	a.AddTransition(1, "c", 3)
+	a.AddTransition(3, "c", 4)
+	rel := &Relation{Name: "abdead", Arity: 1, A: a}
+	j := newJoint(t, 1, Atom{Rel: rel, Pos: []int{0}})
+	r := NewJointRunner(j)
+
+	s1, ok := r.Step(r.StartID(), r.AddSym([]rune{'a'}))
+	if !ok {
+		t.Fatal("'a' must step")
+	}
+	live := r.Live(s1)
+	if string(live[0].Labels) != "b" {
+		t.Fatalf("live after 'a' = %+v, want labels b (the dead c-branch pruned)", live[0])
+	}
+	if _, ok := r.Step(s1, r.AddSym([]rune{'c'})); ok {
+		t.Fatal("stepping into the non-co-reachable branch must be dead")
+	}
+	if _, ok := r.Step(s1, r.AddSym([]rune{'b'})); !ok {
+		t.Fatal("'b' must still step to acceptance")
+	}
+}
+
+// TestLiveDeadStart covers a joint whose start subset cannot reach
+// acceptance at all (empty language): every tape must be dead.
+func TestLiveDeadStart(t *testing.T) {
+	j := newJoint(t, 1, Atom{Rel: lang(t, "[]"), Pos: []int{0}})
+	r := NewJointRunner(j)
+	live := r.Live(r.StartID())
+	if live[0].All || live[0].Bot || len(live[0].Labels) != 0 {
+		t.Fatalf("dead start live = %+v, want ∅", live[0])
+	}
+	if live[0].String() != "∅" {
+		t.Fatalf("String() = %q, want ∅", live[0].String())
+	}
+}

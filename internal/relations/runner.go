@@ -32,6 +32,11 @@ type JointRunner struct {
 	symStrs  []string
 	symInfo  []symInfo
 
+	// live holds the per-atom co-reachability and live-label analysis;
+	// liveTab memoizes Live per joint state (see live.go).
+	live    []atomLiveInfo
+	liveTab [][]LiveSet
+
 	startID int
 	tupBuf  []int
 }
@@ -54,18 +59,21 @@ func NewJointRunner(j *Joint) *JointRunner {
 		steppers: make([]*automata.Stepper[TupleSym], len(j.Atoms)),
 		subsets:  make([]*intern.Table, len(j.Atoms)),
 		states:   intern.NewTable(0),
+		live:     make([]atomLiveInfo, len(j.Atoms)),
 	}
 	tup := make([]int, 0, 1+len(j.Atoms))
 	tup = append(tup, 0) // done mask
 	for i, at := range j.Atoms {
 		r.steppers[i] = automata.NewStepper(at.Rel.A)
 		r.subsets[i] = intern.NewTable(0)
+		r.live[i] = newAtomLiveInfo(at.Rel.A, len(at.Pos))
 		id, _ := r.subsets[i].Intern(at.Rel.A.EpsClosure(at.Rel.A.Start()))
 		tup = append(tup, id)
 	}
 	r.startID, _ = r.states.Intern(tup)
 	r.trans = append(r.trans, nil)
 	r.accept = append(r.accept, 0)
+	r.liveTab = append(r.liveTab, nil)
 	r.tupBuf = make([]int, 0, 1+len(j.Atoms))
 	return r
 }
@@ -188,6 +196,11 @@ func (r *JointRunner) step(state, sym int) (int, bool) {
 		if len(stepped) == 0 {
 			return 0, false
 		}
+		if !r.live[ai].anyCoReachable(stepped) {
+			// Dead-state elimination: no member of the stepped subset can
+			// reach acceptance, so the whole joint state is stillborn.
+			return 0, false
+		}
 		nid, _ := r.subsets[ai].Intern(stepped)
 		newTup = append(newTup, nid)
 	}
@@ -196,6 +209,7 @@ func (r *JointRunner) step(state, sym int) (int, bool) {
 	if added {
 		r.trans = append(r.trans, nil)
 		r.accept = append(r.accept, 0)
+		r.liveTab = append(r.liveTab, nil)
 	}
 	return next, true
 }

@@ -216,3 +216,81 @@ func FlightNetwork(r *rand.Rand, nCities int, airlines []rune) *graph.DB {
 func PropertyGraph(r *rand.Rand, n int, properties []rune, avgDeg float64) *graph.DB {
 	return Random(r, n, avgDeg, properties)
 }
+
+// labelRichLetters is the letter pool of LabelRichSigma ('_' excluded:
+// it is the regex syntax for ⊥).
+const labelRichLetters = "abcdefghijklmnopqrstuvwxyzABCDEF"
+
+// LabelRichSigma returns a deterministic alphabet of k ≤ 32 distinct
+// letters, starting at 'a'.
+func LabelRichSigma(k int) []rune {
+	if k > len(labelRichLetters) {
+		panic(fmt.Sprintf("workload: LabelRichSigma supports at most %d letters", len(labelRichLetters)))
+	}
+	return []rune(labelRichLetters[:k])
+}
+
+// LabelRich builds a random Σ-labeled graph with n nodes, roughly
+// avgDeg out-edges per node and a Zipf-skewed out-degree distribution:
+// low-numbered nodes are hubs emitting most of the edges, the tail is
+// sparse. Hubs are where label-directed move pruning matters most — an
+// exhaustive product BFS pays (deg+1)^m move enumerations per state
+// there regardless of how few edges carry the labels the query can use.
+func LabelRich(r *rand.Rand, n int, sigma []rune, avgDeg float64) *graph.DB {
+	g := graph.NewDB()
+	for i := 0; i < n; i++ {
+		g.AddNode("")
+	}
+	z := rand.NewZipf(r, 1.4, 4, uint64(n-1))
+	edges := int(avgDeg * float64(n))
+	for e := 0; e < edges; e++ {
+		from := graph.Node(z.Uint64())
+		to := graph.Node(r.Intn(n))
+		g.AddEdge(from, sigma[r.Intn(len(sigma))], to)
+	}
+	return g
+}
+
+// ScaleCase is one workload of the Scale_LabelRich benchmark suite: a
+// label-rich graph paired with a query and bindings.
+type ScaleCase struct {
+	Name  string
+	Graph *graph.DB
+	Query *ecrpq.Query
+	Bind  map[ecrpq.NodeVar]graph.Node
+}
+
+// ScaleLabelRichCases builds the Scale_LabelRich suite: Zipf-skewed
+// random graphs with n up to 256 nodes over alphabets of 8 and 32
+// letters, each evaluated under
+//
+//   - selective — a+(p1), b+(p2), el(p1,p2): the regexes touch 2 of the
+//     |Σ| labels, so the label-directed BFS skips almost every edge the
+//     exhaustive (deg+1)^m enumeration would visit;
+//   - chain — the same languages without the synchronizing relation
+//     (two single-tape components joined relationally);
+//   - permissive — a full-alphabet [..]* regex, the adversarial case
+//     where every label is live and pruning cannot help.
+//
+// The same cases back BenchmarkScale_LabelRich and the benchtables
+// -json suite; construction is deterministic.
+func ScaleLabelRichCases() []ScaleCase {
+	var out []ScaleCase
+	for _, k := range []int{8, 32} {
+		sigma := LabelRichSigma(k)
+		env := ecrpq.Env{Sigma: sigma}
+		selective := ecrpq.MustParse("Ans(x,y) <- (x,p1,z), (z,p2,y), a+(p1), b+(p2), el(p1,p2)", env)
+		chain := ecrpq.MustParse("Ans(x,y) <- (x,p1,z), (z,p2,y), a+(p1), b+(p2)", env)
+		permissive := ecrpq.MustParse(fmt.Sprintf("Ans(x,y) <- (x,p,y), [%s]*(p)", string(sigma)), env)
+		for _, n := range []int{64, 256} {
+			g := LabelRich(rand.New(rand.NewSource(int64(1000*k+n))), n, sigma, 6.0)
+			bind := map[ecrpq.NodeVar]graph.Node{"x": 0}
+			out = append(out,
+				ScaleCase{Name: fmt.Sprintf("selective/sigma=%d/n=%d", k, n), Graph: g, Query: selective, Bind: bind},
+				ScaleCase{Name: fmt.Sprintf("chain/sigma=%d/n=%d", k, n), Graph: g, Query: chain, Bind: bind},
+				ScaleCase{Name: fmt.Sprintf("permissive/sigma=%d/n=%d", k, n), Graph: g, Query: permissive, Bind: bind},
+			)
+		}
+	}
+	return out
+}
