@@ -437,3 +437,56 @@ func BenchmarkAblation_Yannakakis(b *testing.B) {
 		}
 	})
 }
+
+// E20 — scale: the mixed read/write serving path of the epoch-versioned
+// snapshot store. snapshot_after_write isolates the cost the store pays
+// to publish a fresh snapshot after a single AddEdge on a warm ~100k
+// edge graph: the delta overlay (O(Δ log Δ + n)) against the
+// full-rebuild ablation (SetDeltaOverlay(false), the pre-epoch
+// behavior, O(m log m) per write). The serve cases interleave writes
+// with prepared snapshot queries at write ratios {1%, 10%} — the
+// end-to-end shape; `benchtables -json BENCH.json` records them and
+// `-baseline` reruns them with overlays disabled for `-compare`.
+func BenchmarkScale_MixedReadWrite(b *testing.B) {
+	for _, c := range []struct {
+		name    string
+		overlay bool
+	}{{"snapshot_after_write/overlay", true}, {"snapshot_after_write/rebuild", false}} {
+		b.Run(c.name, func(b *testing.B) {
+			m := workload.NewMixedServing(20)
+			m.Graph.SetDeltaOverlay(c.overlay)
+			m.Graph.Snapshot() // warm: compacted base
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.Write(i)
+				if s := m.Graph.Snapshot(); s.NumEdges() == 0 {
+					b.Fatal("empty snapshot")
+				}
+			}
+		})
+	}
+	for _, wp := range workload.MixedWritePcts {
+		b.Run(fmt.Sprintf("serve/write_pct=%d", wp), func(b *testing.B) {
+			m := workload.NewMixedServing(20)
+			p, err := plan.Compile(m.Query, m.Env())
+			if err != nil {
+				b.Fatal(err)
+			}
+			opts := ecrpq.Options{Bind: m.Bind, MaxProductStates: 50_000_000}
+			m.Graph.Snapshot() // warm
+			period := 100 / wp
+			writes := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i%period == 0 {
+					m.Write(writes)
+					writes++
+				}
+				s := m.Graph.Snapshot()
+				if _, err := p.EvalSnapshot(context.Background(), s, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

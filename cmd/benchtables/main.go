@@ -11,9 +11,16 @@
 //	                                           # + Scale_LabelRich), for
 //	                                           # cross-PR perf tracking
 //	go run ./cmd/benchtables -json B.json -baseline
-//	                                           # same suites with the
-//	                                           # label-directed pruning
-//	                                           # disabled (ablation)
+//	                                           # same suites as ablation
+//	                                           # baselines: engine suites
+//	                                           # without label-directed
+//	                                           # pruning, mixed suite
+//	                                           # without delta overlays
+//	go run ./cmd/benchtables -json M.json -suite mixed
+//	                                           # one suite only (all,
+//	                                           # engine, mixed) — e.g. the
+//	                                           # Scale_MixedReadWrite
+//	                                           # read/write serving suite
 //	go run ./cmd/benchtables -compare old.json new.json
 //	                                           # speedup/allocation table
 //	                                           # between two bench files
@@ -33,7 +40,8 @@ import (
 func main() {
 	only := flag.String("only", "", "run a single experiment (E1..E16)")
 	jsonPath := flag.String("json", "", "run the ECRPQ engine benchmarks and write machine-readable results to this file")
-	baseline := flag.Bool("baseline", false, "with -json: disable label-directed pruning (the exhaustive-enumeration ablation baseline)")
+	baseline := flag.Bool("baseline", false, "with -json: run the ablation baselines (engine suites without pruning, mixed suite without delta overlays)")
+	suite := flag.String("suite", "all", "with -json: benchmark suite to run (all, engine, mixed)")
 	compare := flag.Bool("compare", false, "compare two bench JSON files (old new) and print a speedup table")
 	flag.Parse()
 	if *compare {
@@ -61,7 +69,7 @@ func main() {
 			os.Exit(1)
 		}
 		defer f.Close()
-		if err := experiments.WriteBenchJSON(f, os.Stdout, *baseline); err != nil {
+		if err := experiments.WriteBenchJSON(f, os.Stdout, *baseline, *suite); err != nil {
 			fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
 			os.Exit(1)
 		}

@@ -18,6 +18,15 @@
 //	              (answers arrive in discovery order, unsorted)
 //	-timeout D    abort evaluation after duration D (e.g. 500ms, 2s)
 //	-explain      print the compiled plan before evaluating
+//	-replay FILE  mutation/replay mode: after loading the initial graph,
+//	              process FILE line by line — graph text lines (`edge
+//	              FROM LABEL TO`, `FROM -LABEL-> TO`, `node N`) mutate
+//	              the store, and each `query` line pins the current
+//	              snapshot and evaluates the prepared query against it,
+//	              printing the snapshot epoch with the answers. This
+//	              exercises the epoch-versioned serving path end to end:
+//	              writes append delta overlays, queries read immutable
+//	              snapshots.
 //
 // The query is compiled once into a plan (pathquery.Prepare) and then
 // executed; -limit switches from materialized evaluation to the
@@ -25,11 +34,13 @@
 package main
 
 import (
+	"bufio"
 	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/ecrpq"
@@ -47,6 +58,7 @@ type config struct {
 	limit   int
 	timeout time.Duration
 	explain bool
+	replay  string
 }
 
 func main() {
@@ -58,6 +70,7 @@ func main() {
 	limit := flag.Int("limit", 0, "stream at most N answers (0 = evaluate fully)")
 	timeout := flag.Duration("timeout", 0, "evaluation deadline (0 = none)")
 	explain := flag.Bool("explain", false, "print the compiled plan")
+	replay := flag.String("replay", "", "mutation/replay script: graph text lines mutate, `query` lines evaluate a snapshot")
 	flag.Parse()
 
 	if *querySrc == "" {
@@ -76,7 +89,7 @@ func main() {
 	}
 	cfg := config{
 		query: *querySrc, nPaths: *nPaths, maxLen: *maxLen, budget: *budget,
-		limit: *limit, timeout: *timeout, explain: *explain,
+		limit: *limit, timeout: *timeout, explain: *explain, replay: *replay,
 	}
 	if err := run(cfg, in, os.Stdout, os.Stderr); err != nil {
 		fatal(err)
@@ -107,6 +120,14 @@ func run(cfg config, in io.Reader, out, errw io.Writer) error {
 		defer cancel()
 	}
 	opts := ecrpq.Options{MaxProductStates: cfg.budget}
+	if cfg.replay != "" {
+		f, err := os.Open(cfg.replay)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		return runReplay(ctx, cfg, p, q, g, f, opts, out, errw)
+	}
 	if cfg.limit > 0 {
 		return runStream(ctx, cfg, p, q, g, opts, out, errw)
 	}
@@ -175,6 +196,72 @@ func printAnswer(cfg config, q *ecrpq.Query, g *graph.DB, a ecrpq.Answer, out io
 			fmt.Fprintln(out)
 		}
 	}
+	return nil
+}
+
+// runReplay drives the mutation/replay mode: graph text lines mutate
+// the store in place, and every `query` line pins the current snapshot
+// and evaluates the prepared plan against it — the mixed read/write
+// serving path. Mutations after a query do not disturb answers already
+// printed (they were computed from an immutable snapshot), and each
+// query line reports the epoch it read.
+func runReplay(ctx context.Context, cfg config, p *plan.Plan, q *ecrpq.Query, g *graph.DB, script io.Reader, opts ecrpq.Options, out, errw io.Writer) error {
+	sc := bufio.NewScanner(script)
+	lineNo := 0
+	queries := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if line != "query" {
+			if err := graph.ApplyTextLine(g, line); err != nil {
+				return fmt.Errorf("replay line %d: %w", lineNo, err)
+			}
+			continue
+		}
+		queries++
+		s := g.Snapshot()
+		fmt.Fprintf(out, "-- query %d @ epoch %d (%d nodes, %d edges, delta %d)\n",
+			queries, s.Epoch(), s.NumNodes(), s.NumEdges(), s.DeltaEdges())
+		count := 0
+		if cfg.limit > 0 {
+			for a, err := range p.StreamSnapshot(ctx, s, ecrpq.StreamOptions{Options: opts, Limit: cfg.limit}) {
+				if err != nil {
+					return err
+				}
+				count++
+				if q.IsBoolean() {
+					continue
+				}
+				if err := printAnswer(cfg, q, g, a, out); err != nil {
+					return err
+				}
+			}
+		} else {
+			res, err := p.EvalSnapshot(ctx, s, opts)
+			if err != nil {
+				return err
+			}
+			count = len(res.Answers)
+			if !q.IsBoolean() {
+				for _, a := range res.Answers {
+					if err := printAnswer(cfg, q, g, a, out); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		if q.IsBoolean() {
+			fmt.Fprintln(out, count > 0)
+		}
+		fmt.Fprintf(errw, "query %d: epoch %d, %d answers\n", queries, s.Epoch(), count)
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	fmt.Fprintf(errw, "replay: %d lines, %d queries, final epoch %d\n", lineNo, queries, g.Epoch())
 	return nil
 }
 

@@ -3,6 +3,8 @@ package main
 import (
 	"context"
 	"errors"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -113,5 +115,59 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run(config{query: "Ans() <- (x,p,y), k(p)"}, strings.NewReader("junk line"), &out, &errw); err == nil {
 		t.Error("bad graph should error")
+	}
+}
+
+func TestRunReplay(t *testing.T) {
+	// Mutation/replay mode: the same query evaluated before and after
+	// interleaved edge loads must see the growing graph, with the epoch
+	// advancing between query lines.
+	script := `
+# no k-k path yet
+query
+edge bob k carol
+query
+edge carol k dave
+query
+`
+	dir := t.TempDir()
+	path := filepath.Join(dir, "replay.txt")
+	if err := os.WriteFile(path, []byte(script), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errw strings.Builder
+	err := run(config{query: "Ans(x,y) <- (x,p,y), kk(p)", replay: path},
+		strings.NewReader("edge alice k bob\n"), &out, &errw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(errw.String(), "query 1: epoch 3, 0 answers") {
+		t.Errorf("stderr = %q, want query 1 with 0 answers at epoch 3", errw.String())
+	}
+	if !strings.Contains(errw.String(), "query 2: epoch 5, 1 answers") {
+		t.Errorf("stderr = %q, want query 2 with 1 answer (alice→carol)", errw.String())
+	}
+	if !strings.Contains(errw.String(), "query 3: epoch 7, 2 answers") {
+		t.Errorf("stderr = %q, want query 3 with 2 answers", errw.String())
+	}
+	if !strings.Contains(out.String(), "alice, carol") || !strings.Contains(out.String(), "bob, dave") {
+		t.Errorf("output = %q, want alice→carol and bob→dave", out.String())
+	}
+	if !strings.Contains(errw.String(), "replay: ") {
+		t.Errorf("stderr = %q, want a replay summary line", errw.String())
+	}
+}
+
+func TestRunReplayBadLine(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "replay.txt")
+	if err := os.WriteFile(path, []byte("edge only-two-fields\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errw strings.Builder
+	err := run(config{query: "Ans(x,y) <- (x,p,y), k(p)", replay: path},
+		strings.NewReader(sampleGraph), &out, &errw)
+	if err == nil || !strings.Contains(err.Error(), "replay line 1") {
+		t.Fatalf("err = %v, want a replay line error", err)
 	}
 }

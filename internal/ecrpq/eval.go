@@ -104,8 +104,12 @@ func (a Answer) Key() string {
 
 // Result is the output of Eval.
 type Result struct {
-	Query   *Query
-	Graph   *graph.DB
+	Query *Query
+	// Snap is the immutable graph snapshot the query was evaluated
+	// against; Result.PathAutomaton builds over the same snapshot, so
+	// the answer automaton is consistent with the answers even when the
+	// underlying DB has been mutated since.
+	Snap    *graph.Snapshot
 	Answers []Answer
 }
 
@@ -116,10 +120,11 @@ func (r *Result) Bool() bool { return len(r.Answers) > 0 }
 //
 // Eval is a convenience shim over the plan/execute split: it compiles
 // the query into a Program (see CompileProgram) — or reuses one from a
-// bounded package-level cache keyed by the query object — and runs it
-// to completion with a background context. Prepared execution
-// (internal/plan, pathquery.Prepare) compiles once explicitly and adds
-// context cancellation, streaming, and concurrent reuse.
+// bounded package-level cache keyed by the query object — takes the
+// current snapshot of g and runs to completion with a background
+// context. Prepared execution (internal/plan, pathquery.Prepare)
+// compiles once explicitly and adds context cancellation, streaming,
+// snapshot pinning and concurrent reuse.
 func Eval(q *Query, g *graph.DB, opts Options) (*Result, error) {
 	prog, err := sharedProgram(q, opts.NoDecompose)
 	if err != nil {
@@ -413,12 +418,13 @@ func newComponentEngine(c *component, keepPaths map[PathVar]bool) *componentEngi
 }
 
 // reset prepares a (possibly pooled) engine for one execution: the
-// graph snapshot, external bindings, pruning mode and result
+// pinned graph snapshot, external bindings, pruning mode and result
 // accumulators are per-call; the joint runner (with its live-label
-// memos) and symbol table persist.
-func (e *componentEngine) reset(g *graph.DB, opts Options) {
-	e.g = g
-	e.csr = g.Snapshot()
+// memos) and symbol table persist — and the graph-effective live memo
+// survives as long as consecutive executions pin the same snapshot
+// (same DB, unchanged epoch).
+func (e *componentEngine) reset(s *graph.Snapshot, opts Options) {
+	e.snap = s
 	e.noPrune = opts.NoPrune
 	e.vr = &varRelation{vars: e.allVars}
 	e.rowTab.Reset()
@@ -441,7 +447,7 @@ func evalComponent(ctx context.Context, e *componentEngine, bind map[NodeVar]gra
 		if n, ok := bind[v]; ok {
 			return []graph.Node{n}
 		}
-		out := make([]graph.Node, e.g.NumNodes())
+		out := make([]graph.Node, e.snap.NumNodes())
 		for i := range out {
 			out[i] = graph.Node(i)
 		}
@@ -515,7 +521,7 @@ func (e *componentEngine) bfs(ctx context.Context, assign map[NodeVar]graph.Node
 
 	var head int
 	var cur []graph.Node
-	edges := e.csr.Edges
+	snap := e.snap
 	var rec func(i int) error
 	rec = func(i int) error {
 		if i == cnt {
@@ -533,7 +539,8 @@ func (e *componentEngine) bfs(ctx context.Context, assign map[NodeVar]graph.Node
 			return nil
 		}
 		// Per-coordinate moves planned by prepareMoves: the ⊥ stay-move
-		// when the runner admits it, then the live-label edge runs.
+		// when the runner admits it, then the live-label edge runs (each
+		// virtual pair resolves to one contiguous base or delta slice).
 		if e.botOK[i] {
 			e.symInts[i] = int(regex.Bot)
 			e.next[i] = cur[i]
@@ -543,7 +550,7 @@ func (e *componentEngine) bfs(ctx context.Context, assign map[NodeVar]graph.Node
 		}
 		rr := e.moveRuns[i]
 		for k := 0; k+1 < len(rr); k += 2 {
-			for _, ed := range edges[rr[k]:rr[k+1]] {
+			for _, ed := range snap.EdgeRange(rr[k], rr[k+1]) {
 				e.symInts[i] = int(ed.Label)
 				e.next[i] = ed.To
 				if err := rec(i + 1); err != nil {

@@ -13,15 +13,23 @@ import (
 // but incomplete approximation whose answer set grows to Q(G) as maxLen
 // increases; on DAGs any maxLen ≥ the longest simple path is exact. It
 // exists as the correctness oracle for the production evaluator and for
-// tests, and its cost is exponential in maxLen and the atom count.
+// tests, and its cost is exponential in maxLen and the atom count. It
+// is the take-current-snapshot shim over NaiveEvalSnapshot.
 func NaiveEval(q *Query, g *graph.DB, maxLen int) ([]Answer, error) {
+	return NaiveEvalSnapshot(q, g.Snapshot(), maxLen)
+}
+
+// NaiveEvalSnapshot is NaiveEval over a pinned immutable snapshot, so
+// the oracle sees exactly the epoch the production evaluator saw even
+// under concurrent writers.
+func NaiveEvalSnapshot(q *Query, s *graph.Snapshot, maxLen int) ([]Answer, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
 	// Pre-enumerate all paths from every node.
 	var allPaths []graph.Path
-	for v := 0; v < g.NumNodes(); v++ {
-		allPaths = append(allPaths, g.AllPaths(graph.Node(v), maxLen)...)
+	for v := 0; v < s.NumNodes(); v++ {
+		allPaths = append(allPaths, s.AllPaths(graph.Node(v), maxLen)...)
 	}
 	m := len(q.PathAtoms)
 	choice := make([]graph.Path, m)

@@ -16,10 +16,11 @@ import (
 //
 // Representation symbols are encoded as strings: "N:v1,v2,...," for a
 // node tuple and "L:" followed by the k runes for a letter tuple.
+// Snap is the immutable graph snapshot the automaton was built over.
 type PathAutomaton struct {
-	A *automata.NFA[string]
-	K int
-	G *graph.DB
+	A    *automata.NFA[string]
+	K    int
+	Snap *graph.Snapshot
 }
 
 // NodeSym encodes a k-tuple of nodes as a representation symbol.
@@ -57,15 +58,21 @@ func decodeNodeSym(s string) []graph.Node {
 // The automaton is polynomial in |E| for a fixed query, as the
 // proposition states; the constant is exponential in the query.
 func (r *Result) PathAutomaton(headNodes []graph.Node) (*PathAutomaton, error) {
-	return BuildPathAutomaton(r.Query, r.Graph, headNodes, Options{})
+	return BuildPathAutomatonSnapshot(r.Query, r.Snap, headNodes, Options{})
 }
 
-// BuildPathAutomaton is the standalone form of Result.PathAutomaton.
-// The construction explores the same kind of product as the evaluator
-// and honors opts.MaxProductStates (default 4,000,000) across all start
-// assignments, failing with ErrBudget beyond it; opts.Bind is ignored
-// (the head nodes are the binding).
+// BuildPathAutomaton is the standalone form of Result.PathAutomaton —
+// the take-current-snapshot shim over BuildPathAutomatonSnapshot.
 func BuildPathAutomaton(q *Query, g *graph.DB, headNodes []graph.Node, opts Options) (*PathAutomaton, error) {
+	return BuildPathAutomatonSnapshot(q, g.Snapshot(), headNodes, opts)
+}
+
+// BuildPathAutomatonSnapshot builds the answer automaton over a pinned
+// immutable snapshot. The construction explores the same kind of
+// product as the evaluator and honors opts.MaxProductStates (default
+// 4,000,000) across all start assignments, failing with ErrBudget
+// beyond it; opts.Bind is ignored (the head nodes are the binding).
+func BuildPathAutomatonSnapshot(q *Query, s *graph.Snapshot, headNodes []graph.Node, opts Options) (*PathAutomaton, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -79,7 +86,7 @@ func BuildPathAutomaton(q *Query, g *graph.DB, headNodes []graph.Node, opts Opti
 	for i, z := range q.HeadNodes {
 		if prev, ok := bind[z]; ok && prev != headNodes[i] {
 			// Inconsistent duplicate binding: empty automaton.
-			return &PathAutomaton{A: automata.NewNFA[string](), K: len(q.HeadPaths), G: g}, nil
+			return &PathAutomaton{A: automata.NewNFA[string](), K: len(q.HeadPaths), Snap: s}, nil
 		}
 		bind[z] = headNodes[i]
 	}
@@ -103,14 +110,14 @@ func BuildPathAutomaton(q *Query, g *graph.DB, headNodes []graph.Node, opts Opti
 		if n, ok := bind[v]; ok {
 			return []graph.Node{n}
 		}
-		out := make([]graph.Node, g.NumNodes())
+		out := make([]graph.Node, s.NumNodes())
 		for i := range out {
 			out[i] = graph.Node(i)
 		}
 		return out
 	}
 
-	pb := newProductBuilder(g, c, newStateBudget(opts.MaxProductStates), opts.NoPrune)
+	pb := newProductBuilder(s, c, newStateBudget(opts.MaxProductStates), opts.NoPrune)
 	assign := map[NodeVar]graph.Node{}
 	var enumerate func(i int) error
 	enumerate = func(i int) error {
@@ -132,7 +139,7 @@ func BuildPathAutomaton(q *Query, g *graph.DB, headNodes []graph.Node, opts Opti
 
 	// Project the m-tape representation onto the head coordinates.
 	proj := projectRep(full, m, headIdx)
-	return &PathAutomaton{A: automata.Trim(proj), K: len(q.HeadPaths), G: g}, nil
+	return &PathAutomaton{A: automata.Trim(proj), K: len(q.HeadPaths), Snap: s}, nil
 }
 
 // buildRepBFS adds to full the representation automaton of the product

@@ -9,15 +9,19 @@ import (
 
 // prodCore is the machinery shared by every dense product-BFS driver
 // (the evaluator's componentEngine and the explicit-automaton
-// productBuilder): the component, the graph's CSR label index, the joint
-// runner, the tuple-symbol interning whose dense ids must stay aligned
-// with the runner's, and the label-directed move plan — keeping those
-// invariants in one place.
+// productBuilder): the component, the pinned graph snapshot (base CSR
+// plus delta overlay), the joint runner, the tuple-symbol interning
+// whose dense ids must stay aligned with the runner's, and the
+// label-directed move plan — keeping those invariants in one place.
+//
+// Everything graph-dependent reads the immutable *graph.Snapshot, never
+// a live *graph.DB, so an execution is isolated from concurrent writers
+// for its whole lifetime and memos keyed on the snapshot stay valid
+// exactly as long as the epoch does.
 type prodCore struct {
-	g   *graph.DB
-	c   *component
-	csr *graph.CSR
-	cnt int
+	snap *graph.Snapshot
+	c    *component
+	cnt  int
 
 	runner *relations.JointRunner
 	symTab *intern.Table // label tuples → dense symbol ids (== runner ids)
@@ -30,8 +34,9 @@ type prodCore struct {
 	noPrune bool
 
 	// Move plan for the product state currently being expanded, filled
-	// by prepareMoves: per coordinate, (start,end) pairs into csr.Edges
-	// of the admissible edge runs, plus whether the ⊥ stay-move is live.
+	// by prepareMoves: per coordinate, virtual (start,end) pairs into
+	// the snapshot's edge segments (resolved by Snapshot.EdgeRange) of
+	// the admissible edge runs, plus whether the ⊥ stay-move is live.
 	moveRuns [][]int32
 	botOK    []bool
 
@@ -39,9 +44,10 @@ type prodCore struct {
 	// sets: the runner's live labels intersected with the snapshot's
 	// alphabet, collapsed to the All fast path when they cover it — so a
 	// permissive (full-alphabet) regex pays nothing per state. Valid for
-	// effCSR only; reset clears it when the snapshot changes.
+	// effSnap only (one epoch of one DB); reset clears it when the
+	// snapshot changes.
 	effLive [][]relations.LiveSet
-	effCSR  *graph.CSR
+	effSnap *graph.Snapshot
 
 	// Scratch: the move enumeration fills symInts/next coordinate by
 	// coordinate; moveCur and moveF hold the enumeration's inputs so the
@@ -53,13 +59,13 @@ type prodCore struct {
 	moveF    func() error
 }
 
-// newProdCore builds the shared product machinery. g may be nil when
+// newProdCore builds the shared product machinery. snap may be nil when
 // the core is compiled ahead of any graph (componentEngine.reset
-// installs the CSR snapshot before each execution).
-func newProdCore(g *graph.DB, c *component) prodCore {
+// installs the snapshot before each execution).
+func newProdCore(snap *graph.Snapshot, c *component) prodCore {
 	cnt := len(c.vars)
-	pc := prodCore{
-		g:        g,
+	return prodCore{
+		snap:     snap,
 		c:        c,
 		cnt:      cnt,
 		runner:   relations.NewJointRunner(c.joint),
@@ -70,10 +76,6 @@ func newProdCore(g *graph.DB, c *component) prodCore {
 		symRunes: make([]rune, cnt),
 		next:     make([]graph.Node, cnt),
 	}
-	if g != nil {
-		pc.csr = g.Snapshot()
-	}
-	return pc
 }
 
 // symID interns the tuple symbol currently in symInts, registering it
@@ -109,11 +111,12 @@ func (pc *prodCore) startTuple(assign map[NodeVar]graph.Node) ([]graph.Node, boo
 }
 
 // liveFor returns the graph-effective live sets of jointID, memoized
-// per joint state for the lifetime of the current CSR snapshot.
+// per joint state for the lifetime of the pinned snapshot (i.e. one
+// epoch): an unchanged-epoch re-evaluation reuses the memo wholesale.
 func (pc *prodCore) liveFor(jointID int) []relations.LiveSet {
-	if pc.csr != pc.effCSR {
+	if pc.snap != pc.effSnap {
 		pc.effLive = pc.effLive[:0]
-		pc.effCSR = pc.csr
+		pc.effSnap = pc.snap
 	}
 	for len(pc.effLive) <= jointID {
 		pc.effLive = append(pc.effLive, nil)
@@ -122,7 +125,7 @@ func (pc *prodCore) liveFor(jointID int) []relations.LiveSet {
 		return eff
 	}
 	src := pc.runner.Live(jointID)
-	alpha := pc.csr.Alphabet()
+	alpha := pc.snap.Alphabet()
 	eff := make([]relations.LiveSet, len(src))
 	for i, ls := range src {
 		if ls.All || len(ls.Labels) == 0 {
@@ -155,17 +158,58 @@ func intersectSortedRunes(a, b []rune) []rune {
 	return out
 }
 
+// appendLiveRuns appends to rr the virtual (start,end) pairs of the
+// runs in runs whose label belongs to the sorted live set lab. For
+// each run (few — one per distinct label of the segment) it
+// binary-searches the shrinking tail of lab: O(runs·log|live|),
+// cheaper than a linear merge when the live set is broad. Adjacent
+// selected runs coalesce into one contiguous range (they abut in the
+// segment's edge array) — but never across calls: coalescing stops at
+// the rr prefix that was already present, so base and delta segments
+// stay separate pairs.
+func appendLiveRuns(rr []int32, runs []graph.LabelRun, lab []rune) []int32 {
+	floor := len(rr)
+	li := 0
+	for _, run := range runs {
+		lo, hi := li, len(lab)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if lab[mid] < run.Label {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		li = lo
+		if li == len(lab) {
+			break
+		}
+		if lab[li] == run.Label {
+			if n := len(rr); n > floor && rr[n-1] == run.Start {
+				rr[n-1] = run.End
+			} else {
+				rr = append(rr, run.Start, run.End)
+			}
+			li++
+			if li == len(lab) {
+				break
+			}
+		}
+	}
+	return rr
+}
+
 // prepareMoves computes the per-coordinate admissible moves for the
 // product state with joint state jointID and node tuple cur: the
-// intersection of the runner's live labels with the CSR label runs at
-// each coordinate's node, plus the ⊥ stay-move where the runner admits
-// it. It returns false when some coordinate has no move at all — the
-// state is dead and the caller skips its expansion entirely.
+// intersection of the runner's live labels with the snapshot's label
+// runs at each coordinate's node — base segment and delta overlay both
+// consulted — plus the ⊥ stay-move where the runner admits it. It
+// returns false when some coordinate has no move at all — the state is
+// dead and the caller skips its expansion entirely.
 func (pc *prodCore) prepareMoves(jointID int, cur []graph.Node) bool {
 	if pc.noPrune {
 		for i, v := range cur {
-			s, e := pc.csr.OutRange(v)
-			pc.moveRuns[i] = append(pc.moveRuns[i][:0], s, e)
+			pc.moveRuns[i] = pc.snap.AppendOutRanges(v, pc.moveRuns[i][:0])
 			pc.botOK[i] = true
 		}
 		return true
@@ -176,19 +220,16 @@ func (pc *prodCore) prepareMoves(jointID int, cur []graph.Node) bool {
 		rr := pc.moveRuns[i][:0]
 		switch {
 		case ls.All:
-			if s, e := pc.csr.OutRange(v); s < e {
-				rr = append(rr, s, e)
-			}
+			rr = pc.snap.AppendOutRanges(v, rr)
 		case len(ls.Labels) > 0:
-			// For each of the node's label runs (few — one per distinct
-			// out-label), binary-search the shrinking tail of the sorted
-			// live set: O(runs·log|live|), cheaper than a linear merge
-			// when the live set is broad. Adjacent selected runs coalesce
-			// into one contiguous range (they abut in the edge array), so
-			// a fully live node degrades to the single full-range case.
+			// Base segment, selected inline (the compacted common case
+			// pays nothing beyond the PR 3 loop): for each of the node's
+			// label runs (few — one per distinct out-label), binary-search
+			// the shrinking tail of the sorted live set, coalescing
+			// adjacent selected runs (they abut in the edge array).
 			lab := ls.Labels
 			li := 0
-			for _, run := range pc.csr.Runs(v) {
+			for _, run := range pc.snap.BaseRuns(v) {
 				lo, hi := li, len(lab)
 				for lo < hi {
 					mid := int(uint(lo+hi) >> 1)
@@ -213,6 +254,9 @@ func (pc *prodCore) prepareMoves(jointID int, cur []graph.Node) bool {
 						break
 					}
 				}
+			}
+			if dr := pc.snap.DeltaRuns(v); len(dr) != 0 {
+				rr = appendLiveRuns(rr, dr, lab)
 			}
 		}
 		pc.moveRuns[i] = rr
@@ -249,7 +293,7 @@ func (pc *prodCore) enumMoves(i int) error {
 	}
 	rr := pc.moveRuns[i]
 	for k := 0; k+1 < len(rr); k += 2 {
-		for _, ed := range pc.csr.Edges[rr[k]:rr[k+1]] {
+		for _, ed := range pc.snap.EdgeRange(rr[k], rr[k+1]) {
 			pc.symInts[i] = int(ed.Label)
 			pc.next[i] = ed.To
 			if err := pc.enumMoves(i + 1); err != nil {

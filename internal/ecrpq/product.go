@@ -19,8 +19,16 @@ import (
 //
 // The second return value gives the tape order (path variables).
 // ProductNFA is the substrate for the extensions of Section 8.2: package
-// linconstr attaches Parikh-image counters to its transitions.
+// linconstr attaches Parikh-image counters to its transitions. It is
+// the take-current-snapshot shim over ProductNFASnapshot.
 func ProductNFA(q *Query, g *graph.DB, opts Options) (*automata.NFA[string], []PathVar, error) {
+	return ProductNFASnapshot(q, g.Snapshot(), opts)
+}
+
+// ProductNFASnapshot builds the product automaton over a pinned
+// immutable snapshot, isolating the construction from concurrent
+// writers of the underlying DB.
+func ProductNFASnapshot(q *Query, s *graph.Snapshot, opts Options) (*automata.NFA[string], []PathVar, error) {
 	if err := q.Validate(); err != nil {
 		return nil, nil, err
 	}
@@ -36,13 +44,13 @@ func ProductNFA(q *Query, g *graph.DB, opts Options) (*automata.NFA[string], []P
 		if n, ok := bind[v]; ok {
 			return []graph.Node{n}
 		}
-		all := make([]graph.Node, g.NumNodes())
+		all := make([]graph.Node, s.NumNodes())
 		for i := range all {
 			all[i] = graph.Node(i)
 		}
 		return all
 	}
-	pb := newProductBuilder(g, c, newStateBudget(opts.MaxProductStates), opts.NoPrune)
+	pb := newProductBuilder(s, c, newStateBudget(opts.MaxProductStates), opts.NoPrune)
 	assign := map[NodeVar]graph.Node{}
 	var enumerate func(i int) error
 	enumerate = func(i int) error {
@@ -65,9 +73,9 @@ func ProductNFA(q *Query, g *graph.DB, opts Options) (*automata.NFA[string], []P
 }
 
 // productBuilder shares the dense joint runner, symbol interning and
-// adjacency snapshot (prodCore) across the per-start-assignment product
-// copies of ProductNFA and BuildPathAutomaton, and enforces the product
-// state budget across all copies.
+// pinned graph snapshot (prodCore) across the per-start-assignment
+// product copies of ProductNFA and BuildPathAutomaton, and enforces the
+// product state budget across all copies.
 type productBuilder struct {
 	prodCore
 
@@ -82,9 +90,9 @@ type productBuilder struct {
 	tupBuf []int
 }
 
-func newProductBuilder(g *graph.DB, c *component, bud *stateBudget, noPrune bool) *productBuilder {
+func newProductBuilder(s *graph.Snapshot, c *component, bud *stateBudget, noPrune bool) *productBuilder {
 	pb := &productBuilder{
-		prodCore: newProdCore(g, c),
+		prodCore: newProdCore(s, c),
 		bud:      bud,
 		prodTab:  intern.NewTable(0),
 		tupBuf:   make([]int, 0, len(c.vars)+1),

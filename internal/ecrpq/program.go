@@ -195,14 +195,23 @@ func (p *Program) take(i int) *componentEngine {
 const maxPooledScratch = 1 << 16
 
 // put returns an engine to component i's pool after an execution. The
-// engine must not pin a possibly huge graph, its adjacency snapshot,
-// the last result relation, or peak-sized BFS scratch, so everything
-// sized by the last execution is dropped first.
+// engine must not pin a possibly huge graph snapshot, the last result
+// relation, or peak-sized BFS scratch, so everything sized by the last
+// execution is dropped first. The graph-effective live memo (effLive,
+// keyed on effSnap) is retained for the unchanged-epoch serving case —
+// the next execution against the same snapshot reuses it wholesale —
+// but only while the snapshot is small: past maxPooledScratch edges a
+// stale memo would pin an O(m) snapshot in an idle pooled engine, so
+// it is dropped (recomputing liveFor is negligible next to any BFS at
+// that scale).
 func (p *Program) put(i int, e *componentEngine) {
-	e.g = nil
-	e.csr = nil
+	e.snap = nil
 	e.vr = nil
 	e.sink = nil
+	if e.effSnap != nil && e.effSnap.NumEdges() > maxPooledScratch {
+		e.effSnap = nil
+		e.effLive = e.effLive[:0]
+	}
 	if cap(e.parentState) > maxPooledScratch {
 		e.curs, e.joints, e.parentState, e.parentSym = nil, nil, nil, nil
 	}
@@ -220,11 +229,14 @@ func (p *Program) put(i int, e *componentEngine) {
 	pool.mu.Unlock()
 }
 
-// evalComponents evaluates every component of the program over g,
-// borrowing one engine per component. Independent components run
-// concurrently on a worker pool bounded by GOMAXPROCS, all drawing from
-// one shared product-state budget; the first error cancels the rest.
-func (p *Program) evalComponents(ctx context.Context, g *graph.DB, opts Options) ([]*varRelation, error) {
+// evalComponents evaluates every component of the program over the
+// pinned snapshot s, borrowing one engine per component. Independent
+// components run concurrently on a worker pool bounded by GOMAXPROCS,
+// all drawing from one shared product-state budget; the first error
+// cancels the rest. Every component reads the same immutable snapshot,
+// so a multi-component answer is always consistent with one epoch even
+// under concurrent writers.
+func (p *Program) evalComponents(ctx context.Context, s *graph.Snapshot, opts Options) ([]*varRelation, error) {
 	bud := newStateBudget(opts.MaxProductStates)
 	n := len(p.comps)
 	engines := make([]*componentEngine, n)
@@ -242,7 +254,7 @@ func (p *Program) evalComponents(ctx context.Context, g *graph.DB, opts Options)
 	rels := make([]*varRelation, n)
 	if n == 1 {
 		e := engines[0]
-		e.reset(g, opts)
+		e.reset(s, opts)
 		vr, err := evalComponent(ctx, e, opts.Bind, bud)
 		if err != nil {
 			return nil, err
@@ -270,7 +282,7 @@ func (p *Program) evalComponents(ctx context.Context, g *graph.DB, opts Options)
 				return
 			}
 			e := engines[i]
-			e.reset(g, opts)
+			e.reset(s, opts)
 			vr, err := evalComponent(cctx, e, opts.Bind, bud)
 			if err != nil {
 				errOnce.Do(func() { firstErr = err; cancel() })
@@ -291,18 +303,27 @@ func (p *Program) evalComponents(ctx context.Context, g *graph.DB, opts Options)
 	return rels, nil
 }
 
-// Eval runs the program to completion over g and materializes the full
-// answer set: component relations are joined per the compile-time join
-// plan, head projections deduplicated keeping shortest witnesses, and
-// answers sorted lexicographically — identical semantics to the
-// original one-shot Eval. Cancellation of ctx aborts the product BFS
-// and the joins promptly with ctx.Err().
+// Eval runs the program to completion over the current snapshot of g;
+// it is the take-current-snapshot shim over EvalSnapshot.
 func (p *Program) Eval(ctx context.Context, g *graph.DB, opts Options) (*Result, error) {
+	return p.EvalSnapshot(ctx, g.Snapshot(), opts)
+}
+
+// EvalSnapshot runs the program to completion over the pinned immutable
+// snapshot s and materializes the full answer set: component relations
+// are joined per the compile-time join plan, head projections
+// deduplicated keeping shortest witnesses, and answers sorted
+// lexicographically — identical semantics to the original one-shot
+// Eval. Cancellation of ctx aborts the product BFS and the joins
+// promptly with ctx.Err(). The execution never touches the live DB, so
+// it is fully isolated from concurrent writers, and repeated calls
+// with the same snapshot reuse the per-epoch move-plan memos.
+func (p *Program) EvalSnapshot(ctx context.Context, s *graph.Snapshot, opts Options) (*Result, error) {
 	q := p.q
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
-	rels, err := p.evalComponents(ctx, g, opts)
+	rels, err := p.evalComponents(ctx, s, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -310,7 +331,7 @@ func (p *Program) Eval(ctx context.Context, g *graph.DB, opts Options) (*Result,
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Query: q, Graph: g}
+	res := &Result{Query: q, Snap: s}
 	headPos := make([]int, len(q.HeadNodes))
 	for i, z := range q.HeadNodes {
 		headPos[i] = varPos(joined.vars, z)

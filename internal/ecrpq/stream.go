@@ -41,8 +41,17 @@ type StreamOptions struct {
 // concurrently (see Program.evalComponents) and then stream the final
 // join enumeration.
 func (p *Program) Stream(ctx context.Context, g *graph.DB, opts StreamOptions) iter.Seq2[Answer, error] {
+	return p.StreamSnapshot(ctx, g.Snapshot(), opts)
+}
+
+// StreamSnapshot is Stream against a pinned immutable snapshot: the
+// whole streaming execution — product BFS, joins, and the enumeration
+// driving the iterator — reads s and never the live DB, so answers
+// keep flowing from one consistent epoch while writers mutate the
+// store underneath.
+func (p *Program) StreamSnapshot(ctx context.Context, s *graph.Snapshot, opts StreamOptions) iter.Seq2[Answer, error] {
 	return func(yield func(Answer, error) bool) {
-		err := p.stream(ctx, g, opts, func(a Answer) bool { return yield(a, nil) })
+		err := p.stream(ctx, s, opts, func(a Answer) bool { return yield(a, nil) })
 		if err != nil {
 			yield(Answer{}, err)
 		}
@@ -53,7 +62,7 @@ func (p *Program) Stream(ctx context.Context, g *graph.DB, opts StreamOptions) i
 // answer. It returns nil on normal completion and on early stop
 // (consumer break, limit, boolean short-circuit); real failures are
 // returned for the iterator to surface.
-func (p *Program) stream(ctx context.Context, g *graph.DB, opts StreamOptions, emit func(Answer) bool) error {
+func (p *Program) stream(ctx context.Context, s *graph.Snapshot, opts StreamOptions, emit func(Answer) bool) error {
 	q := p.q
 	if err := q.Validate(); err != nil {
 		return err
@@ -61,9 +70,9 @@ func (p *Program) stream(ctx context.Context, g *graph.DB, opts StreamOptions, e
 	sink := newAnswerSink(q, opts.Limit, emit)
 	var err error
 	if len(p.comps) == 1 {
-		err = p.streamSingle(ctx, g, opts, sink)
+		err = p.streamSingle(ctx, s, opts, sink)
 	} else {
-		err = p.streamJoin(ctx, g, opts, sink)
+		err = p.streamJoin(ctx, s, opts, sink)
 	}
 	if errors.Is(err, errStopStream) {
 		return nil
@@ -138,10 +147,10 @@ func (s *answerSink) row(nodes []graph.Node, paths map[PathVar]graph.Path) error
 
 // streamSingle streams a single-component program: the engine's sink
 // hook emits answers straight out of the product BFS.
-func (p *Program) streamSingle(ctx context.Context, g *graph.DB, opts StreamOptions, sink *answerSink) error {
+func (p *Program) streamSingle(ctx context.Context, s *graph.Snapshot, opts StreamOptions, sink *answerSink) error {
 	e := p.take(0)
 	defer p.put(0, e)
-	e.reset(g, opts.Options)
+	e.reset(s, opts.Options)
 	sink.bindCols(e.allVars)
 	e.sink = sink.row
 	bud := newStateBudget(opts.MaxProductStates)
@@ -152,8 +161,8 @@ func (p *Program) streamSingle(ctx context.Context, g *graph.DB, opts StreamOpti
 // streamJoin streams a multi-component program: components evaluate
 // (concurrently) to completion, then the final join enumeration yields
 // answers incrementally.
-func (p *Program) streamJoin(ctx context.Context, g *graph.DB, opts StreamOptions, sink *answerSink) error {
-	rels, err := p.evalComponents(ctx, g, opts.Options)
+func (p *Program) streamJoin(ctx context.Context, s *graph.Snapshot, opts StreamOptions, sink *answerSink) error {
+	rels, err := p.evalComponents(ctx, s, opts.Options)
 	if err != nil {
 		return err
 	}

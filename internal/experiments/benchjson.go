@@ -158,15 +158,101 @@ func BenchScaleLabelRich(noPrune bool) BenchReport {
 	return rep
 }
 
-// WriteBenchJSON runs the ECRPQ engine suites (Fig1a + Scale_LabelRich)
-// and writes the combined report as indented JSON, plus a short
-// human-readable table to table (if non-nil). noPrune runs every suite
-// under the exhaustive-enumeration ablation, producing the baseline
-// file of a `benchtables -compare` pair.
-func WriteBenchJSON(jsonOut io.Writer, table io.Writer, noPrune bool) error {
-	rep := BenchFig1aECRPQ(noPrune)
-	rep.Suite = "ECRPQ_Engine"
-	rep.Benchmarks = append(rep.Benchmarks, BenchScaleLabelRich(noPrune).Benchmarks...)
+// BenchScaleMixedReadWrite runs the Scale_MixedReadWrite suite — the
+// mixed read/write serving path of the epoch-versioned snapshot store,
+// mirroring BenchmarkScale_MixedReadWrite. The two snapshot_after_write
+// cases measure publishing a fresh snapshot after a single AddEdge on a
+// warm ~100k-edge graph, with the delta overlay against the
+// full-rebuild ablation; both are always present so one report carries
+// the acquisition speedup. The serve cases interleave writes with
+// prepared snapshot queries at write ratios {1%, 10%}; baseline reruns
+// them with delta overlays disabled (every post-write snapshot pays a
+// full CSR rebuild — the pre-epoch behavior).
+func BenchScaleMixedReadWrite(baseline bool) BenchReport {
+	rep := BenchReport{Suite: "Scale_MixedReadWrite"}
+	for _, c := range []struct {
+		name    string
+		overlay bool
+	}{{"snapshot_after_write/overlay", true}, {"snapshot_after_write/rebuild", false}} {
+		c := c
+		rep.Benchmarks = append(rep.Benchmarks, runBench(
+			"Scale_MixedReadWrite/"+c.name,
+			func(b *testing.B) {
+				b.ReportAllocs()
+				m := workload.NewMixedServing(20)
+				m.Graph.SetDeltaOverlay(c.overlay)
+				m.Graph.Snapshot()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					m.Write(i)
+					if s := m.Graph.Snapshot(); s.NumEdges() == 0 {
+						b.Fatal("empty snapshot")
+					}
+				}
+			}))
+	}
+	for _, wp := range workload.MixedWritePcts {
+		wp := wp
+		rep.Benchmarks = append(rep.Benchmarks, runBench(
+			fmt.Sprintf("Scale_MixedReadWrite/serve/write_pct=%d", wp),
+			func(b *testing.B) {
+				b.ReportAllocs()
+				m := workload.NewMixedServing(20)
+				m.Graph.SetDeltaOverlay(!baseline)
+				p, err := plan.Compile(m.Query, m.Env())
+				if err != nil {
+					b.Fatal(err)
+				}
+				opts := ecrpq.Options{Bind: m.Bind, MaxProductStates: 50_000_000}
+				m.Graph.Snapshot()
+				period := 100 / wp
+				writes := 0
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if i%period == 0 {
+						m.Write(writes)
+						writes++
+					}
+					s := m.Graph.Snapshot()
+					if _, err := p.EvalSnapshot(context.Background(), s, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}))
+	}
+	return rep
+}
+
+// WriteBenchJSON runs the benchmark suites selected by suite — "" or
+// "all" for everything, "engine" for Fig1a + Scale_LabelRich, "mixed"
+// for Scale_MixedReadWrite — and writes the combined report as
+// indented JSON, plus a short human-readable table to table (if
+// non-nil). baseline runs the ablation of each selected suite: the
+// exhaustive-enumeration NoPrune baseline for the engine suites, and
+// the delta-overlay-disabled full-rebuild baseline for the mixed
+// suite — producing the old file of a `benchtables -compare` pair.
+func WriteBenchJSON(jsonOut io.Writer, table io.Writer, baseline bool, suite string) error {
+	engine := suite == "" || suite == "all" || suite == "engine"
+	mixed := suite == "" || suite == "all" || suite == "mixed"
+	if !engine && !mixed {
+		return fmt.Errorf("experiments: unknown bench suite %q (want all, engine or mixed)", suite)
+	}
+	rep := BenchReport{}
+	switch {
+	case engine && mixed:
+		rep.Suite = "ECRPQ_Engine+MixedReadWrite"
+	case engine:
+		rep.Suite = "ECRPQ_Engine"
+	default:
+		rep.Suite = "Scale_MixedReadWrite"
+	}
+	if engine {
+		rep.Benchmarks = append(rep.Benchmarks, BenchFig1aECRPQ(baseline).Benchmarks...)
+		rep.Benchmarks = append(rep.Benchmarks, BenchScaleLabelRich(baseline).Benchmarks...)
+	}
+	if mixed {
+		rep.Benchmarks = append(rep.Benchmarks, BenchScaleMixedReadWrite(baseline).Benchmarks...)
+	}
 	if table != nil {
 		fmt.Fprintf(table, "%-40s %14s %12s %12s\n", "benchmark", "ns/op", "B/op", "allocs/op")
 		for _, r := range rep.Benchmarks {

@@ -4,22 +4,27 @@ import "sort"
 
 // LabelRun is one contiguous run of equally-labeled out-edges of a node
 // inside a CSR snapshot: the edges CSR.Edges[Start:End] all leave the
-// same node and carry Label.
+// same node and carry Label. Inside a Snapshot the offsets are virtual
+// (delta-overlay runs are shifted past the base edge array); resolve
+// them with Snapshot.EdgeRange.
 type LabelRun struct {
 	Label rune
 	Start int32
 	End   int32
 }
 
-// CSR is an immutable compressed-sparse-row snapshot of a DB: one flat
-// edge array holding every out-edge, grouped by source node and, within
-// a node, sorted by label then target, plus a per-node label-run index.
-// It is the hot-path view of the graph — the label-directed product BFS
-// asks it "which labels leave v" and "the edges of v with label a", both
-// answered with O(1)-ish contiguous slices instead of map walks.
+// CSR is an immutable compressed-sparse-row edge index: one flat edge
+// array holding every out-edge, grouped by source node and, within a
+// node, sorted by label then target, plus a per-node label-run index.
+// It is the hot-path substrate of the graph — the label-directed
+// product BFS asks it "which labels leave v" and "the edges of v with
+// label a", both answered with O(1)-ish contiguous slices instead of
+// map walks.
 //
 // A CSR is safe for concurrent use by any number of readers; it never
-// changes after construction. Obtain one from DB.Snapshot.
+// changes after construction. Evaluation consumes CSRs through the
+// epoch-stamped Snapshot, which pairs the last compacted full CSR with
+// a delta overlay of the writes since (see snapshot.go).
 type CSR struct {
 	// Edges is the flat edge array; see the type comment for its order.
 	// Callers must not modify it.
@@ -32,17 +37,13 @@ type CSR struct {
 	perNode  [][]Edge
 }
 
-// Snapshot returns the CSR adjacency snapshot of the database, building
-// it on first use and caching it until the next AddEdge. Concurrent
-// readers of an otherwise-unmutated DB are safe: racing builders each
-// publish a complete snapshot and the last one wins.
-func (g *DB) Snapshot() *CSR {
-	if c := g.adj.Load(); c != nil && c.NumNodes() == len(g.names) {
-		return c
-	}
-	n := len(g.names)
+// buildCSR constructs the full CSR of the adjacency maps out[0:n] — the
+// compaction step of the snapshot store. Cost is O(m log m) in the edge
+// count; Snapshot only pays it when the delta overlay has grown past
+// the compaction threshold.
+func buildCSR(out []map[rune][]Node, n, nEdges int) *CSR {
 	c := &CSR{
-		Edges:   make([]Edge, 0, g.nEdges),
+		Edges:   make([]Edge, 0, nEdges),
 		nodeOff: make([]int32, n+1),
 		runOff:  make([]int32, n+1),
 		perNode: make([][]Edge, n),
@@ -51,7 +52,7 @@ func (g *DB) Snapshot() *CSR {
 	seen := map[rune]bool{}
 	for v := 0; v < n; v++ {
 		labels = labels[:0]
-		for a := range g.out[v] {
+		for a := range out[v] {
 			labels = append(labels, a)
 			if !seen[a] {
 				seen[a] = true
@@ -61,7 +62,7 @@ func (g *DB) Snapshot() *CSR {
 		sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
 		for _, a := range labels {
 			start := int32(len(c.Edges))
-			tos := append([]Node(nil), g.out[v][a]...)
+			tos := append([]Node(nil), out[v][a]...)
 			sort.Slice(tos, func(i, j int) bool { return tos[i] < tos[j] })
 			for _, to := range tos {
 				c.Edges = append(c.Edges, Edge{Label: a, To: to})
@@ -75,14 +76,13 @@ func (g *DB) Snapshot() *CSR {
 	for v := 0; v < n; v++ {
 		c.perNode[v] = c.Edges[c.nodeOff[v]:c.nodeOff[v+1]]
 	}
-	g.adj.Store(c)
 	return c
 }
 
-// NumNodes returns the number of nodes of the snapshot.
+// NumNodes returns the number of nodes of the CSR.
 func (c *CSR) NumNodes() int { return len(c.nodeOff) - 1 }
 
-// NumEdges returns the number of edges of the snapshot.
+// NumEdges returns the number of edges of the CSR.
 func (c *CSR) NumEdges() int { return len(c.Edges) }
 
 // Out returns every out-edge of v, sorted by label then target (shared
@@ -108,11 +108,11 @@ func (c *CSR) WithLabel(v Node, a rune) []Edge {
 	return nil
 }
 
-// Alphabet returns the distinct edge labels of the snapshot, sorted
-// (shared slice; do not modify).
+// Alphabet returns the distinct edge labels of the CSR, sorted (shared
+// slice; do not modify).
 func (c *CSR) Alphabet() []rune { return c.alphabet }
 
-// Adjacency returns the per-node out-edge view of the snapshot:
+// Adjacency returns the per-node out-edge view of the CSR:
 // Adjacency()[v] lists every edge leaving v, sorted by label then
 // target. The slices alias Edges; callers must not modify them.
 func (c *CSR) Adjacency() [][]Edge { return c.perNode }

@@ -32,9 +32,8 @@ func TestCSRMatchesDB(t *testing.T) {
 		total := 0
 		for v := 0; v < g.NumNodes(); v++ {
 			out := c.Out(Node(v))
-			s, e := c.OutRange(Node(v))
-			if len(out) != int(e-s) {
-				t.Fatalf("node %d: Out len %d, OutRange %d", v, len(out), e-s)
+			if deg := c.OutDegree(Node(v)); len(out) != deg {
+				t.Fatalf("node %d: Out len %d, OutDegree %d", v, len(out), deg)
 			}
 			total += len(out)
 			for i := 1; i < len(out); i++ {
@@ -49,7 +48,7 @@ func TestCSRMatchesDB(t *testing.T) {
 				if ri > 0 && runs[ri-1].Label >= run.Label {
 					t.Fatalf("node %d: runs not label-sorted: %v", v, runs)
 				}
-				for _, ed := range c.Edges[run.Start:run.End] {
+				for _, ed := range c.EdgeRange(run.Start, run.End) {
 					if ed.Label != run.Label {
 						t.Fatalf("node %d: run %q contains edge %v", v, run.Label, ed)
 					}

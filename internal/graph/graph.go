@@ -8,6 +8,7 @@ package graph
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/regex"
@@ -19,7 +20,17 @@ type Node int
 // DB is a Σ-labeled graph database. The zero value is an empty database;
 // use NewDB. Node names are optional (auto-generated when absent) and are
 // unique.
+//
+// Concurrency: the store is epoch-versioned. Mutations (AddNode,
+// AddEdge) serialize on an internal write mutex and advance a monotonic
+// epoch; Snapshot returns an immutable epoch-stamped view that is safe
+// to read from any number of goroutines concurrently with writers.
+// Direct readers of the live DB (HasEdge, EachEdge, Successors, …) see
+// the latest writes but must not run concurrently with them — the
+// serving path for mixed read/write traffic is Snapshot.
 type DB struct {
+	// mu serializes mutations and the snapshot slow path.
+	mu     sync.Mutex
 	names  []string
 	byName map[string]Node
 	out    []map[rune][]Node
@@ -28,10 +39,29 @@ type DB struct {
 	// lazily once a (node,label) fan-out crosses dedupThreshold so bulk
 	// loads stay near-linear instead of paying an O(deg) scan per insert.
 	dedup []map[rune]map[Node]bool
-	// adj caches the CSR snapshot behind an atomic pointer so concurrent
-	// readers (e.g. parallel Evals sharing one DB) may build and publish
-	// it without a data race; mutations clear it.
-	adj atomic.Pointer[CSR]
+
+	// epoch counts successful mutations; it stamps snapshots and keys
+	// downstream memos (an unchanged epoch means an unchanged graph).
+	epoch atomic.Uint64
+	// snap caches the current epoch's snapshot behind an atomic pointer
+	// so concurrent readers share one snapshot without locking.
+	snap atomic.Pointer[Snapshot]
+
+	// base is the full CSR of the last compaction, covering baseN
+	// nodes. The edges written since live in two pieces: deltaSorted is
+	// the CSR-ordered prefix as of the last published snapshot (shared,
+	// immutable once published — fresh merges allocate a new array),
+	// and deltaNew holds the appends since. Writes are O(1) appends,
+	// and a post-write snapshot merges the small unsorted suffix into
+	// the sorted prefix — O(Δ) with a tiny sort, not a full rebuild and
+	// not even an O(Δ log Δ) re-sort of the whole delta (see Snapshot).
+	base        *CSR
+	baseN       int
+	deltaSorted []rawEdge
+	deltaNew    []rawEdge
+	// noDelta disables delta overlays (every snapshot compacts) — the
+	// full-rebuild ablation baseline for the mixed read/write benchmarks.
+	noDelta bool
 }
 
 // dedupThreshold is the (node,label) fan-out beyond which AddEdge and
@@ -54,6 +84,12 @@ func NewDB() *DB {
 // already present the existing node is returned. An empty name generates
 // "n<k>".
 func (g *DB) AddNode(name string) Node {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.addNodeLocked(name)
+}
+
+func (g *DB) addNodeLocked(name string) Node {
 	if name == "" {
 		name = fmt.Sprintf("n%d", len(g.names))
 	}
@@ -65,17 +101,25 @@ func (g *DB) AddNode(name string) Node {
 	g.byName[name] = v
 	g.out = append(g.out, nil)
 	g.dedup = append(g.dedup, nil)
+	g.epoch.Add(1)
 	return v
 }
 
 // AddNodes adds k anonymous nodes and returns the first.
 func (g *DB) AddNodes(k int) Node {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	first := Node(len(g.names))
 	for i := 0; i < k; i++ {
-		g.AddNode("")
+		g.addNodeLocked("")
 	}
 	return first
 }
+
+// Epoch returns the current mutation epoch: zero for a fresh database,
+// advanced by every successful AddNode/AddEdge. Snapshots are stamped
+// with the epoch they were taken at.
+func (g *DB) Epoch() uint64 { return g.epoch.Load() }
 
 // NodeByName returns the node with the given name.
 func (g *DB) NodeByName(name string) (Node, bool) {
@@ -93,9 +137,14 @@ func (g *DB) NumNodes() int { return len(g.names) }
 func (g *DB) NumEdges() int { return g.nEdges }
 
 // AddEdge adds the labeled edge (from, label, to). Duplicate edges are
-// ignored; beyond dedupThreshold parallel targets the duplicate check
-// uses a membership set, keeping bulk loads near-linear.
+// ignored (and do not advance the epoch); beyond dedupThreshold
+// parallel targets the duplicate check uses a membership set, keeping
+// bulk loads near-linear. A fresh edge is appended to the delta log, so
+// the next Snapshot pays only for the delta overlay instead of a full
+// CSR rebuild.
 func (g *DB) AddEdge(from Node, label rune, to Node) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	if g.out[from] == nil {
 		g.out[from] = make(map[rune][]Node)
 	}
@@ -125,7 +174,18 @@ func (g *DB) AddEdge(from Node, label rune, to Node) {
 	}
 	g.out[from][label] = append(tos, to)
 	g.nEdges++
-	g.adj.Store(nil)
+	g.deltaNew = append(g.deltaNew, rawEdge{From: from, Label: label, To: to})
+	g.epoch.Add(1)
+}
+
+// SetDeltaOverlay toggles delta overlays (default on). With overlays
+// disabled every post-write Snapshot compacts into a fresh full CSR —
+// the PR-3-era behavior, kept as the ablation baseline of the
+// Scale_MixedReadWrite benchmarks.
+func (g *DB) SetDeltaOverlay(enabled bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.noDelta = !enabled
 }
 
 // Adjacency returns per-node out-edge slices: Adjacency()[v] lists every
@@ -147,9 +207,20 @@ func (g *DB) HasEdge(from Node, label rune, to Node) bool {
 	return false
 }
 
-// Successors returns the targets of label-edges leaving from (shared
-// slice; do not modify).
-func (g *DB) Successors(from Node, label rune) []Node { return g.out[from][label] }
+// Successors returns the targets of label-edges leaving from, sorted.
+// The result is routed through the current snapshot and copied, so the
+// caller can neither mutate the store nor race with writers through it.
+func (g *DB) Successors(from Node, label rune) []Node {
+	edges := g.Snapshot().WithLabel(from, label)
+	if len(edges) == 0 {
+		return nil
+	}
+	out := make([]Node, len(edges))
+	for i, e := range edges {
+		out[i] = e.To
+	}
+	return out
+}
 
 // EachEdge calls f for every edge.
 func (g *DB) EachEdge(f func(from Node, label rune, to Node)) {
@@ -176,18 +247,64 @@ func (g *DB) EdgesFrom(v Node, f func(label rune, to Node)) {
 // rescanning every edge map per call; callers must not modify it.
 func (g *DB) Alphabet() []rune { return g.Snapshot().Alphabet() }
 
-// Clone returns a deep copy of the database.
+// Clone returns a deep copy of the database. Instead of replaying
+// AddEdge m times through the dedup machinery, the adjacency and dedup
+// structures are copied directly and the immutable base CSR, delta log
+// and current snapshot are shared/carried over — the clone starts at
+// the source's epoch with the same compaction state.
 func (g *DB) Clone() *DB {
-	h := NewDB()
-	for _, name := range g.names {
-		h.AddNode(name)
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	h := &DB{
+		names:       append([]string(nil), g.names...),
+		byName:      make(map[string]Node, len(g.byName)),
+		out:         make([]map[rune][]Node, len(g.out)),
+		dedup:       make([]map[rune]map[Node]bool, len(g.dedup)),
+		nEdges:      g.nEdges,
+		base:        g.base,        // immutable once built; safe to share
+		deltaSorted: g.deltaSorted, // immutable once published; safe to share
+		baseN:       g.baseN,
+		deltaNew:    append([]rawEdge(nil), g.deltaNew...),
+		noDelta:     g.noDelta,
 	}
-	g.EachEdge(func(from Node, a rune, to Node) { h.AddEdge(from, a, to) })
+	for name, v := range g.byName {
+		h.byName[name] = v
+	}
+	for v, m := range g.out {
+		if m == nil {
+			continue
+		}
+		cp := make(map[rune][]Node, len(m))
+		for a, tos := range m {
+			cp[a] = append([]Node(nil), tos...)
+		}
+		h.out[v] = cp
+	}
+	for v, m := range g.dedup {
+		if m == nil {
+			continue
+		}
+		cp := make(map[rune]map[Node]bool, len(m))
+		for a, set := range m {
+			cs := make(map[Node]bool, len(set))
+			for t := range set {
+				cs[t] = true
+			}
+			cp[a] = cs
+		}
+		h.dedup[v] = cp
+	}
+	h.epoch.Store(g.epoch.Load())
+	if s := g.snap.Load(); s != nil && s.epoch == h.epoch.Load() {
+		h.snap.Store(s) // snapshots are immutable; the clone reuses it
+	}
 	return h
 }
 
-// WithBotLoops returns the Σ⊥-labeled database G⊥ of Section 5: a copy of
-// g with a ⊥-labeled self-loop added to every node.
+// WithBotLoops returns the Σ⊥-labeled database G⊥ of Section 5: a copy
+// of g with a ⊥-labeled self-loop added to every node. The loops are
+// recorded as a delta overlay on the parent's compaction state, so
+// building G⊥ shares the parent's base CSR instead of rebuilding it.
 func (g *DB) WithBotLoops() *DB {
 	h := g.Clone()
 	for v := 0; v < h.NumNodes(); v++ {

@@ -212,8 +212,8 @@ bob -f-> carol
 
 func TestParseTextErrors(t *testing.T) {
 	bad := []string{
-		"edge a b",        // missing field
-		"gibberish",       // unknown line
+		"edge a b",         // missing field
+		"gibberish",        // unknown line
 		"a - -> b -> c ->", // malformed arrow
 	}
 	for _, src := range bad {

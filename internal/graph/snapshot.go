@@ -1,0 +1,478 @@
+package graph
+
+import (
+	"sort"
+	"sync"
+)
+
+// Snapshot is an epoch-stamped immutable view of a DB: the last
+// compacted full CSR plus a sorted delta overlay of the edges written
+// since. Any number of readers may share a Snapshot concurrently with
+// writers mutating the DB — a pinned Snapshot never changes, so an
+// evaluation running against it is fully isolated from AddEdge/AddNode
+// traffic. Obtain one from DB.Snapshot.
+//
+// The two-segment layout is what makes mixed read/write traffic cheap:
+// a write appends to the DB's delta log, and the next Snapshot merges
+// the few new writes into the already-sorted delta and rebuilds only
+// the overlay index (O(Δ + n)) instead of the full CSR (O(m log m)).
+// Edge offsets are virtual — runs of the delta overlay
+// are shifted past the base edge array — so a (start, end) pair from
+// AppendOutRanges or a LabelRun always resolves through EdgeRange,
+// which picks the right segment.
+type Snapshot struct {
+	epoch  uint64
+	n      int
+	names  []string
+	nEdges int
+
+	base    *CSR  // full CSR at the last compaction
+	baseN   int   // nodes covered by base
+	baseLen int32 // len(base.Edges); delta offsets are shifted past it
+
+	// Delta overlay: the edges written since the last compaction, in
+	// CSR order (grouped by source, label-then-target within a node).
+	// All slices are nil when the snapshot is fully compacted.
+	dEdges   []Edge
+	dNodeOff []int32    // per node: range of its delta edges (len n+1)
+	dRuns    []LabelRun // Start/End are virtual (shifted by baseLen)
+	dRunOff  []int32    // per node: range of its runs in dRuns (len n+1)
+
+	alphabet []rune
+
+	adjOnce sync.Once
+	adj     [][]Edge
+}
+
+// rawEdge is one delta-log entry: an edge appended since the last
+// compaction (already deduplicated by AddEdge).
+type rawEdge struct {
+	From  Node
+	Label rune
+	To    Node
+}
+
+// rawEdgeLess orders delta edges in CSR order: source, label, target.
+func rawEdgeLess(a, b rawEdge) bool {
+	if a.From != b.From {
+		return a.From < b.From
+	}
+	if a.Label != b.Label {
+		return a.Label < b.Label
+	}
+	return a.To < b.To
+}
+
+// mergeDelta merges the freshly sorted suffix add into the sorted
+// prefix into a new array (the prefix may be shared with published
+// snapshots and is never mutated).
+func mergeDelta(sorted, add []rawEdge) []rawEdge {
+	out := make([]rawEdge, 0, len(sorted)+len(add))
+	i, j := 0, 0
+	for i < len(sorted) && j < len(add) {
+		if rawEdgeLess(add[j], sorted[i]) {
+			out = append(out, add[j])
+			j++
+		} else {
+			out = append(out, sorted[i])
+			i++
+		}
+	}
+	out = append(out, sorted[i:]...)
+	return append(out, add[j:]...)
+}
+
+// newSnapshot assembles the snapshot of a DB state: base CSR covering
+// baseN nodes plus the delta overlay (already in CSR order), under n
+// total nodes. sorted is owned by the snapshot store and immutable.
+func newSnapshot(epoch uint64, names []string, base *CSR, baseN int, sorted []rawEdge, nEdges int) *Snapshot {
+	s := &Snapshot{
+		epoch:   epoch,
+		n:       len(names),
+		names:   names,
+		nEdges:  nEdges,
+		base:    base,
+		baseN:   baseN,
+		baseLen: int32(len(base.Edges)),
+	}
+	if len(sorted) == 0 {
+		s.alphabet = base.alphabet
+		return s
+	}
+	s.dEdges = make([]Edge, len(sorted))
+	s.dNodeOff = make([]int32, s.n+1)
+	s.dRunOff = make([]int32, s.n+1)
+	deltaLabels := map[rune]bool{}
+	for i, e := range sorted {
+		s.dEdges[i] = Edge{Label: e.Label, To: e.To}
+		if i == 0 || e.Label != sorted[i-1].Label || e.From != sorted[i-1].From {
+			s.dRuns = append(s.dRuns, LabelRun{Label: e.Label, Start: s.baseLen + int32(i), End: s.baseLen + int32(i)})
+		}
+		s.dRuns[len(s.dRuns)-1].End = s.baseLen + int32(i) + 1
+		if !deltaLabels[e.Label] {
+			deltaLabels[e.Label] = true
+		}
+	}
+	// Per-node offsets: one pass over the sorted log fills the counts,
+	// prefix sums turn them into ranges.
+	for _, e := range sorted {
+		s.dNodeOff[e.From+1]++
+	}
+	for v := 0; v < s.n; v++ {
+		s.dNodeOff[v+1] += s.dNodeOff[v]
+	}
+	ri := 0
+	for v := 0; v < s.n; v++ {
+		s.dRunOff[v] = int32(ri)
+		end := s.baseLen + s.dNodeOff[v+1]
+		for ri < len(s.dRuns) && s.dRuns[ri].Start < end {
+			ri++
+		}
+	}
+	s.dRunOff[s.n] = int32(ri)
+	// Alphabet: sorted union of the base alphabet and the delta labels.
+	s.alphabet = base.alphabet
+	extra := make([]rune, 0, len(deltaLabels))
+	for a := range deltaLabels {
+		if !runeIn(base.alphabet, a) {
+			extra = append(extra, a)
+		}
+	}
+	if len(extra) > 0 {
+		merged := append(append(make([]rune, 0, len(base.alphabet)+len(extra)), base.alphabet...), extra...)
+		sort.Slice(merged, func(i, j int) bool { return merged[i] < merged[j] })
+		s.alphabet = merged
+	}
+	return s
+}
+
+// runeIn reports whether a is in the sorted rune slice rs.
+func runeIn(rs []rune, a rune) bool {
+	i := sort.Search(len(rs), func(i int) bool { return rs[i] >= a })
+	return i < len(rs) && rs[i] == a
+}
+
+// Epoch returns the DB epoch the snapshot was taken at. Epochs are
+// monotonic per DB: every successful mutation advances the epoch, so
+// two snapshots of one DB are identical iff their epochs agree (and
+// downstream memos may key on the epoch, or on snapshot pointer
+// identity — DB.Snapshot returns the same pointer for an unchanged
+// epoch).
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// NumNodes returns |V| at the snapshot's epoch.
+func (s *Snapshot) NumNodes() int { return s.n }
+
+// NumEdges returns |E| at the snapshot's epoch.
+func (s *Snapshot) NumEdges() int { return s.nEdges }
+
+// BaseEdges returns the number of edges in the compacted base segment
+// (introspection for compaction tests and tooling).
+func (s *Snapshot) BaseEdges() int { return int(s.baseLen) }
+
+// DeltaEdges returns the number of edges in the delta overlay; zero
+// means the snapshot is fully compacted.
+func (s *Snapshot) DeltaEdges() int { return len(s.dEdges) }
+
+// Name returns the name of v at the snapshot's epoch.
+func (s *Snapshot) Name(v Node) string { return s.names[v] }
+
+// Alphabet returns the distinct edge labels of the snapshot, sorted
+// (shared slice; do not modify).
+func (s *Snapshot) Alphabet() []rune { return s.alphabet }
+
+// BaseRuns returns the label runs of v in the base segment, sorted by
+// label (shared slice; do not modify). Offsets resolve via EdgeRange.
+func (s *Snapshot) BaseRuns(v Node) []LabelRun {
+	if int(v) >= s.baseN {
+		return nil
+	}
+	return s.base.Runs(v)
+}
+
+// DeltaRuns returns the label runs of v in the delta overlay, sorted
+// by label (shared slice; do not modify). Offsets are virtual and
+// resolve via EdgeRange.
+func (s *Snapshot) DeltaRuns(v Node) []LabelRun {
+	if s.dRunOff == nil {
+		return nil
+	}
+	return s.dRuns[s.dRunOff[v]:s.dRunOff[v+1]]
+}
+
+// Runs returns the label runs of v across both segments, sorted by
+// label. When v has edges in only one segment the shared slice of that
+// segment is returned; otherwise a fresh merged slice is built. A label
+// present in both segments contributes two runs (base first).
+func (s *Snapshot) Runs(v Node) []LabelRun {
+	b, d := s.BaseRuns(v), s.DeltaRuns(v)
+	switch {
+	case len(d) == 0:
+		return b
+	case len(b) == 0:
+		return d
+	}
+	out := make([]LabelRun, 0, len(b)+len(d))
+	i, j := 0, 0
+	for i < len(b) && j < len(d) {
+		if b[i].Label <= d[j].Label {
+			out = append(out, b[i])
+			i++
+		} else {
+			out = append(out, d[j])
+			j++
+		}
+	}
+	out = append(out, b[i:]...)
+	return append(out, d[j:]...)
+}
+
+// AppendOutRanges appends the virtual (start, end) edge ranges of v —
+// at most one per segment — to rr and returns it. Resolve the pairs
+// with EdgeRange; a pair never spans segments.
+func (s *Snapshot) AppendOutRanges(v Node, rr []int32) []int32 {
+	if int(v) < s.baseN {
+		if st, en := s.base.OutRange(v); st < en {
+			rr = append(rr, st, en)
+		}
+	}
+	if s.dNodeOff != nil {
+		if st, en := s.dNodeOff[v], s.dNodeOff[v+1]; st < en {
+			rr = append(rr, s.baseLen+st, s.baseLen+en)
+		}
+	}
+	return rr
+}
+
+// EdgeRange resolves a virtual (start, end) pair — from AppendOutRanges
+// or a LabelRun — to the backing edge slice (shared; do not modify).
+func (s *Snapshot) EdgeRange(start, end int32) []Edge {
+	if start >= s.baseLen {
+		return s.dEdges[start-s.baseLen : end-s.baseLen]
+	}
+	return s.base.Edges[start:end]
+}
+
+// WithLabel returns the edges of v labeled a, sorted by target. When
+// the label lives in a single segment the shared slice is returned;
+// when both segments contribute, a fresh merged slice is built.
+func (s *Snapshot) WithLabel(v Node, a rune) []Edge {
+	var b []Edge
+	if int(v) < s.baseN {
+		b = s.base.WithLabel(v, a)
+	}
+	d := s.deltaWithLabel(v, a)
+	switch {
+	case len(d) == 0:
+		return b
+	case len(b) == 0:
+		return d
+	}
+	out := make([]Edge, 0, len(b)+len(d))
+	i, j := 0, 0
+	for i < len(b) && j < len(d) {
+		if b[i].To <= d[j].To {
+			out = append(out, b[i])
+			i++
+		} else {
+			out = append(out, d[j])
+			j++
+		}
+	}
+	out = append(out, b[i:]...)
+	return append(out, d[j:]...)
+}
+
+// deltaWithLabel returns the delta-overlay edges of v labeled a.
+func (s *Snapshot) deltaWithLabel(v Node, a rune) []Edge {
+	runs := s.DeltaRuns(v)
+	i := sort.Search(len(runs), func(i int) bool { return runs[i].Label >= a })
+	if i < len(runs) && runs[i].Label == a {
+		return s.EdgeRange(runs[i].Start, runs[i].End)
+	}
+	return nil
+}
+
+// HasEdge reports whether (v, a, w) is an edge of the snapshot.
+func (s *Snapshot) HasEdge(v Node, a rune, w Node) bool {
+	for _, seg := range [2][]Edge{s.baseWithLabel(v, a), s.deltaWithLabel(v, a)} {
+		i := sort.Search(len(seg), func(i int) bool { return seg[i].To >= w })
+		if i < len(seg) && seg[i].To == w {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Snapshot) baseWithLabel(v Node, a rune) []Edge {
+	if int(v) >= s.baseN {
+		return nil
+	}
+	return s.base.WithLabel(v, a)
+}
+
+// EdgesFrom calls f for every edge leaving v, base segment first.
+func (s *Snapshot) EdgesFrom(v Node, f func(label rune, to Node)) {
+	if int(v) < s.baseN {
+		for _, e := range s.base.Out(v) {
+			f(e.Label, e.To)
+		}
+	}
+	if s.dNodeOff != nil {
+		for _, e := range s.dEdges[s.dNodeOff[v]:s.dNodeOff[v+1]] {
+			f(e.Label, e.To)
+		}
+	}
+}
+
+// EachEdge calls f for every edge of the snapshot.
+func (s *Snapshot) EachEdge(f func(from Node, label rune, to Node)) {
+	for v := 0; v < s.n; v++ {
+		s.EdgesFrom(Node(v), func(a rune, to Node) { f(Node(v), a, to) })
+	}
+}
+
+// Out returns every out-edge of v, sorted by label then target (shared
+// slice; do not modify). Materializes the merged adjacency on first
+// use; hot paths should prefer BaseRuns/DeltaRuns/EdgeRange, which
+// never materialize.
+func (s *Snapshot) Out(v Node) []Edge { return s.Adjacency()[v] }
+
+// OutDegree returns the number of edges leaving v.
+func (s *Snapshot) OutDegree(v Node) int {
+	deg := 0
+	if int(v) < s.baseN {
+		st, en := s.base.OutRange(v)
+		deg += int(en - st)
+	}
+	if s.dNodeOff != nil {
+		deg += int(s.dNodeOff[v+1] - s.dNodeOff[v])
+	}
+	return deg
+}
+
+// Adjacency returns the per-node out-edge view of the snapshot:
+// Adjacency()[v] lists every edge leaving v, sorted by label then
+// target; callers must not modify the slices. A fully compacted
+// snapshot shares the base CSR's arrays; with a delta overlay the
+// merged view is materialized once, on first call.
+func (s *Snapshot) Adjacency() [][]Edge {
+	if s.dEdges == nil && s.n == s.baseN {
+		return s.base.Adjacency()
+	}
+	s.adjOnce.Do(func() {
+		adj := make([][]Edge, s.n)
+		for v := 0; v < s.n; v++ {
+			if s.dRunOff == nil || s.dRunOff[v] == s.dRunOff[v+1] {
+				if v < s.baseN {
+					adj[v] = s.base.Out(Node(v))
+				}
+				continue
+			}
+			runs := s.Runs(Node(v))
+			out := make([]Edge, 0, s.OutDegree(Node(v)))
+			for i := 0; i < len(runs); i++ {
+				if i+1 < len(runs) && runs[i+1].Label == runs[i].Label {
+					// Same label in both segments: merge by target.
+					a, b := s.EdgeRange(runs[i].Start, runs[i].End), s.EdgeRange(runs[i+1].Start, runs[i+1].End)
+					x, y := 0, 0
+					for x < len(a) && y < len(b) {
+						if a[x].To <= b[y].To {
+							out = append(out, a[x])
+							x++
+						} else {
+							out = append(out, b[y])
+							y++
+						}
+					}
+					out = append(out, a[x:]...)
+					out = append(out, b[y:]...)
+					i++
+					continue
+				}
+				out = append(out, s.EdgeRange(runs[i].Start, runs[i].End)...)
+			}
+			adj[v] = out
+		}
+		s.adj = adj
+	})
+	return s.adj
+}
+
+// AllPaths returns every path of the snapshot starting at from with at
+// most maxLen edges — the snapshot-isolated form of DB.AllPaths, for
+// the naive reference evaluator and tests.
+func (s *Snapshot) AllPaths(from Node, maxLen int) []Path {
+	out := []Path{EmptyPath(from)}
+	frontier := []Path{EmptyPath(from)}
+	for l := 0; l < maxLen; l++ {
+		var next []Path
+		for _, p := range frontier {
+			s.EdgesFrom(p.To(), func(a rune, to Node) {
+				np := p.Extend(a, to)
+				next = append(next, np)
+				out = append(out, np)
+			})
+		}
+		frontier = next
+	}
+	return out
+}
+
+// compactMinDelta and compactFracDen set the compaction policy: a
+// snapshot compacts the delta into a fresh full CSR when the delta has
+// more than compactMinDelta edges AND exceeds base/compactFracDen —
+// so small graphs and short write bursts ride the O(Δ) overlay, while
+// a delta that grows past ~25% of the base pays one O(m log m) rebuild
+// and resets to zero.
+const (
+	compactMinDelta = 64
+	compactFracDen  = 4
+)
+
+// compactionDue reports whether the delta log has crossed the
+// compaction threshold (callers hold g.mu).
+func (g *DB) compactionDue() bool {
+	if g.base == nil || g.noDelta {
+		return true
+	}
+	d := len(g.deltaSorted) + len(g.deltaNew)
+	return d > compactMinDelta && d*compactFracDen > g.base.NumEdges()
+}
+
+// Snapshot returns the epoch-stamped immutable snapshot of the
+// database, building it on first use per epoch and caching it until
+// the next mutation. It is safe to call concurrently with writers: the
+// fast path is two atomic loads, and the slow path builds under the
+// write lock. Steady read traffic with occasional writes pays
+// O(Δ log Δ + n) per post-write snapshot — the delta overlay — not the
+// O(m log m) full rebuild, which only runs when the delta crosses the
+// compaction threshold (or delta overlays are disabled).
+func (g *DB) Snapshot() *Snapshot {
+	if s := g.snap.Load(); s != nil && s.epoch == g.epoch.Load() {
+		return s
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	ep := g.epoch.Load()
+	if s := g.snap.Load(); s != nil && s.epoch == ep {
+		return s
+	}
+	n := len(g.names)
+	if g.compactionDue() {
+		g.base = buildCSR(g.out, n, g.nEdges)
+		g.baseN = n
+		g.deltaSorted, g.deltaNew = nil, nil
+	} else if len(g.deltaNew) > 0 {
+		// Fold the unsorted suffix (usually a handful of writes) into
+		// the sorted prefix: a tiny sort plus one linear merge into a
+		// fresh array, leaving arrays referenced by published snapshots
+		// untouched.
+		sort.Slice(g.deltaNew, func(i, j int) bool { return rawEdgeLess(g.deltaNew[i], g.deltaNew[j]) })
+		g.deltaSorted = mergeDelta(g.deltaSorted, g.deltaNew)
+		g.deltaNew = g.deltaNew[:0]
+	}
+	s := newSnapshot(ep, g.names[:n:n], g.base, g.baseN, g.deltaSorted, g.nEdges)
+	g.snap.Store(s)
+	return s
+}

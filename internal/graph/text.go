@@ -25,45 +25,56 @@ func ParseText(r io.Reader) (*DB, error) {
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
-		line := strings.TrimSpace(sc.Text())
-		if line == "" || strings.HasPrefix(line, "#") {
-			continue
-		}
-		switch {
-		case strings.HasPrefix(line, "node "):
-			g.AddNode(strings.TrimSpace(strings.TrimPrefix(line, "node ")))
-		case strings.HasPrefix(line, "edge "):
-			fields := strings.Fields(strings.TrimPrefix(line, "edge "))
-			if len(fields) != 3 {
-				return nil, fmt.Errorf("graph: line %d: want `edge FROM LABEL TO`, got %q", lineNo, line)
-			}
-			from := g.AddNode(fields[0])
-			to := g.AddNode(fields[2])
-			g.AddEdge(from, firstRune(fields[1]), to)
-		case strings.Contains(line, "->"):
-			// arrow form: FROM -LABEL-> TO
-			i := strings.Index(line, " -")
-			j := strings.Index(line, "-> ")
-			if i < 0 || j < i {
-				return nil, fmt.Errorf("graph: line %d: malformed arrow edge %q", lineNo, line)
-			}
-			fromName := strings.TrimSpace(line[:i])
-			label := strings.TrimSpace(line[i+2 : j])
-			toName := strings.TrimSpace(line[j+3:])
-			if fromName == "" || label == "" || toName == "" {
-				return nil, fmt.Errorf("graph: line %d: malformed arrow edge %q", lineNo, line)
-			}
-			from := g.AddNode(fromName)
-			to := g.AddNode(toName)
-			g.AddEdge(from, firstRune(label), to)
-		default:
-			return nil, fmt.Errorf("graph: line %d: unrecognized line %q", lineNo, line)
+		if err := ApplyTextLine(g, sc.Text()); err != nil {
+			return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
 		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
 	return g, nil
+}
+
+// ApplyTextLine applies one line of the text format to g: a node or
+// edge declaration mutates the store (advancing its epoch), blank
+// lines and comments are no-ops. The replay mode of the command-line
+// tools uses it to interleave mutations with snapshot queries.
+func ApplyTextLine(g *DB, raw string) error {
+	line := strings.TrimSpace(raw)
+	if line == "" || strings.HasPrefix(line, "#") {
+		return nil
+	}
+	switch {
+	case strings.HasPrefix(line, "node "):
+		g.AddNode(strings.TrimSpace(strings.TrimPrefix(line, "node ")))
+	case strings.HasPrefix(line, "edge "):
+		fields := strings.Fields(strings.TrimPrefix(line, "edge "))
+		if len(fields) != 3 {
+			return fmt.Errorf("want `edge FROM LABEL TO`, got %q", line)
+		}
+		from := g.AddNode(fields[0])
+		to := g.AddNode(fields[2])
+		g.AddEdge(from, firstRune(fields[1]), to)
+	case strings.Contains(line, "->"):
+		// arrow form: FROM -LABEL-> TO
+		i := strings.Index(line, " -")
+		j := strings.Index(line, "-> ")
+		if i < 0 || j < i {
+			return fmt.Errorf("malformed arrow edge %q", line)
+		}
+		fromName := strings.TrimSpace(line[:i])
+		label := strings.TrimSpace(line[i+2 : j])
+		toName := strings.TrimSpace(line[j+3:])
+		if fromName == "" || label == "" || toName == "" {
+			return fmt.Errorf("malformed arrow edge %q", line)
+		}
+		from := g.AddNode(fromName)
+		to := g.AddNode(toName)
+		g.AddEdge(from, firstRune(label), to)
+	default:
+		return fmt.Errorf("unrecognized line %q", line)
+	}
+	return nil
 }
 
 func firstRune(s string) rune {

@@ -146,7 +146,7 @@ func EvalAbstract(ctx context.Context, q *ecrpq.Query, g *graph.DB, sigma []rune
 	if err != nil {
 		return nil, err
 	}
-	res, err := p.Eval(ctx, g, opts)
+	res, err := p.EvalSnapshot(ctx, g.Snapshot(), opts)
 	if err != nil {
 		return nil, err
 	}
@@ -184,7 +184,10 @@ func EvalLenContext(ctx context.Context, q *ecrpq.Query, g *graph.DB, opts Optio
 
 	var answers []ecrpq.Answer
 	seen := map[string]bool{}
-	sigma := g.Alphabet()
+	// Pin one snapshot for the whole enumeration: every per-assignment
+	// feasibility check reads the same epoch, isolated from writers.
+	snap := g.Snapshot()
+	sigma := snap.Alphabet()
 
 	assign := map[ecrpq.NodeVar]graph.Node{}
 	var enumerate func(i int) error
@@ -195,7 +198,7 @@ func EvalLenContext(ctx context.Context, q *ecrpq.Query, g *graph.DB, opts Optio
 				assign[v] = n
 				return enumerate(i + 1)
 			}
-			for n := 0; n < g.NumNodes(); n++ {
+			for n := 0; n < snap.NumNodes(); n++ {
 				assign[v] = graph.Node(n)
 				if err := enumerate(i + 1); err != nil {
 					return err
@@ -207,7 +210,7 @@ func EvalLenContext(ctx context.Context, q *ecrpq.Query, g *graph.DB, opts Optio
 		if err := ctx.Err(); err != nil {
 			return err
 		}
-		ok, err := feasibleLengths(q, g, sigma, assign, tapeIdx, m, opts)
+		ok, err := feasibleLengths(q, snap, sigma, assign, tapeIdx, m, opts)
 		if err != nil {
 			return err
 		}
@@ -242,7 +245,7 @@ func EvalLenContext(ctx context.Context, q *ecrpq.Query, g *graph.DB, opts Optio
 // claim's "guess the witnessing progression") by enumerating the small
 // product of choices. Only the genuinely coupling constraints — the mask
 // automata of relations of arity ≥ 2 — need Parikh flow blocks.
-func feasibleLengths(q *ecrpq.Query, g *graph.DB, sigma []rune, assign map[ecrpq.NodeVar]graph.Node, tapeIdx map[ecrpq.PathVar]int, m int, opts Options) (bool, error) {
+func feasibleLengths(q *ecrpq.Query, s *graph.Snapshot, sigma []rune, assign map[ecrpq.NodeVar]graph.Node, tapeIdx map[ecrpq.PathVar]int, m int, opts Options) (bool, error) {
 	// Per-tape progression constraint sources.
 	type source struct {
 		tape  int
@@ -250,7 +253,7 @@ func feasibleLengths(q *ecrpq.Query, g *graph.DB, sigma []rune, assign map[ecrpq
 	}
 	var sources []source
 	for _, a := range q.PathAtoms {
-		ls := automata.Lengths(graphAutomaton(g, assign[a.X], assign[a.Y]))
+		ls := automata.Lengths(graphAutomaton(s, assign[a.X], assign[a.Y]))
 		progs := ls.Progressions()
 		if len(progs) == 0 {
 			return false, nil // no walk at all between the endpoints
@@ -316,11 +319,11 @@ func feasibleLengths(q *ecrpq.Query, g *graph.DB, sigma []rune, assign map[ecrpq
 	return rec(0)
 }
 
-// graphAutomaton views g as an NFA from u to v.
-func graphAutomaton(g *graph.DB, u, v graph.Node) *automata.NFA[rune] {
+// graphAutomaton views a graph snapshot as an NFA from u to v.
+func graphAutomaton(s *graph.Snapshot, u, v graph.Node) *automata.NFA[rune] {
 	n := automata.NewNFA[rune]()
-	n.AddStates(g.NumNodes())
-	g.EachEdge(func(from graph.Node, a rune, to graph.Node) {
+	n.AddStates(s.NumNodes())
+	s.EachEdge(func(from graph.Node, a rune, to graph.Node) {
 		n.AddTransition(int(from), a, int(to))
 	})
 	n.SetStart(int(u))
@@ -332,5 +335,5 @@ func graphAutomaton(g *graph.DB, u, v graph.Node) *automata.NFA[rune] {
 // lengths from u to v in g — the unary-automaton analysis of
 // Claim 6.7.2.
 func LengthsBetween(g *graph.DB, u, v graph.Node) automata.LengthSet {
-	return automata.Lengths(graphAutomaton(g, u, v))
+	return automata.Lengths(graphAutomaton(g.Snapshot(), u, v))
 }

@@ -60,9 +60,16 @@ type Options struct {
 // Feasible decides whether the query with the linear constraints is
 // satisfiable over g under the given (possibly empty) binding of node
 // variables: the Boolean query evaluation of Theorem 8.5. The product
-// construction honors the base MaxProductStates budget.
+// construction honors the base MaxProductStates budget. It is the
+// take-current-snapshot shim over FeasibleSnapshot.
 func Feasible(q *ecrpq.Query, cons []Constraint, g *graph.DB, sigma []rune, bind map[ecrpq.NodeVar]graph.Node, opts Options) (bool, error) {
-	nfa, tapes, err := ecrpq.ProductNFA(q, g, ecrpq.Options{
+	return FeasibleSnapshot(q, cons, g.Snapshot(), sigma, bind, opts)
+}
+
+// FeasibleSnapshot is Feasible against a pinned immutable snapshot,
+// isolating the product construction from concurrent writers.
+func FeasibleSnapshot(q *ecrpq.Query, cons []Constraint, s *graph.Snapshot, sigma []rune, bind map[ecrpq.NodeVar]graph.Node, opts Options) (bool, error) {
+	nfa, tapes, err := ecrpq.ProductNFASnapshot(q, s, ecrpq.Options{
 		Bind:             bind,
 		MaxProductStates: opts.Base.MaxProductStates,
 	})
@@ -144,7 +151,10 @@ func EvalContext(ctx context.Context, q *ecrpq.Query, cons []Constraint, g *grap
 	if err != nil {
 		return nil, err
 	}
-	base, err := p.Eval(ctx, g, opts.Base)
+	// Pin one snapshot for the base evaluation and every per-answer
+	// feasibility product: the whole mixed pipeline reads one epoch.
+	snap := g.Snapshot()
+	base, err := p.EvalSnapshot(ctx, snap, opts.Base)
 	if err != nil {
 		return nil, err
 	}
@@ -179,7 +189,7 @@ func EvalContext(ctx context.Context, q *ecrpq.Query, cons []Constraint, g *grap
 		if !okBind {
 			continue
 		}
-		ok, err := Feasible(q, cons, g, sigma, bind, opts)
+		ok, err := FeasibleSnapshot(q, cons, snap, sigma, bind, opts)
 		if err != nil {
 			return nil, err
 		}

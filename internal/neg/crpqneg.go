@@ -25,15 +25,18 @@ import (
 // DAG-counting on the product of G with the profile's DFAs.
 
 // CRPQNegEvaluator evaluates CRPQ¬ formulas by the Theorem 8.1 finite
-// substructure.
+// substructure. Like Evaluator, it pins the graph snapshot at
+// construction time and reads only that epoch.
 type CRPQNegEvaluator struct {
-	G     *graph.DB
+	Snap  *graph.Snapshot
 	Sigma []rune
 }
 
-// NewCRPQNegEvaluator returns the dedicated CRPQ¬ evaluator for g.
+// NewCRPQNegEvaluator returns the dedicated CRPQ¬ evaluator pinned to
+// the current snapshot of g.
 func NewCRPQNegEvaluator(g *graph.DB) *CRPQNegEvaluator {
-	return &CRPQNegEvaluator{G: g, Sigma: g.Alphabet()}
+	s := g.Snapshot()
+	return &CRPQNegEvaluator{Snap: s, Sigma: s.Alphabet()}
 }
 
 // pathClass identifies one equivalence class of paths: endpoints and the
@@ -200,7 +203,7 @@ func (c *crpqNegCtx) eval(f Formula, sigma map[ecrpq.NodeVar]graph.Node, mu map[
 		}
 		return c.eval(f.G, sigma, mu)
 	case ExistsNode:
-		for v := 0; v < c.e.G.NumNodes(); v++ {
+		for v := 0; v < c.e.Snap.NumNodes(); v++ {
 			s2 := cloneAssign(sigma)
 			s2[f.X] = graph.Node(v)
 			ok, err := c.eval(f.F, s2, mu)
@@ -213,7 +216,7 @@ func (c *crpqNegCtx) eval(f Formula, sigma map[ecrpq.NodeVar]graph.Node, mu map[
 		}
 		return false, nil
 	case ExistsPath:
-		n := c.e.G.NumNodes()
+		n := c.e.Snap.NumNodes()
 		for from := 0; from < n; from++ {
 			for to := 0; to < n; to++ {
 				for profile := 0; profile < 1<<len(c.langs); profile++ {
@@ -323,7 +326,7 @@ func (c *crpqNegCtx) countPaths(k classKey) int {
 		stack = stack[:len(stack)-1]
 		ps := nodes[id]
 		states := vecs[id]
-		c.e.G.EdgesFrom(ps.v, func(a rune, to graph.Node) {
+		c.e.Snap.EdgesFrom(ps.v, func(a rune, to graph.Node) {
 			next := make([]int, nLangs)
 			for i, d := range c.langs {
 				if states[i] < 0 {

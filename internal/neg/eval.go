@@ -10,10 +10,13 @@ import (
 	"repro/internal/relations"
 )
 
-// Evaluator evaluates ECRPQ¬ formulas over one graph database. It caches
-// the graph alphabet and exposes the Claim 8.1.3 automaton construction.
+// Evaluator evaluates ECRPQ¬ formulas over one graph database. It pins
+// the graph snapshot (and its alphabet) at construction time, so every
+// formula evaluated through one Evaluator reads a single epoch,
+// isolated from concurrent writers; build a fresh Evaluator to see
+// later writes. It exposes the Claim 8.1.3 automaton construction.
 type Evaluator struct {
-	G     *graph.DB
+	Snap  *graph.Snapshot
 	Sigma []rune
 	// MaxStates aborts evaluation when an intermediate automaton exceeds
 	// this many states (the construction is non-elementary, Theorem 8.2).
@@ -21,9 +24,10 @@ type Evaluator struct {
 	MaxStates int
 }
 
-// NewEvaluator returns an evaluator for g.
+// NewEvaluator returns an evaluator pinned to the current snapshot of g.
 func NewEvaluator(g *graph.DB) *Evaluator {
-	return &Evaluator{G: g, Sigma: g.Alphabet(), MaxStates: 200000}
+	s := g.Snapshot()
+	return &Evaluator{Snap: s, Sigma: s.Alphabet(), MaxStates: 200000}
 }
 
 // ErrTooLarge is returned when an intermediate automaton exceeds
@@ -74,7 +78,7 @@ func (e *Evaluator) EvalNodesContext(ctx context.Context, f Formula) ([][]graph.
 			return err
 		}
 		if i < len(nv) {
-			for v := 0; v < e.G.NumNodes(); v++ {
+			for v := 0; v < e.Snap.NumNodes(); v++ {
 				assign[nv[i]] = graph.Node(v)
 				if err := rec(i + 1); err != nil {
 					return err
@@ -173,7 +177,7 @@ func (e *Evaluator) build(ctx context.Context, f Formula, assign map[ecrpq.NodeV
 		return e.complement(inner, vars)
 	case ExistsNode:
 		var result *automata.NFA[string]
-		for v := 0; v < e.G.NumNodes(); v++ {
+		for v := 0; v < e.Snap.NumNodes(); v++ {
 			a2 := cloneAssign(assign)
 			a2[f.X] = graph.Node(v)
 			a, err := e.build(ctx, f.F, a2, vars)

@@ -43,7 +43,7 @@ func (e *Evaluator) nodeSyms(k int) []string {
 			out = append(out, ecrpq.NodeSym(buf))
 			return
 		}
-		for v := 0; v < e.G.NumNodes(); v++ {
+		for v := 0; v < e.Snap.NumNodes(); v++ {
 			buf[i] = graph.Node(v)
 			rec(i + 1)
 		}
@@ -114,7 +114,7 @@ func (e *Evaluator) validRepConstrained(k int, startConstr, finalConstr map[int]
 			first(i+1, buf)
 			return
 		}
-		for v := 0; v < e.G.NumNodes(); v++ {
+		for v := 0; v < e.Snap.NumNodes(); v++ {
 			buf[i] = graph.Node(v)
 			first(i+1, buf)
 		}
@@ -135,7 +135,7 @@ func (e *Evaluator) validRepConstrained(k int, startConstr, finalConstr map[int]
 		for i := 0; i < k; i++ {
 			ms := []move{{regex.Bot, vs[i]}}
 			if kk.mask&(1<<i) == 0 {
-				e.G.EdgesFrom(vs[i], func(a rune, to graph.Node) {
+				e.Snap.EdgesFrom(vs[i], func(a rune, to graph.Node) {
 					ms = append(ms, move{a, to})
 				})
 			}

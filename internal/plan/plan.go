@@ -103,18 +103,35 @@ func checkAlphabet(q *ecrpq.Query, sigma []rune) error {
 	return nil
 }
 
-// Eval executes the plan to completion over g, materializing the full
-// sorted answer set — identical semantics to ecrpq.Eval. Cancellation
-// of ctx aborts the product BFS and joins promptly with ctx.Err().
+// Eval executes the plan to completion over the current snapshot of g,
+// materializing the full sorted answer set — identical semantics to
+// ecrpq.Eval. Cancellation of ctx aborts the product BFS and joins
+// promptly with ctx.Err(). It is the take-current-snapshot shim over
+// EvalSnapshot.
 func (p *Plan) Eval(ctx context.Context, g *graph.DB, opts ecrpq.Options) (*ecrpq.Result, error) {
 	return p.prog.Eval(ctx, g, opts)
 }
 
-// Stream executes the plan over g, yielding answers incrementally; see
-// ecrpq.Program.Stream for the exact semantics (unsorted, first witness
-// per node tuple, Limit and ctx honored inside the product BFS).
+// EvalSnapshot executes the plan against a pinned immutable snapshot:
+// the whole execution reads s and never the live DB, so it is isolated
+// from concurrent writers, and re-evaluations against the same
+// snapshot (unchanged epoch) keep the per-epoch move-plan memos warm.
+func (p *Plan) EvalSnapshot(ctx context.Context, s *graph.Snapshot, opts ecrpq.Options) (*ecrpq.Result, error) {
+	return p.prog.EvalSnapshot(ctx, s, opts)
+}
+
+// Stream executes the plan over the current snapshot of g, yielding
+// answers incrementally; see ecrpq.Program.Stream for the exact
+// semantics (unsorted, first witness per node tuple, Limit and ctx
+// honored inside the product BFS).
 func (p *Plan) Stream(ctx context.Context, g *graph.DB, opts ecrpq.StreamOptions) iter.Seq2[ecrpq.Answer, error] {
 	return p.prog.Stream(ctx, g, opts)
+}
+
+// StreamSnapshot is Stream against a pinned immutable snapshot; see
+// ecrpq.Program.StreamSnapshot.
+func (p *Plan) StreamSnapshot(ctx context.Context, s *graph.Snapshot, opts ecrpq.StreamOptions) iter.Seq2[ecrpq.Answer, error] {
+	return p.prog.StreamSnapshot(ctx, s, opts)
 }
 
 // NumComponents returns the number of independently evaluated

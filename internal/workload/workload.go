@@ -294,3 +294,54 @@ func ScaleLabelRichCases() []ScaleCase {
 	}
 	return out
 }
+
+// MixedServing bundles the Scale_MixedReadWrite workload: a warm
+// label-rich graph of roughly 100k edges, the serving query with its
+// binding, and a deterministic stream of fresh writes — the shape the
+// epoch-versioned snapshot store exists for. One instance backs both
+// BenchmarkScale_MixedReadWrite and the benchtables -json suite.
+type MixedServing struct {
+	Graph *graph.DB
+	Sigma []rune
+	Query *ecrpq.Query
+	Bind  map[ecrpq.NodeVar]graph.Node
+	n     int
+}
+
+// mixedServingNodes sizes the serving graph: ~100k edges at avgDeg 5.
+const mixedServingNodes = 20000
+
+// NewMixedServing builds the serving workload deterministically from
+// seed. The query is the aⁿbⁿ ECRPQ bound to a tail (sparse) node, so
+// per-query cost stays modest and the snapshot path dominates the
+// write side of the mix.
+func NewMixedServing(seed int64) *MixedServing {
+	sigma := LabelRichSigma(8)
+	g := LabelRich(rand.New(rand.NewSource(seed)), mixedServingNodes, sigma, 5.0)
+	env := ecrpq.Env{Sigma: sigma}
+	q := ecrpq.MustParse("Ans(x,y) <- (x,p1,z), (z,p2,y), a+(p1), b+(p2), el(p1,p2)", env)
+	return &MixedServing{
+		Graph: g,
+		Sigma: sigma,
+		Query: q,
+		Bind:  map[ecrpq.NodeVar]graph.Node{"x": graph.Node(mixedServingNodes * 3 / 4)},
+		n:     mixedServingNodes,
+	}
+}
+
+// Env returns the parsing/compile environment of the serving query.
+func (m *MixedServing) Env() ecrpq.Env { return ecrpq.Env{Sigma: m.Sigma} }
+
+// Write applies the i'th write of the deterministic write stream: a
+// pseudo-random labeled edge over the existing nodes (collisions with
+// existing edges are possible but vanishingly rare at ~100k edges over
+// 20k²·8 slots, so essentially every call advances the epoch).
+func (m *MixedServing) Write(i int) {
+	from := graph.Node((i*2654435761 + 11) % m.n)
+	to := graph.Node((i*40503 + 17) % m.n)
+	m.Graph.AddEdge(from, m.Sigma[i%len(m.Sigma)], to)
+}
+
+// MixedWritePcts are the write ratios (writes per 100 operations) of
+// the Scale_MixedReadWrite serve cases.
+var MixedWritePcts = []int{1, 10}

@@ -47,8 +47,20 @@ import (
 
 // Core data model.
 type (
-	// Graph is a Σ-labeled graph database (Section 2 of the paper).
+	// Graph is a Σ-labeled graph database (Section 2 of the paper). The
+	// store is epoch-versioned: mutations are serialized and advance a
+	// monotonic epoch, and Snapshot() returns an immutable epoch-stamped
+	// view that evaluation reads — so queries can be served concurrently
+	// with writes (see Snapshot).
 	Graph = graph.DB
+	// Snapshot is an immutable, epoch-stamped view of a Graph: the last
+	// compacted CSR index plus a delta overlay of the writes since. A
+	// pinned Snapshot never changes, so Prepared.EvalSnapshot and
+	// StreamSnapshot against it are fully isolated from concurrent
+	// AddEdge/AddNode traffic, and a snapshot taken right after a write
+	// costs O(Δ) in the number of writes since the last compaction, not
+	// a full index rebuild.
+	Snapshot = graph.Snapshot
 	// Node identifies a graph node.
 	Node = graph.Node
 	// Path is a path v₀a₀v₁⋯ with its label λ(ρ).
@@ -115,9 +127,10 @@ func Prepare(q *Query, env Env) (*Prepared, error) {
 	return &Prepared{plan: p}, nil
 }
 
-// Eval runs the prepared query to completion over g, materializing the
-// full sorted answer set — identical semantics to the package-level
-// Eval.
+// Eval runs the prepared query to completion over the current snapshot
+// of g, materializing the full sorted answer set — identical semantics
+// to the package-level Eval. It is a take-current-snapshot shim over
+// EvalSnapshot.
 func (p *Prepared) Eval(g *Graph, opts Options) (*Result, error) {
 	return p.plan.Eval(context.Background(), g, opts)
 }
@@ -129,6 +142,20 @@ func (p *Prepared) EvalContext(ctx context.Context, g *Graph, opts Options) (*Re
 	return p.plan.Eval(ctx, g, opts)
 }
 
+// EvalSnapshot runs the prepared query against a pinned immutable
+// snapshot. The execution never reads the live Graph, so it is fully
+// isolated from concurrent writers — the mixed read/write serving
+// shape is
+//
+//	s := g.Snapshot()          // O(Δ) after a write, cached per epoch
+//	res, err := p.EvalSnapshot(ctx, s, opts)
+//
+// and repeated evaluations against the same snapshot (unchanged epoch)
+// keep the per-epoch move-plan memos warm.
+func (p *Prepared) EvalSnapshot(ctx context.Context, s *Snapshot, opts Options) (*Result, error) {
+	return p.plan.EvalSnapshot(ctx, s, opts)
+}
+
 // Stream runs the prepared query over g and yields answers
 // incrementally, in discovery order: each distinct node tuple is
 // yielded once with the first witness found (not necessarily the
@@ -138,6 +165,13 @@ func (p *Prepared) EvalContext(ctx context.Context, g *Graph, opts Options) (*Re
 // the range loop tears the execution down cleanly.
 func (p *Prepared) Stream(ctx context.Context, g *Graph, opts StreamOptions) iter.Seq2[Answer, error] {
 	return p.plan.Stream(ctx, g, opts)
+}
+
+// StreamSnapshot is Stream against a pinned immutable snapshot: answers
+// keep flowing from one consistent epoch while writers mutate the
+// store underneath.
+func (p *Prepared) StreamSnapshot(ctx context.Context, s *Snapshot, opts StreamOptions) iter.Seq2[Answer, error] {
+	return p.plan.StreamSnapshot(ctx, s, opts)
 }
 
 // Explain describes the compiled plan: component decomposition and join

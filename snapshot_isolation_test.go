@@ -1,0 +1,200 @@
+package pathquery
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// This file holds the snapshot-isolation property test of the
+// epoch-versioned store: a pinned snapshot's Eval and Stream answers
+// (including witness lengths) must be byte-identical before, during,
+// and after a concurrent AddEdge storm. Run it under -race — the CI
+// race step covers this package — to also prove the absence of data
+// races between the storm and the evaluations.
+
+// renderEval canonicalizes an Eval result: sorted answers with witness
+// lengths (Eval keeps shortest witnesses, so lengths are deterministic).
+func renderEval(t *testing.T, p *Prepared, s *Snapshot, opts Options) string {
+	t.Helper()
+	res, err := p.EvalSnapshot(context.Background(), s, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	for _, a := range res.Answers {
+		fmt.Fprintf(&b, "%v /", a.Nodes)
+		for _, pth := range a.Paths {
+			fmt.Fprintf(&b, " %d", pth.Len())
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// renderStream canonicalizes a Stream run over a pinned snapshot: the
+// sorted node tuples with the witness lengths the deterministic BFS
+// discovery produces.
+func renderStream(t *testing.T, p *Prepared, s *Snapshot, opts Options) string {
+	t.Helper()
+	var rows []string
+	for a, err := range p.StreamSnapshot(context.Background(), s, StreamOptions{Options: opts}) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		row := fmt.Sprintf("%v /", a.Nodes)
+		for _, pth := range a.Paths {
+			row += fmt.Sprintf(" %d", pth.Len())
+		}
+		rows = append(rows, row)
+	}
+	sort.Strings(rows)
+	return strings.Join(rows, "\n")
+}
+
+// TestSnapshotIsolationUnderWriteStorm pins a snapshot, records its
+// Eval and Stream renderings, then re-renders both repeatedly while
+// writer goroutines storm AddEdge/AddNode — every rendering must be
+// byte-identical to the pre-storm one, and again after the storm. A
+// fresh snapshot taken after the storm must see the writes.
+func TestSnapshotIsolationUnderWriteStorm(t *testing.T) {
+	sigma := []rune{'a', 'b'}
+	r := rand.New(rand.NewSource(77))
+	g := NewGraph()
+	const n = 12
+	for i := 0; i < n; i++ {
+		g.AddNode("")
+	}
+	// A guaranteed a³b³ chain from node 0, plus random noise edges.
+	chain := []rune("aaabbb")
+	for i, a := range chain {
+		g.AddEdge(Node(i), a, Node(i+1))
+	}
+	for e := 0; e < 24; e++ {
+		g.AddEdge(Node(r.Intn(n)), sigma[r.Intn(2)], Node(r.Intn(n)))
+	}
+
+	q, err := ParseQuery("Ans(x, y, p1, p2) <- (x,p1,z), (z,p2,y), a+(p1), b+(p2), el(p1,p2)", Env{Sigma: sigma})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Prepare(q, Env{Sigma: sigma})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// x is bound: the serving-shape point lookup, cheap enough to rerun
+	// dozens of times mid-storm.
+	opts := Options{MaxProductStates: 50_000_000, Bind: map[NodeVar]Node{"x": 0}}
+
+	pinned := g.Snapshot()
+	wantEval := renderEval(t, p, pinned, opts)
+	wantStream := renderStream(t, p, pinned, opts)
+	if wantEval == "" {
+		t.Fatal("empty pre-storm answer set; the test would be vacuous")
+	}
+
+	// Writer storm: fresh edges (and the occasional node) in a loop,
+	// enough traffic to force compactions mid-storm.
+	stop := make(chan struct{})
+	var writers sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		writers.Add(1)
+		go func(seed int64) {
+			defer writers.Done()
+			wr := rand.New(rand.NewSource(seed))
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				g.AddEdge(Node(wr.Intn(n)), sigma[wr.Intn(2)], Node(wr.Intn(n)))
+				if i%50 == 0 {
+					g.AddNode("")
+				}
+			}
+		}(int64(100 + w))
+	}
+
+	var readers sync.WaitGroup
+	for rd := 0; rd < 2; rd++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for i := 0; i < 5; i++ {
+				if got := renderEval(t, p, pinned, opts); got != wantEval {
+					t.Errorf("Eval answers drifted mid-storm:\n got:\n%s\nwant:\n%s", got, wantEval)
+					return
+				}
+				if got := renderStream(t, p, pinned, opts); got != wantStream {
+					t.Errorf("Stream answers drifted mid-storm:\n got:\n%s\nwant:\n%s", got, wantStream)
+					return
+				}
+			}
+		}()
+	}
+	readers.Wait()
+	close(stop)
+	writers.Wait()
+
+	// After the storm: the pinned snapshot still answers identically...
+	if got := renderEval(t, p, pinned, opts); got != wantEval {
+		t.Fatalf("Eval answers drifted after the storm:\n got:\n%s\nwant:\n%s", got, wantEval)
+	}
+	if got := renderStream(t, p, pinned, opts); got != wantStream {
+		t.Fatalf("Stream answers drifted after the storm:\n got:\n%s\nwant:\n%s", got, wantStream)
+	}
+	// ...while a fresh snapshot reflects the writes.
+	fresh := g.Snapshot()
+	if fresh.Epoch() <= pinned.Epoch() || fresh.NumEdges() <= pinned.NumEdges() {
+		t.Fatalf("storm left no trace: pinned epoch %d/%d edges, fresh %d/%d",
+			pinned.Epoch(), pinned.NumEdges(), fresh.Epoch(), fresh.NumEdges())
+	}
+	if _, err := p.EvalSnapshot(context.Background(), fresh, opts); err != nil {
+		t.Fatalf("post-storm evaluation: %v", err)
+	}
+}
+
+// TestEvalIsTakeCurrentSnapshotShim: Prepared.Eval over the live graph
+// equals EvalSnapshot over an explicitly taken snapshot at the same
+// epoch, and sees writes that a previously pinned snapshot does not.
+func TestEvalIsTakeCurrentSnapshotShim(t *testing.T) {
+	sigma := []rune{'a', 'b'}
+	g := NewGraph()
+	u, v, w := g.AddNode("u"), g.AddNode("v"), g.AddNode("w")
+	g.AddEdge(u, 'a', v)
+	q, err := ParseQuery("Ans(x, y) <- (x,p,y), a+(p)", Env{Sigma: sigma})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Prepare(q, Env{Sigma: sigma})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pinned := g.Snapshot()
+	before, err := p.Eval(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.AddEdge(v, 'a', w)
+	after, err := p.Eval(g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after.Answers) != len(before.Answers)+2 {
+		t.Fatalf("live Eval answers: %d before, %d after (want +2: v→w and u→w)",
+			len(before.Answers), len(after.Answers))
+	}
+	onPinned, err := p.EvalSnapshot(context.Background(), pinned, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(onPinned.Answers) != len(before.Answers) {
+		t.Fatalf("pinned snapshot saw the write: %d answers, want %d",
+			len(onPinned.Answers), len(before.Answers))
+	}
+}
