@@ -413,6 +413,87 @@ func BenchmarkScale_LabelRich(b *testing.B) {
 	}
 }
 
+// E21 — scale: repeated-query serving through the epoch-keyed result
+// cache. unchanged_epoch rotates a fixed query mix against a quiet
+// ~100k-edge store: with the cache every post-warmup evaluation is a
+// hit (one map probe against the (program, epoch, options) key), while
+// the uncached ablation pays the full product BFS each time. The serve
+// cases interleave the rotation with writes at the Scale_MixedReadWrite
+// ratios, so every epoch advance invalidates and the first rotation
+// after a write repopulates — the end-to-end mixed shape. benchtables
+// -suite serve records the cached run; -baseline reruns it with the
+// cache disabled for `-compare` (BENCH_5 vs BENCH_5_baseline).
+func BenchmarkScale_RepeatedServe(b *testing.B) {
+	for _, cached := range []bool{true, false} {
+		name := "unchanged_epoch/cached"
+		if !cached {
+			name = "unchanged_epoch/uncached"
+		}
+		b.Run(name, func(b *testing.B) {
+			m := workload.NewMixedServing(20)
+			sqs := m.RepeatedServeQueries()
+			var cps []*CachedPrepared
+			var c *Cache
+			if cached {
+				c = NewCache(64 << 20)
+			}
+			for _, sq := range sqs {
+				p, err := Prepare(sq.Query, m.Env())
+				if err != nil {
+					b.Fatal(err)
+				}
+				cps = append(cps, p.Cached(c))
+			}
+			ctx := context.Background()
+			s := m.Graph.Snapshot()
+			for i, sq := range sqs { // warm: caches populated, memos hot
+				if _, err := cps[i].EvalSnapshot(ctx, s, Options{Bind: sq.Bind, MaxProductStates: 50_000_000}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := i % len(sqs)
+				opts := Options{Bind: sqs[k].Bind, MaxProductStates: 50_000_000}
+				if _, err := cps[k].EvalSnapshot(ctx, m.Graph.Snapshot(), opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	for _, wp := range workload.MixedWritePcts {
+		b.Run(fmt.Sprintf("serve/write_pct=%d", wp), func(b *testing.B) {
+			m := workload.NewMixedServing(20)
+			sqs := m.RepeatedServeQueries()
+			c := NewCache(64 << 20)
+			var cps []*CachedPrepared
+			for _, sq := range sqs {
+				p, err := Prepare(sq.Query, m.Env())
+				if err != nil {
+					b.Fatal(err)
+				}
+				cps = append(cps, p.Cached(c))
+			}
+			ctx := context.Background()
+			m.Graph.Snapshot() // warm
+			period := 100 / wp
+			writes := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if i%period == 0 {
+					m.Write(writes)
+					writes++
+				}
+				k := i % len(sqs)
+				opts := Options{Bind: sqs[k].Bind, MaxProductStates: 50_000_000}
+				if _, err := cps[k].EvalSnapshot(ctx, m.Graph.Snapshot(), opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // E16 — ablation: Yannakakis vs backtracking join.
 func BenchmarkAblation_Yannakakis(b *testing.B) {
 	g := workload.Random(rand.New(rand.NewSource(16)), 48, 2.0, benchSigma)

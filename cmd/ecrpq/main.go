@@ -27,6 +27,12 @@
 //	              exercises the epoch-versioned serving path end to end:
 //	              writes append delta overlays, queries read immutable
 //	              snapshots.
+//	-cache N      serve materialized evaluations through an epoch-keyed
+//	              result cache bounded to N bytes (0 = off): repeated
+//	              `query` lines at an unchanged epoch are answered from
+//	              the cache instead of re-running the product BFS, and
+//	              epoch advances invalidate. The replay summary reports
+//	              hit/miss counts.
 //
 // The query is compiled once into a plan (pathquery.Prepare) and then
 // executed; -limit switches from materialized evaluation to the
@@ -46,6 +52,7 @@ import (
 	"repro/internal/ecrpq"
 	"repro/internal/graph"
 	"repro/internal/plan"
+	"repro/internal/qcache"
 )
 
 // config carries the parsed flags; run executes the tool over the given
@@ -59,6 +66,7 @@ type config struct {
 	timeout time.Duration
 	explain bool
 	replay  string
+	cache   int64
 }
 
 func main() {
@@ -71,6 +79,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "evaluation deadline (0 = none)")
 	explain := flag.Bool("explain", false, "print the compiled plan")
 	replay := flag.String("replay", "", "mutation/replay script: graph text lines mutate, `query` lines evaluate a snapshot")
+	cache := flag.Int64("cache", 0, "epoch-keyed result cache budget in bytes (0 = disabled)")
 	flag.Parse()
 
 	if *querySrc == "" {
@@ -90,6 +99,7 @@ func main() {
 	cfg := config{
 		query: *querySrc, nPaths: *nPaths, maxLen: *maxLen, budget: *budget,
 		limit: *limit, timeout: *timeout, explain: *explain, replay: *replay,
+		cache: *cache,
 	}
 	if err := run(cfg, in, os.Stdout, os.Stderr); err != nil {
 		fatal(err)
@@ -120,18 +130,22 @@ func run(cfg config, in io.Reader, out, errw io.Writer) error {
 		defer cancel()
 	}
 	opts := ecrpq.Options{MaxProductStates: cfg.budget}
+	var qc *qcache.Cache
+	if cfg.cache > 0 {
+		qc = qcache.New(cfg.cache)
+	}
 	if cfg.replay != "" {
 		f, err := os.Open(cfg.replay)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		return runReplay(ctx, cfg, p, q, g, f, opts, out, errw)
+		return runReplay(ctx, cfg, p, q, g, f, opts, qc, out, errw)
 	}
 	if cfg.limit > 0 {
 		return runStream(ctx, cfg, p, q, g, opts, out, errw)
 	}
-	res, err := p.Eval(ctx, g, opts)
+	res, _, err := p.EvalCached(ctx, g, opts, qc)
 	if err != nil {
 		return err
 	}
@@ -204,8 +218,10 @@ func printAnswer(cfg config, q *ecrpq.Query, g *graph.DB, a ecrpq.Answer, out io
 // and evaluates the prepared plan against it — the mixed read/write
 // serving path. Mutations after a query do not disturb answers already
 // printed (they were computed from an immutable snapshot), and each
-// query line reports the epoch it read.
-func runReplay(ctx context.Context, cfg config, p *plan.Plan, q *ecrpq.Query, g *graph.DB, script io.Reader, opts ecrpq.Options, out, errw io.Writer) error {
+// query line reports the epoch it read. With a cache (-cache), repeated
+// materialized queries at an unchanged epoch are served from it; qc may
+// be nil (uncached).
+func runReplay(ctx context.Context, cfg config, p *plan.Plan, q *ecrpq.Query, g *graph.DB, script io.Reader, opts ecrpq.Options, qc *qcache.Cache, out, errw io.Writer) error {
 	sc := bufio.NewScanner(script)
 	lineNo := 0
 	queries := 0
@@ -226,6 +242,7 @@ func runReplay(ctx context.Context, cfg config, p *plan.Plan, q *ecrpq.Query, g 
 		fmt.Fprintf(out, "-- query %d @ epoch %d (%d nodes, %d edges, delta %d)\n",
 			queries, s.Epoch(), s.NumNodes(), s.NumEdges(), s.DeltaEdges())
 		count := 0
+		cached := false
 		if cfg.limit > 0 {
 			for a, err := range p.StreamSnapshot(ctx, s, ecrpq.StreamOptions{Options: opts, Limit: cfg.limit}) {
 				if err != nil {
@@ -240,11 +257,12 @@ func runReplay(ctx context.Context, cfg config, p *plan.Plan, q *ecrpq.Query, g 
 				}
 			}
 		} else {
-			res, err := p.EvalSnapshot(ctx, s, opts)
+			res, hit, err := p.EvalSnapshotCached(ctx, s, opts, qc)
 			if err != nil {
 				return err
 			}
 			count = len(res.Answers)
+			cached = hit
 			if !q.IsBoolean() {
 				for _, a := range res.Answers {
 					if err := printAnswer(cfg, q, g, a, out); err != nil {
@@ -256,12 +274,21 @@ func runReplay(ctx context.Context, cfg config, p *plan.Plan, q *ecrpq.Query, g 
 		if q.IsBoolean() {
 			fmt.Fprintln(out, count > 0)
 		}
-		fmt.Fprintf(errw, "query %d: epoch %d, %d answers\n", queries, s.Epoch(), count)
+		suffix := ""
+		if cached {
+			suffix = " (cached)"
+		}
+		fmt.Fprintf(errw, "query %d: epoch %d, %d answers%s\n", queries, s.Epoch(), count, suffix)
 	}
 	if err := sc.Err(); err != nil {
 		return err
 	}
 	fmt.Fprintf(errw, "replay: %d lines, %d queries, final epoch %d\n", lineNo, queries, g.Epoch())
+	if qc != nil {
+		st := qc.Stats()
+		fmt.Fprintf(errw, "cache: %d hits, %d misses, %d single-flight waits, %d dead-epoch drops, %d/%d bytes\n",
+			st.Hits, st.Misses, st.Waits, st.DeadDropped, st.Bytes, st.MaxBytes)
+	}
 	return nil
 }
 

@@ -158,6 +158,70 @@ query
 	}
 }
 
+// TestRunReplayArrowNoLabel is the regression test for the replay-path
+// crash: the minimally spaced arrow line `a -> b` used to panic inside
+// graph.ApplyTextLine (slice out of range), killing the serving
+// process; it must surface as a per-line error instead.
+func TestRunReplayArrowNoLabel(t *testing.T) {
+	script := "query\na -> b\nquery\n"
+	dir := t.TempDir()
+	path := filepath.Join(dir, "replay.txt")
+	if err := os.WriteFile(path, []byte(script), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errw strings.Builder
+	err := run(config{query: "Ans(x,y) <- (x,p,y), k(p)", replay: path},
+		strings.NewReader(sampleGraph), &out, &errw)
+	if err == nil || !strings.Contains(err.Error(), "replay line 2") {
+		t.Fatalf("err = %v, want a replay line 2 error (not a panic)", err)
+	}
+}
+
+// TestRunReplayCached: with -cache, repeated query lines at an
+// unchanged epoch are served from the result cache (reported on
+// stderr), a mutation invalidates, and the cached answers match the
+// uncached run byte for byte.
+func TestRunReplayCached(t *testing.T) {
+	script := `
+query
+query
+edge bob k carol
+query
+query
+`
+	dir := t.TempDir()
+	path := filepath.Join(dir, "replay.txt")
+	if err := os.WriteFile(path, []byte(script), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := config{query: "Ans(x,y) <- (x,p,y), kk(p)", replay: path}
+	var plainOut, plainErr strings.Builder
+	if err := run(cfg, strings.NewReader("edge alice k bob\n"), &plainOut, &plainErr); err != nil {
+		t.Fatal(err)
+	}
+	cfg.cache = 1 << 20
+	var out, errw strings.Builder
+	if err := run(cfg, strings.NewReader("edge alice k bob\n"), &out, &errw); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != plainOut.String() {
+		t.Errorf("cached output differs from uncached:\n%q\n%q", out.String(), plainOut.String())
+	}
+	se := errw.String()
+	if !strings.Contains(se, "query 2: epoch 3, 0 answers (cached)") {
+		t.Errorf("stderr = %q, want query 2 served from cache", se)
+	}
+	if !strings.Contains(se, "query 3: epoch 5, 1 answers\n") {
+		t.Errorf("stderr = %q, want query 3 recomputed after the write", se)
+	}
+	if !strings.Contains(se, "query 4: epoch 5, 1 answers (cached)") {
+		t.Errorf("stderr = %q, want query 4 served from cache", se)
+	}
+	if !strings.Contains(se, "cache: 2 hits, 2 misses") {
+		t.Errorf("stderr = %q, want a cache summary with 2 hits and 2 misses", se)
+	}
+}
+
 func TestRunReplayBadLine(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, "replay.txt")

@@ -4,6 +4,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -54,6 +57,29 @@ type Options struct {
 	// changes. It exists as the ablation baseline for benchmarks and
 	// the pruned==unpruned property tests.
 	NoPrune bool
+}
+
+// CacheKey renders the evaluation-relevant options in a canonical
+// string: Bind as sorted (var, node) pairs, then the join mode, state
+// budget and ablation flags. Two Options values with equal CacheKeys
+// request the same evaluation, so the epoch-keyed result cache uses it
+// as the options component of its key (map iteration order and
+// semantically identical Bind maps built in different orders hash the
+// same).
+func (o Options) CacheKey() string {
+	vars := make([]string, 0, len(o.Bind))
+	for v := range o.Bind {
+		vars = append(vars, string(v))
+	}
+	sort.Strings(vars)
+	var b strings.Builder
+	b.WriteString("bind:")
+	for _, v := range vars {
+		fmt.Fprintf(&b, "%s=%d,", v, o.Bind[NodeVar(v)])
+	}
+	fmt.Fprintf(&b, ";max=%d;join=%d;nodecomp=%t;noprune=%t",
+		o.MaxProductStates, o.Join, o.NoDecompose, o.NoPrune)
+	return b.String()
 }
 
 // ErrBudget is returned when evaluation exceeds MaxProductStates.
@@ -115,6 +141,63 @@ type Result struct {
 
 // Bool reports the boolean result (nonempty output).
 func (r *Result) Bool() bool { return len(r.Answers) > 0 }
+
+// Fingerprint returns a stable 64-bit hash of the full answer set —
+// every node tuple and every witness path, in order. Two Results with
+// equal Fingerprints carry byte-identical answers (modulo hash
+// collisions), which is how the cache tests prove that a cache hit
+// returns exactly what the underlying evaluation would have.
+func (r *Result) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	wr := func(x uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(x >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	wr(uint64(len(r.Answers)))
+	for _, a := range r.Answers {
+		wr(uint64(len(a.Nodes)))
+		for _, v := range a.Nodes {
+			wr(uint64(v))
+		}
+		wr(uint64(len(a.Paths)))
+		for _, p := range a.Paths {
+			wr(uint64(len(p.Nodes)))
+			for _, v := range p.Nodes {
+				wr(uint64(v))
+			}
+			for _, l := range p.Labels {
+				wr(uint64(l))
+			}
+		}
+	}
+	return h.Sum64()
+}
+
+// answerOverhead approximates the fixed per-answer footprint (the
+// Answer struct and its two slice headers) for SizeBytes.
+const answerOverhead = 64
+
+// SizeBytes estimates the retained heap footprint of the answer set:
+// the accounting unit of the result cache's byte budget. It counts the
+// answers' node tuples and witness paths (the data each entry uniquely
+// retains); the Query and Snapshot pointers are shared across the many
+// entries of one program and epoch, and dead-epoch dropping bounds how
+// many distinct snapshots cached results keep alive.
+func (r *Result) SizeBytes() int64 {
+	size := int64(answerOverhead) // Result struct itself
+	for _, a := range r.Answers {
+		size += answerOverhead
+		size += int64(len(a.Nodes)) * 8
+		for _, p := range a.Paths {
+			size += answerOverhead // Path struct + slice headers
+			size += int64(len(p.Nodes))*8 + int64(len(p.Labels))*4
+		}
+	}
+	return size
+}
 
 // Eval evaluates the query over g per the semantics of Definition 3.1.
 //

@@ -1,0 +1,133 @@
+package ecrpq
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// TestProgramFingerprintHeadMutation: the Eval shim's per-query program
+// cache must notice in-place mutations of every Query field. HeadNodes
+// and AllowRepeatedPathVars used to be missing from the fingerprint, so
+// a mutated query kept hitting the stale compiled program (and, worse,
+// would have kept hitting stale result-cache entries keyed on the
+// program's identity).
+func TestProgramFingerprintHeadMutation(t *testing.T) {
+	q := MustParse("Ans(x, y) <- (x,p,y), a+(p)", env())
+	p1, err := SharedProgram(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q.HeadNodes = []NodeVar{"x"}
+	p2, err := SharedProgram(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 == p2 {
+		t.Fatal("HeadNodes mutation did not invalidate the cached program")
+	}
+	q.AllowRepeatedPathVars = true
+	p3, err := SharedProgram(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3 == p2 {
+		t.Fatal("AllowRepeatedPathVars mutation did not invalidate the cached program")
+	}
+}
+
+// TestEvalAfterHeadMutation evaluates, mutates the head in place, and
+// evaluates again through the shim: the second answer set must reflect
+// the mutated head (narrower tuples, deduplicated).
+func TestEvalAfterHeadMutation(t *testing.T) {
+	q := MustParse("Ans(x, y) <- (x,p,y), a+(p)", env())
+	g := stringGraph("aaa")
+	res, err := Eval(q, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Answers) == 0 || len(res.Answers[0].Nodes) != 2 {
+		t.Fatalf("before mutation: %v", res.Answers)
+	}
+	q.HeadNodes = []NodeVar{"x"}
+	res2, err := Eval(q, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.Answers) == 0 {
+		t.Fatal("no answers after mutation")
+	}
+	seen := map[graph.Node]bool{}
+	for _, a := range res2.Answers {
+		if len(a.Nodes) != 1 {
+			t.Fatalf("answer arity %d after narrowing the head to one variable", len(a.Nodes))
+		}
+		if seen[a.Nodes[0]] {
+			t.Fatalf("duplicate head tuple %v after narrowing", a.Nodes)
+		}
+		seen[a.Nodes[0]] = true
+	}
+	if len(res2.Answers) >= len(res.Answers)+1 {
+		t.Fatalf("narrowed head has %d answers, full head %d", len(res2.Answers), len(res.Answers))
+	}
+}
+
+// TestOptionsCacheKey: semantically identical options canonicalize to
+// one key; any evaluation-relevant difference changes it.
+func TestOptionsCacheKey(t *testing.T) {
+	a := Options{Bind: map[NodeVar]graph.Node{"x": 1, "y": 2}, MaxProductStates: 100}
+	b := Options{Bind: map[NodeVar]graph.Node{"y": 2, "x": 1}, MaxProductStates: 100}
+	if a.CacheKey() != b.CacheKey() {
+		t.Errorf("bind order changed the key:\n%q\n%q", a.CacheKey(), b.CacheKey())
+	}
+	distinct := []Options{
+		a,
+		{Bind: map[NodeVar]graph.Node{"x": 1}, MaxProductStates: 100},
+		{Bind: map[NodeVar]graph.Node{"x": 2, "y": 2}, MaxProductStates: 100},
+		{Bind: map[NodeVar]graph.Node{"x": 1, "y": 2}},
+		{MaxProductStates: 100},
+		{Join: JoinBacktrack},
+		{NoPrune: true},
+		{NoDecompose: true},
+		{},
+	}
+	seen := map[string]int{}
+	for i, o := range distinct {
+		k := o.CacheKey()
+		if j, dup := seen[k]; dup {
+			t.Errorf("options %d and %d share key %q", i, j, k)
+		}
+		seen[k] = i
+	}
+}
+
+// TestResultFingerprintAndSize: the fingerprint is stable across
+// recomputation, sensitive to answers, and SizeBytes grows with the
+// answer set.
+func TestResultFingerprintAndSize(t *testing.T) {
+	q := MustParse("Ans(x, y, p1) <- (x,p1,y), a+(p1)", env())
+	g := stringGraph("aaaa")
+	res1, err := Eval(q, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := Eval(q, g, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Fingerprint() != res2.Fingerprint() {
+		t.Error("identical evaluations have different fingerprints")
+	}
+	empty := &Result{}
+	if res1.Fingerprint() == empty.Fingerprint() {
+		t.Error("nonempty result fingerprints like the empty result")
+	}
+	if res1.SizeBytes() <= empty.SizeBytes() {
+		t.Errorf("SizeBytes: answers %d, empty %d", res1.SizeBytes(), empty.SizeBytes())
+	}
+	// Dropping one answer changes the fingerprint.
+	trimmed := &Result{Query: res1.Query, Snap: res1.Snap, Answers: res1.Answers[:len(res1.Answers)-1]}
+	if trimmed.Fingerprint() == res1.Fingerprint() {
+		t.Error("fingerprint insensitive to a dropped answer")
+	}
+}

@@ -38,9 +38,14 @@ type Program struct {
 	// Structural fingerprint of the query at compile time; if the caller
 	// mutated the query in place since, the cached program is discarded
 	// by the Eval shim (prepared callers must not mutate their query).
+	// Every field of Query is covered — HeadNodes and the
+	// AllowRepeatedPathVars flag included, since they change the answer
+	// set (and feed the result-cache key via the program's identity).
 	pathAtoms []PathAtom
 	relAtoms  []RelAtom
+	headNodes []NodeVar
 	headPaths []PathVar
+	allowRep  bool
 
 	comps     []*component
 	keepPaths map[PathVar]bool
@@ -78,7 +83,9 @@ func CompileProgram(q *Query, monolithic bool) (*Program, error) {
 		q:          q,
 		monolithic: monolithic,
 		pathAtoms:  append([]PathAtom(nil), q.PathAtoms...),
+		headNodes:  append([]NodeVar(nil), q.HeadNodes...),
 		headPaths:  append([]PathVar(nil), q.HeadPaths...),
+		allowRep:   q.AllowRepeatedPathVars,
 		comps:      comps,
 		keepPaths:  keepPaths,
 		pools:      make([]enginePool, len(comps)),
@@ -104,8 +111,10 @@ func CompileProgram(q *Query, monolithic bool) (*Program, error) {
 // guard behind the Eval shim's per-query program cache.
 func (p *Program) valid(q *Query, monolithic bool) bool {
 	if p.monolithic != monolithic ||
+		p.allowRep != q.AllowRepeatedPathVars ||
 		len(p.pathAtoms) != len(q.PathAtoms) ||
 		len(p.relAtoms) != len(q.RelAtoms) ||
+		len(p.headNodes) != len(q.HeadNodes) ||
 		len(p.headPaths) != len(q.HeadPaths) {
 		return false
 	}
@@ -122,6 +131,11 @@ func (p *Program) valid(q *Query, monolithic bool) bool {
 			if p.relAtoms[i].Args[j] != v {
 				return false
 			}
+		}
+	}
+	for i, z := range q.HeadNodes {
+		if p.headNodes[i] != z {
+			return false
 		}
 	}
 	for i, chi := range q.HeadPaths {

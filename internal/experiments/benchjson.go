@@ -11,6 +11,7 @@ import (
 	"repro/internal/ecrpq"
 	"repro/internal/graph"
 	"repro/internal/plan"
+	"repro/internal/qcache"
 	"repro/internal/workload"
 )
 
@@ -223,28 +224,120 @@ func BenchScaleMixedReadWrite(baseline bool) BenchReport {
 	return rep
 }
 
+// BenchScaleRepeatedServe runs the Scale_RepeatedServe suite — the
+// repeated-query serving path of the epoch-keyed result cache,
+// mirroring BenchmarkScale_RepeatedServe. unchanged_epoch rotates the
+// workload.RepeatedServeQueries mix against a quiet ~100k-edge store
+// (every post-warmup evaluation is a cache hit); the serve cases
+// interleave the rotation with writes at the Scale_MixedReadWrite
+// ratios, so epoch advances invalidate and repopulate. baseline reruns
+// the same cases with the cache disabled (every query pays the full
+// product BFS) — the ablation half of the BENCH_5 vs BENCH_5_baseline
+// comparison. Cache hits are byte-identical to misses (see the root
+// package's cached-eval property tests), so the two runs do identical
+// semantic work.
+func BenchScaleRepeatedServe(baseline bool) BenchReport {
+	rep := BenchReport{Suite: "Scale_RepeatedServe"}
+	newCache := func() *qcache.Cache {
+		if baseline {
+			return nil
+		}
+		return qcache.New(64 << 20)
+	}
+	setup := func(b *testing.B, m *workload.MixedServing) ([]workload.ServeQuery, []*plan.Plan) {
+		sqs := m.RepeatedServeQueries()
+		plans := make([]*plan.Plan, len(sqs))
+		for i, sq := range sqs {
+			p, err := plan.Compile(sq.Query, m.Env())
+			if err != nil {
+				b.Fatal(err)
+			}
+			plans[i] = p
+		}
+		return sqs, plans
+	}
+	rep.Benchmarks = append(rep.Benchmarks, runBench(
+		"Scale_RepeatedServe/unchanged_epoch",
+		func(b *testing.B) {
+			b.ReportAllocs()
+			m := workload.NewMixedServing(20)
+			sqs, plans := setup(b, m)
+			qc := newCache()
+			ctx := context.Background()
+			s := m.Graph.Snapshot()
+			for i, sq := range sqs { // warm: cache populated, memos hot
+				opts := ecrpq.Options{Bind: sq.Bind, MaxProductStates: 50_000_000}
+				if _, _, err := plans[i].EvalSnapshotCached(ctx, s, opts, qc); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := i % len(sqs)
+				opts := ecrpq.Options{Bind: sqs[k].Bind, MaxProductStates: 50_000_000}
+				if _, _, err := plans[k].EvalSnapshotCached(ctx, m.Graph.Snapshot(), opts, qc); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+	for _, wp := range workload.MixedWritePcts {
+		wp := wp
+		rep.Benchmarks = append(rep.Benchmarks, runBench(
+			fmt.Sprintf("Scale_RepeatedServe/serve/write_pct=%d", wp),
+			func(b *testing.B) {
+				b.ReportAllocs()
+				m := workload.NewMixedServing(20)
+				sqs, plans := setup(b, m)
+				qc := newCache()
+				ctx := context.Background()
+				m.Graph.Snapshot() // warm
+				period := 100 / wp
+				writes := 0
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if i%period == 0 {
+						m.Write(writes)
+						writes++
+					}
+					k := i % len(sqs)
+					opts := ecrpq.Options{Bind: sqs[k].Bind, MaxProductStates: 50_000_000}
+					if _, _, err := plans[k].EvalSnapshotCached(ctx, m.Graph.Snapshot(), opts, qc); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}))
+	}
+	return rep
+}
+
 // WriteBenchJSON runs the benchmark suites selected by suite — "" or
 // "all" for everything, "engine" for Fig1a + Scale_LabelRich, "mixed"
-// for Scale_MixedReadWrite — and writes the combined report as
-// indented JSON, plus a short human-readable table to table (if
-// non-nil). baseline runs the ablation of each selected suite: the
-// exhaustive-enumeration NoPrune baseline for the engine suites, and
-// the delta-overlay-disabled full-rebuild baseline for the mixed
-// suite — producing the old file of a `benchtables -compare` pair.
+// for Scale_MixedReadWrite, "serve" for Scale_RepeatedServe — and
+// writes the combined report as indented JSON, plus a short
+// human-readable table to table (if non-nil). baseline runs the
+// ablation of each selected suite: the exhaustive-enumeration NoPrune
+// baseline for the engine suites, the delta-overlay-disabled
+// full-rebuild baseline for the mixed suite, and the cache-disabled
+// baseline for the repeated-serve suite — producing the old file of a
+// `benchtables -compare` pair.
 func WriteBenchJSON(jsonOut io.Writer, table io.Writer, baseline bool, suite string) error {
-	engine := suite == "" || suite == "all" || suite == "engine"
-	mixed := suite == "" || suite == "all" || suite == "mixed"
-	if !engine && !mixed {
-		return fmt.Errorf("experiments: unknown bench suite %q (want all, engine or mixed)", suite)
+	all := suite == "" || suite == "all"
+	engine := all || suite == "engine"
+	mixed := all || suite == "mixed"
+	serve := all || suite == "serve"
+	if !engine && !mixed && !serve {
+		return fmt.Errorf("experiments: unknown bench suite %q (want all, engine, mixed or serve)", suite)
 	}
 	rep := BenchReport{}
 	switch {
-	case engine && mixed:
-		rep.Suite = "ECRPQ_Engine+MixedReadWrite"
+	case all:
+		rep.Suite = "ECRPQ_Engine+MixedReadWrite+RepeatedServe"
 	case engine:
 		rep.Suite = "ECRPQ_Engine"
-	default:
+	case mixed:
 		rep.Suite = "Scale_MixedReadWrite"
+	default:
+		rep.Suite = "Scale_RepeatedServe"
 	}
 	if engine {
 		rep.Benchmarks = append(rep.Benchmarks, BenchFig1aECRPQ(baseline).Benchmarks...)
@@ -252,6 +345,9 @@ func WriteBenchJSON(jsonOut io.Writer, table io.Writer, baseline bool, suite str
 	}
 	if mixed {
 		rep.Benchmarks = append(rep.Benchmarks, BenchScaleMixedReadWrite(baseline).Benchmarks...)
+	}
+	if serve {
+		rep.Benchmarks = append(rep.Benchmarks, BenchScaleRepeatedServe(baseline).Benchmarks...)
 	}
 	if table != nil {
 		fmt.Fprintf(table, "%-40s %14s %12s %12s\n", "benchmark", "ns/op", "B/op", "allocs/op")

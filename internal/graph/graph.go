@@ -29,6 +29,10 @@ type Node int
 // the latest writes but must not run concurrently with them — the
 // serving path for mixed read/write traffic is Snapshot.
 type DB struct {
+	// id is the process-unique store identity (see ID); snapshots are
+	// stamped with it so downstream caches can key on (store, epoch)
+	// without pinning the snapshot or the DB.
+	id uint64
 	// mu serializes mutations and the snapshot slow path.
 	mu     sync.Mutex
 	names  []string
@@ -75,10 +79,21 @@ type Edge struct {
 	To    Node
 }
 
+// dbIDs issues process-unique store identities; 0 is never issued, so
+// a zero id always means "no store".
+var dbIDs atomic.Uint64
+
 // NewDB returns an empty graph database.
 func NewDB() *DB {
-	return &DB{byName: make(map[string]Node)}
+	return &DB{id: dbIDs.Add(1), byName: make(map[string]Node)}
 }
+
+// ID returns the process-unique identity of the store. Together with
+// the epoch it names one immutable graph state: two snapshots with
+// equal (ID, Epoch) pairs have identical content, and a snapshot whose
+// epoch is behind the store's latest is dead for serving purposes —
+// the hook the epoch-keyed result cache keys and invalidates on.
+func (g *DB) ID() uint64 { return g.id }
 
 // AddNode adds a node with the given name and returns it. If the name is
 // already present the existing node is returned. An empty name generates
@@ -256,6 +271,7 @@ func (g *DB) Clone() *DB {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	h := &DB{
+		id:          dbIDs.Add(1),
 		names:       append([]string(nil), g.names...),
 		byName:      make(map[string]Node, len(g.byName)),
 		out:         make([]map[rune][]Node, len(g.out)),
@@ -296,7 +312,13 @@ func (g *DB) Clone() *DB {
 	}
 	h.epoch.Store(g.epoch.Load())
 	if s := g.snap.Load(); s != nil && s.epoch == h.epoch.Load() {
-		h.snap.Store(s) // snapshots are immutable; the clone reuses it
+		// Snapshots are immutable; the clone reuses it. It keeps the
+		// source's (id, epoch) stamp, which still names exactly this
+		// content — epochs are monotonic per store — so result-cache
+		// entries reached through it stay correct even after the clone
+		// and the source diverge (the clone's own post-write snapshots
+		// carry the clone's fresh id).
+		h.snap.Store(s)
 	}
 	return h
 }

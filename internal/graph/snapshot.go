@@ -21,6 +21,7 @@ import (
 // AppendOutRanges or a LabelRun always resolves through EdgeRange,
 // which picks the right segment.
 type Snapshot struct {
+	source uint64
 	epoch  uint64
 	n      int
 	names  []string
@@ -85,8 +86,9 @@ func mergeDelta(sorted, add []rawEdge) []rawEdge {
 // newSnapshot assembles the snapshot of a DB state: base CSR covering
 // baseN nodes plus the delta overlay (already in CSR order), under n
 // total nodes. sorted is owned by the snapshot store and immutable.
-func newSnapshot(epoch uint64, names []string, base *CSR, baseN int, sorted []rawEdge, nEdges int) *Snapshot {
+func newSnapshot(source, epoch uint64, names []string, base *CSR, baseN int, sorted []rawEdge, nEdges int) *Snapshot {
 	s := &Snapshot{
+		source:  source,
 		epoch:   epoch,
 		n:       len(names),
 		names:   names,
@@ -159,6 +161,13 @@ func runeIn(rs []rune, a rune) bool {
 // identity — DB.Snapshot returns the same pointer for an unchanged
 // epoch).
 func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// Source returns the ID of the store the snapshot was taken from (see
+// DB.ID). The (Source, Epoch) pair names this exact graph content
+// process-wide: it is the identity the epoch-keyed result cache keys
+// entries on, and what lets it drop entries of dead epochs when a
+// newer snapshot of the same store appears.
+func (s *Snapshot) Source() uint64 { return s.source }
 
 // NumNodes returns |V| at the snapshot's epoch.
 func (s *Snapshot) NumNodes() int { return s.n }
@@ -472,7 +481,7 @@ func (g *DB) Snapshot() *Snapshot {
 		g.deltaSorted = mergeDelta(g.deltaSorted, g.deltaNew)
 		g.deltaNew = g.deltaNew[:0]
 	}
-	s := newSnapshot(ep, g.names[:n:n], g.base, g.baseN, g.deltaSorted, g.nEdges)
+	s := newSnapshot(g.id, ep, g.names[:n:n], g.base, g.baseN, g.deltaSorted, g.nEdges)
 	g.snap.Store(s)
 	return s
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -13,12 +14,17 @@ import (
 //
 //	# comment
 //	node  alice             // declares an isolated node (optional)
+//	node  "my node"         // quoted names may contain spaces, '#', …
 //	edge  alice knows bob   // edge alice -k-> bob; label = first rune
+//	edge  "a b" " " carol   // quoted fields in edge lines, incl. labels
 //	alice -knows-> bob      // arrow form, same meaning
 //
-// Labels longer than one rune use their first rune; single-rune labels
-// are recommended (the data model is Σ-labeled with Σ a set of runes).
-// Nodes are created on first mention.
+// Tokens of node and edge lines may be Go-style double-quoted strings
+// (strconv.Quote); WriteText quotes every name or label that the plain
+// format cannot carry (spaces, quotes, control characters, a leading
+// '#'). Labels longer than one rune use their first rune; single-rune
+// labels are recommended (the data model is Σ-labeled with Σ a set of
+// runes). Nodes are created on first mention.
 func ParseText(r io.Reader) (*DB, error) {
 	g := NewDB()
 	sc := bufio.NewScanner(r)
@@ -46,25 +52,45 @@ func ApplyTextLine(g *DB, raw string) error {
 	}
 	switch {
 	case strings.HasPrefix(line, "node "):
-		g.AddNode(strings.TrimSpace(strings.TrimPrefix(line, "node ")))
+		rest := strings.TrimSpace(strings.TrimPrefix(line, "node "))
+		if strings.HasPrefix(rest, `"`) {
+			name, err := unquoteToken(rest)
+			if err != nil {
+				return fmt.Errorf("malformed node line %q: %w", line, err)
+			}
+			g.AddNode(name)
+			return nil
+		}
+		// Unquoted remainder semantics (compatibility): the whole rest of
+		// the line is the name, inner spaces included.
+		g.AddNode(rest)
 	case strings.HasPrefix(line, "edge "):
-		fields := strings.Fields(strings.TrimPrefix(line, "edge "))
+		fields, err := splitFields(strings.TrimPrefix(line, "edge "))
+		if err != nil {
+			return fmt.Errorf("malformed edge line %q: %w", line, err)
+		}
 		if len(fields) != 3 {
 			return fmt.Errorf("want `edge FROM LABEL TO`, got %q", line)
+		}
+		if fields[1] == "" {
+			return fmt.Errorf("empty label in edge line %q", line)
 		}
 		from := g.AddNode(fields[0])
 		to := g.AddNode(fields[2])
 		g.AddEdge(from, firstRune(fields[1]), to)
 	case strings.Contains(line, "->"):
-		// arrow form: FROM -LABEL-> TO
-		i := strings.Index(line, " -")
-		j := strings.Index(line, "-> ")
-		if i < 0 || j < i {
+		// Arrow form: FROM -LABEL-> TO. The label sits between the last
+		// " -" before the first "->" and that "->", so a FROM name
+		// containing " -" (quoted or not) does not shift the split, and a
+		// missing label (`a -> b`) is a parse error, not a panic.
+		j := strings.Index(line, "->")
+		i := strings.LastIndex(line[:j], " -")
+		if i < 0 || i+2 > j {
 			return fmt.Errorf("malformed arrow edge %q", line)
 		}
-		fromName := strings.TrimSpace(line[:i])
-		label := strings.TrimSpace(line[i+2 : j])
-		toName := strings.TrimSpace(line[j+3:])
+		fromName := maybeUnquote(strings.TrimSpace(line[:i]))
+		label := maybeUnquote(strings.TrimSpace(line[i+2 : j]))
+		toName := maybeUnquote(strings.TrimSpace(line[j+2:]))
 		if fromName == "" || label == "" || toName == "" {
 			return fmt.Errorf("malformed arrow edge %q", line)
 		}
@@ -77,6 +103,61 @@ func ApplyTextLine(g *DB, raw string) error {
 	return nil
 }
 
+// splitFields splits s on whitespace into fields, where a field starting
+// with '"' is a Go-quoted string extending to its closing quote.
+func splitFields(s string) ([]string, error) {
+	var out []string
+	for {
+		s = strings.TrimLeft(s, " \t")
+		if s == "" {
+			return out, nil
+		}
+		if s[0] == '"' {
+			q, err := strconv.QuotedPrefix(s)
+			if err != nil {
+				return nil, fmt.Errorf("unterminated quote")
+			}
+			u, err := strconv.Unquote(q)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, u)
+			s = s[len(q):]
+			if s != "" && s[0] != ' ' && s[0] != '\t' {
+				return nil, fmt.Errorf("garbage after quoted field")
+			}
+			continue
+		}
+		end := strings.IndexAny(s, " \t")
+		if end < 0 {
+			end = len(s)
+		}
+		out = append(out, s[:end])
+		s = s[end:]
+	}
+}
+
+// unquoteToken unquotes a token that must span the whole string.
+func unquoteToken(s string) (string, error) {
+	q, err := strconv.QuotedPrefix(s)
+	if err != nil || q != s {
+		return "", fmt.Errorf("bad quoted token %q", s)
+	}
+	return strconv.Unquote(q)
+}
+
+// maybeUnquote unquotes s if it is a complete Go-quoted string and
+// returns it unchanged otherwise (arrow-form fields are optionally
+// quoted).
+func maybeUnquote(s string) string {
+	if len(s) >= 2 && s[0] == '"' {
+		if u, err := unquoteToken(s); err == nil {
+			return u
+		}
+	}
+	return s
+}
+
 func firstRune(s string) rune {
 	for _, r := range s {
 		return r
@@ -84,16 +165,50 @@ func firstRune(s string) rune {
 	return 0
 }
 
-// WriteText writes g in the text format read by ParseText, with edges
-// sorted for deterministic output.
+// needsQuoting reports whether a name or label cannot be written as a
+// bare token of the text format: empty, leading '#' or '"', whitespace
+// or control characters anywhere, or a backslash (which quoting would
+// otherwise reinterpret on read).
+func needsQuoting(s string) bool {
+	if s == "" || s[0] == '#' || s[0] == '"' {
+		return true
+	}
+	for _, r := range s {
+		if r <= ' ' || r == '\\' || r == 0x7f {
+			return true
+		}
+	}
+	return false
+}
+
+// writeToken renders s as a field of the text format, quoting exactly
+// when the bare form would not survive ParseText.
+func writeToken(s string) string {
+	if needsQuoting(s) {
+		return strconv.Quote(s)
+	}
+	return s
+}
+
+// WriteText writes g in the text format read by ParseText: every node
+// as a `node NAME` line in id order (so re-parsing assigns identical
+// ids), then every edge sorted by source id, label and target id.
+// Names and labels that the bare format cannot carry are quoted, so
+// ParseText(WriteText(g)) reconstructs g exactly — same node ids, same
+// names, same edge set.
 func WriteText(w io.Writer, g *DB) error {
+	for v := 0; v < g.NumNodes(); v++ {
+		if _, err := fmt.Fprintf(w, "node %s\n", writeToken(g.Name(Node(v)))); err != nil {
+			return err
+		}
+	}
 	type edge struct {
-		from, to string
+		from, to Node
 		label    rune
 	}
 	var edges []edge
 	g.EachEdge(func(from Node, a rune, to Node) {
-		edges = append(edges, edge{g.Name(from), g.Name(to), a})
+		edges = append(edges, edge{from, to, a})
 	})
 	sort.Slice(edges, func(i, j int) bool {
 		if edges[i].from != edges[j].from {
@@ -105,7 +220,9 @@ func WriteText(w io.Writer, g *DB) error {
 		return edges[i].to < edges[j].to
 	})
 	for _, e := range edges {
-		if _, err := fmt.Fprintf(w, "edge %s %c %s\n", e.from, e.label, e.to); err != nil {
+		_, err := fmt.Fprintf(w, "edge %s %s %s\n",
+			writeToken(g.Name(e.from)), writeToken(string(e.label)), writeToken(g.Name(e.to)))
+		if err != nil {
 			return err
 		}
 	}

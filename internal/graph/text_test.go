@@ -1,0 +1,208 @@
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/regex"
+)
+
+// TestApplyTextLineArrowPanic is the regression test for the replay-path
+// crash: `a -> b` (no label between the dashes) used to slice with
+// i+2 > j and panic; it must now return an error (the label is empty)
+// without touching the store.
+func TestApplyTextLineArrowPanic(t *testing.T) {
+	for _, line := range []string{
+		"a -> b",
+		"a  ->  b",
+		"a ->b",
+		"-> b",
+		"a ->",
+		"a - -> b -> c ->",
+	} {
+		g := NewDB()
+		if err := ApplyTextLine(g, line); err == nil {
+			t.Errorf("ApplyTextLine(%q) succeeded, want error", line)
+		}
+		if g.NumNodes() != 0 || g.NumEdges() != 0 {
+			t.Errorf("ApplyTextLine(%q) mutated the store on error", line)
+		}
+	}
+}
+
+// TestApplyTextLineArrowForms checks the arrow grammar on well-formed
+// lines, including node names containing " -" (the label split must
+// anchor on the last " -" before the arrow head, not the first).
+func TestApplyTextLineArrowForms(t *testing.T) {
+	cases := []struct {
+		line            string
+		from, label, to string
+	}{
+		{"alice -knows-> bob", "alice", "knows", "bob"},
+		{"a -x-> b", "a", "x", "b"},
+		{"a -x->b", "a", "x", "b"},
+		{"my -node -a-> other", "my -node", "a", "other"},
+		{`"a -b" -x-> c`, "a -b", "x", "c"},
+		{`"sp ace" -l-> "an other"`, "sp ace", "l", "an other"},
+	}
+	for _, c := range cases {
+		g := NewDB()
+		if err := ApplyTextLine(g, c.line); err != nil {
+			t.Errorf("ApplyTextLine(%q): %v", c.line, err)
+			continue
+		}
+		from, ok1 := g.NodeByName(c.from)
+		to, ok2 := g.NodeByName(c.to)
+		if !ok1 || !ok2 {
+			t.Errorf("ApplyTextLine(%q): nodes %q/%q missing", c.line, c.from, c.to)
+			continue
+		}
+		if !g.HasEdge(from, firstRune(c.label), to) {
+			t.Errorf("ApplyTextLine(%q): edge (%q,%q,%q) missing", c.line, c.from, c.label, c.to)
+		}
+	}
+}
+
+// TestApplyTextLineQuotedEdge checks quoted fields of edge and node
+// lines: names with spaces and '#', and labels the bare format cannot
+// carry (' ', '"').
+func TestApplyTextLineQuotedEdge(t *testing.T) {
+	g := NewDB()
+	for _, line := range []string{
+		`node "iso lated"`,
+		`edge "a b" " " carol`,
+		`edge carol "#" "a b"`,
+		`edge "#lead" k carol`,
+	} {
+		if err := ApplyTextLine(g, line); err != nil {
+			t.Fatalf("ApplyTextLine(%q): %v", line, err)
+		}
+	}
+	ab, _ := g.NodeByName("a b")
+	carol, _ := g.NodeByName("carol")
+	lead, ok := g.NodeByName("#lead")
+	if !ok {
+		t.Fatal("quoted #-name missing")
+	}
+	if _, ok := g.NodeByName("iso lated"); !ok {
+		t.Fatal("quoted node line missing")
+	}
+	if !g.HasEdge(ab, ' ', carol) || !g.HasEdge(carol, '#', ab) || !g.HasEdge(lead, 'k', carol) {
+		t.Error("quoted edges missing")
+	}
+	// Unterminated quote and empty label are errors.
+	for _, bad := range []string{`edge "a b carol`, `edge a "" b`} {
+		if err := ApplyTextLine(NewDB(), bad); err == nil {
+			t.Errorf("ApplyTextLine(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+// graphsEqual reports whether two databases are identical: same node
+// ids with the same names, same edge set.
+func graphsEqual(g, h *DB) error {
+	if g.NumNodes() != h.NumNodes() {
+		return fmt.Errorf("nodes: %d vs %d", g.NumNodes(), h.NumNodes())
+	}
+	if g.NumEdges() != h.NumEdges() {
+		return fmt.Errorf("edges: %d vs %d", g.NumEdges(), h.NumEdges())
+	}
+	for v := 0; v < g.NumNodes(); v++ {
+		if g.Name(Node(v)) != h.Name(Node(v)) {
+			return fmt.Errorf("node %d: name %q vs %q", v, g.Name(Node(v)), h.Name(Node(v)))
+		}
+	}
+	var missing error
+	g.EachEdge(func(from Node, a rune, to Node) {
+		if missing == nil && !h.HasEdge(from, a, to) {
+			missing = fmt.Errorf("edge (%d,%q,%d) missing", from, a, to)
+		}
+	})
+	return missing
+}
+
+// TestWriteTextRoundTrip is the property test of the text format:
+// ParseText(WriteText(g)) == g — same node ids and names, same edges —
+// on random graphs whose names and labels stress the quoting rules.
+func TestWriteTextRoundTrip(t *testing.T) {
+	names := []string{
+		"plain", "with space", "tab\there", `qu"ote`, "#lead", "tail ",
+		"new\nline", "uni∂ode", "-a->", "a -b", "back\\slash", "n0",
+	}
+	labels := []rune{'a', 'b', ' ', '#', '"', '\t', regex.Bot, '∂', '\\'}
+	r := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		g := NewDB()
+		n := 1 + r.Intn(8)
+		for i := 0; i < n; i++ {
+			if r.Intn(3) == 0 {
+				g.AddNode(names[r.Intn(len(names))] + fmt.Sprint(i))
+			} else {
+				g.AddNode("")
+			}
+		}
+		for e := 0; e < r.Intn(12); e++ {
+			g.AddEdge(Node(r.Intn(n)), labels[r.Intn(len(labels))], Node(r.Intn(n)))
+		}
+		var b strings.Builder
+		if err := WriteText(&b, g); err != nil {
+			t.Fatalf("trial %d: WriteText: %v", trial, err)
+		}
+		h, err := ParseText(strings.NewReader(b.String()))
+		if err != nil {
+			t.Fatalf("trial %d: ParseText of\n%s: %v", trial, b.String(), err)
+		}
+		if err := graphsEqual(g, h); err != nil {
+			t.Fatalf("trial %d: round trip differs: %v\ntext:\n%s", trial, err, b.String())
+		}
+	}
+}
+
+// TestWriteTextIsolatedNodes: nodes without edges survive the round
+// trip (WriteText declares every node before the edges).
+func TestWriteTextIsolatedNodes(t *testing.T) {
+	g := NewDB()
+	g.AddNode("alone")
+	g.AddNode("also alone")
+	var b strings.Builder
+	if err := WriteText(&b, g); err != nil {
+		t.Fatal(err)
+	}
+	h, err := ParseText(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graphsEqual(g, h); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDBIDAndSnapshotSource: every store gets a distinct nonzero id,
+// clones get their own, and snapshots are stamped with their store's.
+func TestDBIDAndSnapshotSource(t *testing.T) {
+	g := NewDB()
+	h := NewDB()
+	if g.ID() == 0 || h.ID() == 0 || g.ID() == h.ID() {
+		t.Fatalf("store ids not unique/nonzero: %d, %d", g.ID(), h.ID())
+	}
+	if s := g.Snapshot(); s.Source() != g.ID() {
+		t.Errorf("snapshot source = %d, want %d", s.Source(), g.ID())
+	}
+	g.AddNode("a")
+	c := g.Clone()
+	if c.ID() == g.ID() {
+		t.Error("clone shares the source's id")
+	}
+	// The clone may reuse the source's snapshot at the shared epoch (it
+	// names identical content), but its first post-write snapshot must
+	// carry the clone's own id.
+	c.AddNode("b")
+	if s := c.Snapshot(); s.Source() != c.ID() {
+		t.Errorf("clone post-write snapshot source = %d, want %d", s.Source(), c.ID())
+	}
+	if s := g.Snapshot(); s.Source() != g.ID() {
+		t.Errorf("source snapshot source changed: %d, want %d", s.Source(), g.ID())
+	}
+}

@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/ecrpq"
 	"repro/internal/graph"
+	"repro/internal/qcache"
 	"repro/internal/regex"
 )
 
@@ -118,6 +119,44 @@ func (p *Plan) Eval(ctx context.Context, g *graph.DB, opts ecrpq.Options) (*ecrp
 // snapshot (unchanged epoch) keep the per-epoch move-plan memos warm.
 func (p *Plan) EvalSnapshot(ctx context.Context, s *graph.Snapshot, opts ecrpq.Options) (*ecrpq.Result, error) {
 	return p.prog.EvalSnapshot(ctx, s, opts)
+}
+
+// EvalSnapshotCached is EvalSnapshot through an epoch-keyed result
+// cache: the cache key is the plan's compiled program (immutable, so
+// pointer identity is a sound fingerprint), the snapshot's
+// (Source, Epoch) content identity, and the canonicalized options.
+// Concurrent identical calls are deduplicated to one evaluation by the
+// cache's single-flight admission, and entries of epochs the store has
+// moved past are dropped as newer snapshots are served.
+//
+// The bool reports whether the result came from the cache (or another
+// caller's in-flight evaluation) rather than this call's own. Cached
+// results are shared: callers must treat the Result as immutable. A
+// nil cache degrades to a plain EvalSnapshot.
+func (p *Plan) EvalSnapshotCached(ctx context.Context, s *graph.Snapshot, opts ecrpq.Options, c *qcache.Cache) (*ecrpq.Result, bool, error) {
+	if c == nil {
+		res, err := p.prog.EvalSnapshot(ctx, s, opts)
+		return res, false, err
+	}
+	k := qcache.Key{Prog: p.prog, Source: s.Source(), Epoch: s.Epoch(), Opts: opts.CacheKey()}
+	v, hit, err := c.Do(ctx, k, func() (any, int64, error) {
+		res, err := p.prog.EvalSnapshot(ctx, s, opts)
+		if err != nil {
+			return nil, 0, err
+		}
+		return res, res.SizeBytes(), nil
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	return v.(*ecrpq.Result), hit, nil
+}
+
+// EvalCached is EvalSnapshotCached over the current snapshot of g —
+// the one-line serving shape for repeated queries against a store that
+// advances between some of them.
+func (p *Plan) EvalCached(ctx context.Context, g *graph.DB, opts ecrpq.Options, c *qcache.Cache) (*ecrpq.Result, bool, error) {
+	return p.EvalSnapshotCached(ctx, g.Snapshot(), opts, c)
 }
 
 // Stream executes the plan over the current snapshot of g, yielding

@@ -1,0 +1,281 @@
+// Package qcache is an epoch-keyed, memory-bounded result cache with
+// single-flight admission — the serving-path memoization layer over the
+// epoch-versioned snapshot store.
+//
+// Entries are keyed on (program identity, snapshot source+epoch,
+// canonicalized options): the (Source, Epoch) pair of a graph.Snapshot
+// names one immutable graph state process-wide, so a hit is always
+// byte-identical to what re-evaluating against that snapshot would
+// produce. Three mechanisms keep the cache bounded and fresh:
+//
+//   - Single-flight admission: concurrent Do calls with the same key
+//     share one computation — N goroutines asking the same question at
+//     the same epoch pay one product BFS; the rest wait on the leader
+//     (respecting their own contexts) and receive the same value.
+//   - LRU eviction under a byte budget: every entry carries a caller
+//     reported size; admission evicts from the cold end until the
+//     budget holds. Values larger than the whole budget are returned
+//     but never admitted.
+//   - Dead-epoch dropping: the cache tracks the newest epoch seen per
+//     source store. When a Do call arrives with a newer epoch — i.e. a
+//     fresh snapshot of that store has been taken — every entry of the
+//     same store at an older epoch is dropped immediately instead of
+//     waiting for LRU to age it out. (Entries for other stores are
+//     untouched; a pinned old snapshot can still be served, it just
+//     re-evaluates.)
+//
+// Values are shared between all callers that hit one entry: they must
+// be treated as immutable. The cache itself is safe for concurrent use.
+package qcache
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"sync"
+)
+
+// Key identifies one cached evaluation.
+type Key struct {
+	// Prog is the comparable identity of the compiled program (the
+	// *ecrpq.Program pointer in the serving path). Programs are immutable
+	// after compilation, so pointer identity is a sound fingerprint.
+	Prog any
+	// Source and Epoch name the immutable graph state (graph.Snapshot
+	// Source/Epoch): epochs are monotonic per source store, so the pair
+	// never renames content.
+	Source uint64
+	// Epoch is the snapshot epoch within Source.
+	Epoch uint64
+	// Opts is the canonicalized option/bind string
+	// (ecrpq.Options.CacheKey).
+	Opts string
+}
+
+// Stats is a point-in-time counter snapshot (see Cache.Stats).
+type Stats struct {
+	// Hits counts Do calls answered from a stored entry.
+	Hits uint64
+	// Misses counts Do calls that ran the computation as leader.
+	Misses uint64
+	// Waits counts Do calls that joined another caller's in-flight
+	// computation instead of starting their own (the single-flight wins).
+	Waits uint64
+	// Evictions counts entries dropped by the LRU byte budget.
+	Evictions uint64
+	// DeadDropped counts entries dropped because their epoch died (a
+	// newer snapshot of their source store was seen).
+	DeadDropped uint64
+	// Entries and Bytes describe the current cache content; MaxBytes is
+	// the configured budget.
+	Entries  int
+	Bytes    int64
+	MaxBytes int64
+}
+
+// Cache is the epoch-keyed result cache. The zero value is not usable;
+// construct with New.
+type Cache struct {
+	mu      sync.Mutex
+	max     int64
+	bytes   int64
+	lru     *list.List // *entry; front = most recently used
+	entries map[Key]*list.Element
+	flights map[Key]*flight
+	newest  map[uint64]uint64 // source id → newest epoch seen
+	stats   Stats
+}
+
+type entry struct {
+	key  Key
+	val  any
+	size int64
+}
+
+// flight is one in-progress computation; waiters block on done.
+type flight struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// New returns a cache bounded to maxBytes of cached value sizes (as
+// reported by the compute callbacks). maxBytes <= 0 disables storage —
+// Do still deduplicates concurrent identical computations, but nothing
+// is retained.
+func New(maxBytes int64) *Cache {
+	return &Cache{
+		max:     maxBytes,
+		lru:     list.New(),
+		entries: make(map[Key]*list.Element),
+		flights: make(map[Key]*flight),
+		newest:  make(map[uint64]uint64),
+	}
+}
+
+// isCtxErr reports a leader failure caused by the leader's own
+// context, which waiters must not inherit: their question is still
+// unanswered and their own context may be fine, so they retry.
+func isCtxErr(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// Do returns the cached value for k, joins an identical in-flight
+// computation, or runs compute as the leader — in that order. The
+// returned bool reports whether the value came from the cache or
+// another flight (true) rather than this caller's own compute (false).
+//
+// compute returns the value, its retained size in bytes (the unit the
+// byte budget is enforced in), and an error. Errors are returned to the
+// leader and every waiter but never cached. A leader failure that is
+// its own context's cancellation is not propagated to waiters — each
+// waiter retries (becoming the new leader if need be), so one impatient
+// client cannot poison the answer for patient ones. ctx cancellation
+// while waiting returns ctx.Err() without disturbing the flight.
+func (c *Cache) Do(ctx context.Context, k Key, compute func() (any, int64, error)) (any, bool, error) {
+	for {
+		c.mu.Lock()
+		c.dropDeadLocked(k.Source, k.Epoch)
+		if el, ok := c.entries[k]; ok {
+			c.lru.MoveToFront(el)
+			c.stats.Hits++
+			v := el.Value.(*entry).val
+			c.mu.Unlock()
+			return v, true, nil
+		}
+		if f, ok := c.flights[k]; ok {
+			c.stats.Waits++
+			c.mu.Unlock()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+			if f.err != nil {
+				if isCtxErr(f.err) {
+					// The leader gave up for its own reasons; ask again.
+					if ctx.Err() != nil {
+						return nil, false, ctx.Err()
+					}
+					continue
+				}
+				return nil, false, f.err
+			}
+			return f.val, true, nil
+		}
+		f := &flight{done: make(chan struct{})}
+		c.flights[k] = f
+		c.stats.Misses++
+		c.mu.Unlock()
+
+		val, size, err := compute()
+		f.val, f.err = val, err
+		close(f.done)
+
+		c.mu.Lock()
+		delete(c.flights, k)
+		if err == nil {
+			c.admitLocked(k, val, size)
+		}
+		c.mu.Unlock()
+		return val, false, err
+	}
+}
+
+// Get returns the cached value for k without computing or waiting.
+func (c *Cache) Get(k Key) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[k]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	c.stats.Hits++
+	return el.Value.(*entry).val, true
+}
+
+// dropDeadLocked records epoch for source and, when it advanced, drops
+// every entry of the same source at an older epoch: the store has moved
+// on, so those answers can never be current again. Cost is one walk of
+// the (budget-bounded) entry list per advance.
+func (c *Cache) dropDeadLocked(source, epoch uint64) {
+	if source == 0 {
+		return // unidentified store: nothing to invalidate against
+	}
+	if newest, ok := c.newest[source]; ok && epoch <= newest {
+		return
+	}
+	c.newest[source] = epoch
+	var next *list.Element
+	for el := c.lru.Front(); el != nil; el = next {
+		next = el.Next()
+		e := el.Value.(*entry)
+		if e.key.Source == source && e.key.Epoch < epoch {
+			c.removeLocked(el)
+			c.stats.DeadDropped++
+		}
+	}
+}
+
+// admitLocked inserts (k, v) and evicts from the cold end until the
+// byte budget holds. Oversized values are simply not admitted, and
+// neither is an entry whose epoch the store has already moved past
+// (a slow leader finishing after an advance, or a deliberately
+// re-served pinned old snapshot): the value is still returned to its
+// callers, but a known-dead entry must not hold budget that live
+// epochs could use.
+func (c *Cache) admitLocked(k Key, v any, size int64) {
+	if size > c.max {
+		return
+	}
+	if newest, ok := c.newest[k.Source]; ok && k.Epoch < newest {
+		return
+	}
+	if el, ok := c.entries[k]; ok {
+		// Lost an admission race through a dead-epoch revival path; keep
+		// the existing entry fresh rather than double-counting.
+		c.lru.MoveToFront(el)
+		return
+	}
+	el := c.lru.PushFront(&entry{key: k, val: v, size: size})
+	c.entries[k] = el
+	c.bytes += size
+	for c.bytes > c.max {
+		cold := c.lru.Back()
+		if cold == nil || cold == el {
+			break
+		}
+		c.removeLocked(cold)
+		c.stats.Evictions++
+	}
+}
+
+// removeLocked unlinks an entry and releases its budget share.
+func (c *Cache) removeLocked(el *list.Element) {
+	e := el.Value.(*entry)
+	c.lru.Remove(el)
+	delete(c.entries, e.key)
+	c.bytes -= e.size
+}
+
+// Invalidate drops every entry (flights in progress are unaffected and
+// will admit into the emptied cache).
+func (c *Cache) Invalidate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.lru.Init()
+	c.entries = make(map[Key]*list.Element)
+	c.bytes = 0
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = len(c.entries)
+	s.Bytes = c.bytes
+	s.MaxBytes = c.max
+	return s
+}

@@ -345,3 +345,31 @@ func (m *MixedServing) Write(i int) {
 // MixedWritePcts are the write ratios (writes per 100 operations) of
 // the Scale_MixedReadWrite serve cases.
 var MixedWritePcts = []int{1, 10}
+
+// ServeQuery is one entry of the repeated-serve query mix: a prepared
+// query shape with its binding, evaluated over and over by many
+// clients — the traffic pattern the epoch-keyed result cache exists
+// for.
+type ServeQuery struct {
+	Name  string
+	Query *ecrpq.Query
+	Bind  map[ecrpq.NodeVar]graph.Node
+}
+
+// RepeatedServeQueries returns the deterministic query mix of the
+// Scale_RepeatedServe benchmark over m's graph: a handful of distinct
+// (query, bind) pairs that clients rotate through, so at an unchanged
+// epoch every evaluation after the first rotation is a repeat. The mix
+// spans the serving shapes: the aⁿbⁿ ECRPQ at two bindings, the
+// relation-free chain, and a plain selective RPQ.
+func (m *MixedServing) RepeatedServeQueries() []ServeQuery {
+	env := m.Env()
+	chain := ecrpq.MustParse("Ans(x,y) <- (x,p1,z), (z,p2,y), a+(p1), b+(p2)", env)
+	rpq := ecrpq.MustParse("Ans(x,y) <- (x,p,y), a+b(p)", env)
+	return []ServeQuery{
+		{Name: "anbn/tail", Query: m.Query, Bind: m.Bind},
+		{Name: "anbn/tail2", Query: m.Query, Bind: map[ecrpq.NodeVar]graph.Node{"x": graph.Node(m.n/2 + 7)}},
+		{Name: "chain/tail", Query: chain, Bind: map[ecrpq.NodeVar]graph.Node{"x": graph.Node(m.n * 3 / 4)}},
+		{Name: "rpq/tail", Query: rpq, Bind: map[ecrpq.NodeVar]graph.Node{"x": graph.Node(m.n/2 + 13)}},
+	}
+}

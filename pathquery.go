@@ -41,6 +41,7 @@ import (
 	"repro/internal/ecrpq"
 	"repro/internal/graph"
 	"repro/internal/plan"
+	"repro/internal/qcache"
 	"repro/internal/regex"
 	"repro/internal/relations"
 )
@@ -177,6 +178,81 @@ func (p *Prepared) StreamSnapshot(ctx context.Context, s *Snapshot, opts StreamO
 // Explain describes the compiled plan: component decomposition and join
 // strategy.
 func (p *Prepared) Explain() string { return p.plan.Explain() }
+
+// Cache is an epoch-keyed, memory-bounded result cache with
+// single-flight admission (see internal/qcache): entries are keyed on
+// (compiled program, snapshot source+epoch, canonicalized options), so
+// a hit is always byte-identical to re-evaluating against the same
+// snapshot, concurrent identical queries at one epoch pay a single
+// product BFS, stale epochs are dropped as the store advances, and an
+// LRU keeps the total cached bytes under the configured budget. One
+// Cache may be shared by any number of Prepared queries and graphs.
+type Cache = qcache.Cache
+
+// CacheStats is the counter snapshot returned by Cache.Stats.
+type CacheStats = qcache.Stats
+
+// NewCache returns a result cache bounded to maxBytes of cached
+// answers.
+func NewCache(maxBytes int64) *Cache { return qcache.New(maxBytes) }
+
+// Cached wraps the prepared query with a result cache: the returned
+// handle evaluates exactly like the Prepared it wraps, except that
+// repeated evaluations with the same options at an unchanged snapshot
+// epoch are served from c (and concurrent identical evaluations are
+// deduplicated to one). Results served through the wrapper are shared
+// between callers and must be treated as immutable. A nil cache
+// returns a pass-through wrapper.
+func (p *Prepared) Cached(c *Cache) *CachedPrepared {
+	return &CachedPrepared{p: p, c: c}
+}
+
+// CachedPrepared is a Prepared query bound to a result cache; obtain
+// one from Prepared.Cached.
+type CachedPrepared struct {
+	p *Prepared
+	c *Cache
+}
+
+// Eval is Prepared.Eval through the cache (current snapshot of g,
+// background context).
+func (cp *CachedPrepared) Eval(g *Graph, opts Options) (*Result, error) {
+	res, _, err := cp.p.plan.EvalCached(context.Background(), g, opts, cp.c)
+	return res, err
+}
+
+// EvalContext is Prepared.EvalContext through the cache. A caller that
+// joins another caller's in-flight evaluation honors its own ctx while
+// waiting; the underlying evaluation runs on the leader's.
+func (cp *CachedPrepared) EvalContext(ctx context.Context, g *Graph, opts Options) (*Result, error) {
+	res, _, err := cp.p.plan.EvalCached(ctx, g, opts, cp.c)
+	return res, err
+}
+
+// EvalSnapshot is Prepared.EvalSnapshot through the cache: the serving
+// path for mixed read/write traffic —
+//
+//	s := g.Snapshot()
+//	res, err := cp.EvalSnapshot(ctx, s, opts)
+//
+// pays one product BFS per (query, options, epoch) no matter how many
+// goroutines ask.
+func (cp *CachedPrepared) EvalSnapshot(ctx context.Context, s *Snapshot, opts Options) (*Result, error) {
+	res, _, err := cp.p.plan.EvalSnapshotCached(ctx, s, opts, cp.c)
+	return res, err
+}
+
+// Prepared returns the underlying prepared query (for Stream and
+// Explain, which bypass the cache).
+func (cp *CachedPrepared) Prepared() *Prepared { return cp.p }
+
+// Stats returns the cache's counters (zero value for a nil cache).
+func (cp *CachedPrepared) Stats() CacheStats {
+	if cp.c == nil {
+		return CacheStats{}
+	}
+	return cp.c.Stats()
+}
 
 // Member decides (v̄, ρ̄) ∈ Q(G) — the ECRPQ-EVAL problem of Section 6.
 func Member(q *Query, g *Graph, nodes []Node, paths []Path, opts Options) (bool, error) {
