@@ -20,10 +20,13 @@
 //	                                           # result cache
 //	go run ./cmd/benchtables -json M.json -suite mixed
 //	                                           # one suite only (all,
-//	                                           # engine, mixed, serve) —
-//	                                           # e.g. Scale_MixedReadWrite
-//	                                           # or the Scale_RepeatedServe
-//	                                           # cached serving suite
+//	                                           # engine, mixed, serve,
+//	                                           # daemon) — e.g.
+//	                                           # Scale_MixedReadWrite, the
+//	                                           # Scale_RepeatedServe cached
+//	                                           # serving suite, or the
+//	                                           # Daemon_Serve end-to-end
+//	                                           # HTTP latency suite
 //	go run ./cmd/benchtables -compare old.json new.json
 //	                                           # speedup/allocation table
 //	                                           # between two bench files
@@ -44,7 +47,7 @@ func main() {
 	only := flag.String("only", "", "run a single experiment (E1..E16)")
 	jsonPath := flag.String("json", "", "run the ECRPQ engine benchmarks and write machine-readable results to this file")
 	baseline := flag.Bool("baseline", false, "with -json: run the ablation baselines (engine suites without pruning, mixed suite without delta overlays)")
-	suite := flag.String("suite", "all", "with -json: benchmark suite to run (all, engine, mixed, serve)")
+	suite := flag.String("suite", "all", "with -json: benchmark suite to run (all, engine, mixed, serve, daemon)")
 	compare := flag.Bool("compare", false, "compare two bench JSON files (old new) and print a speedup table")
 	flag.Parse()
 	if *compare {

@@ -26,7 +26,9 @@
 //	              printing the snapshot epoch with the answers. This
 //	              exercises the epoch-versioned serving path end to end:
 //	              writes append delta overlays, queries read immutable
-//	              snapshots.
+//	              snapshots. Malformed lines are reported and counted but
+//	              do not abort the replay; when any occurred the summary
+//	              carries the count and the command exits non-zero.
 //	-cache N      serve materialized evaluations through an epoch-keyed
 //	              result cache bounded to N bytes (0 = off): repeated
 //	              `query` lines at an unchanged epoch are answered from
@@ -225,6 +227,8 @@ func runReplay(ctx context.Context, cfg config, p *plan.Plan, q *ecrpq.Query, g 
 	sc := bufio.NewScanner(script)
 	lineNo := 0
 	queries := 0
+	lineErrs := 0
+	var firstErr error
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
@@ -233,7 +237,16 @@ func runReplay(ctx context.Context, cfg config, p *plan.Plan, q *ecrpq.Query, g 
 		}
 		if line != "query" {
 			if err := graph.ApplyTextLine(g, line); err != nil {
-				return fmt.Errorf("replay line %d: %w", lineNo, err)
+				// Tolerant-continue: a bad line is reported and counted,
+				// the rest of the script still replays, and the run exits
+				// non-zero at the end — a long replay surfaces every bad
+				// line in one pass instead of one per run.
+				lineErrs++
+				err = fmt.Errorf("replay line %d: %w", lineNo, err)
+				if firstErr == nil {
+					firstErr = err
+				}
+				fmt.Fprintf(errw, "%v\n", err)
 			}
 			continue
 		}
@@ -283,11 +296,17 @@ func runReplay(ctx context.Context, cfg config, p *plan.Plan, q *ecrpq.Query, g 
 	if err := sc.Err(); err != nil {
 		return err
 	}
-	fmt.Fprintf(errw, "replay: %d lines, %d queries, final epoch %d\n", lineNo, queries, g.Epoch())
+	fmt.Fprintf(errw, "replay: %d lines, %d queries, %d line error(s), final epoch %d\n",
+		lineNo, queries, lineErrs, g.Epoch())
 	if qc != nil {
 		st := qc.Stats()
 		fmt.Fprintf(errw, "cache: %d hits, %d misses, %d single-flight waits, %d dead-epoch drops, %d/%d bytes\n",
 			st.Hits, st.Misses, st.Waits, st.DeadDropped, st.Bytes, st.MaxBytes)
+	}
+	if lineErrs > 0 {
+		// Non-zero exit: the first failure names its line, the count
+		// says how many more the transcript above reported.
+		return fmt.Errorf("replay: %d line error(s): %w", lineErrs, firstErr)
 	}
 	return nil
 }

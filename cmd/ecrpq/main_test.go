@@ -235,3 +235,49 @@ func TestRunReplayBadLine(t *testing.T) {
 		t.Fatalf("err = %v, want a replay line error", err)
 	}
 }
+
+// TestRunReplayTolerantContinue: per-line errors no longer abort the
+// replay — every bad line is reported and counted, good lines (and
+// queries) after them still run, the summary carries the error count,
+// and the run still exits non-zero.
+func TestRunReplayTolerantContinue(t *testing.T) {
+	script := `
+edge only-two-fields
+a -> b
+edge bob k carol
+query
+edge nope
+query
+`
+	dir := t.TempDir()
+	path := filepath.Join(dir, "replay.txt")
+	if err := os.WriteFile(path, []byte(script), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errw strings.Builder
+	err := run(config{query: "Ans(x,y) <- (x,p,y), k(p)", replay: path},
+		strings.NewReader("edge alice k bob\n"), &out, &errw)
+	if err == nil || !strings.Contains(err.Error(), "3 line error(s)") {
+		t.Fatalf("err = %v, want an aggregate 3-line-error failure", err)
+	}
+	if !strings.Contains(err.Error(), "replay line 2") {
+		t.Fatalf("err = %v, want the first failure's line number", err)
+	}
+	se := errw.String()
+	for _, want := range []string{"replay line 2", "replay line 3", "replay line 6"} {
+		if !strings.Contains(se, want) {
+			t.Errorf("stderr = %q, missing %s", se, want)
+		}
+	}
+	// Lines after the failures still applied and both queries ran: the
+	// second query sees bob→carol (loaded between the bad lines).
+	if !strings.Contains(se, "query 2:") {
+		t.Errorf("stderr = %q, want query 2 to have run", se)
+	}
+	if !strings.Contains(se, "3 line error(s)") {
+		t.Errorf("stderr = %q, want the error count in the summary", se)
+	}
+	if !strings.Contains(out.String(), "bob, carol") {
+		t.Errorf("output = %q, want the post-error edge to be queryable", out.String())
+	}
+}

@@ -10,8 +10,10 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/faultinject"
 	"repro/internal/graph"
 	"repro/internal/intern"
+	"repro/internal/qerr"
 	"repro/internal/regex"
 	"repro/internal/relations"
 )
@@ -82,8 +84,11 @@ func (o Options) CacheKey() string {
 	return b.String()
 }
 
-// ErrBudget is returned when evaluation exceeds MaxProductStates.
-var ErrBudget = fmt.Errorf("ecrpq: product state budget exceeded")
+// ErrBudget is returned when evaluation exceeds MaxProductStates. It
+// is the taxonomy sentinel qerr.ErrBudgetExceeded — callers anywhere in
+// the stack (plan, qcache, the serving daemon) can errors.Is against
+// either name.
+var ErrBudget = qerr.ErrBudgetExceeded
 
 // errStopStream is the internal sentinel used by the streaming executor
 // to unwind the product BFS and join enumeration when the consumer stops
@@ -646,6 +651,11 @@ func (e *componentEngine) bfs(ctx context.Context, assign map[NodeVar]graph.Node
 	for head = 0; head < len(e.joints); head++ {
 		if head&255 == 0 {
 			if err := ctx.Err(); err != nil {
+				return err
+			}
+			// Fault point: mid-BFS cancellation/crash injection (free
+			// when no harness is installed).
+			if err := faultinject.Inject(faultinject.BFSStep); err != nil {
 				return err
 			}
 		}

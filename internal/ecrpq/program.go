@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/intern"
+	"repro/internal/qerr"
 )
 
 // Program is the compiled, executable form of a query — the "plan" half
@@ -329,7 +330,10 @@ func (p *Program) Eval(ctx context.Context, g *graph.DB, opts Options) (*Result,
 // deduplicated keeping shortest witnesses, and answers sorted
 // lexicographically — identical semantics to the original one-shot
 // Eval. Cancellation of ctx aborts the product BFS and the joins
-// promptly with ctx.Err(). The execution never touches the live DB, so
+// promptly — the failure is classified against the typed taxonomy
+// (qerr.ErrDeadline / qerr.ErrCanceled, still errors.Is-able against
+// the underlying context error; budget exhaustion is
+// qerr.ErrBudgetExceeded). The execution never touches the live DB, so
 // it is fully isolated from concurrent writers, and repeated calls
 // with the same snapshot reuse the per-epoch move-plan memos.
 func (p *Program) EvalSnapshot(ctx context.Context, s *graph.Snapshot, opts Options) (*Result, error) {
@@ -339,11 +343,11 @@ func (p *Program) EvalSnapshot(ctx context.Context, s *graph.Snapshot, opts Opti
 	}
 	rels, err := p.evalComponents(ctx, s, opts)
 	if err != nil {
-		return nil, err
+		return nil, qerr.Classify(err)
 	}
 	joined, err := joinAll(ctx, rels, p.jp, opts.Join, q.HeadNodes, q.HeadPaths)
 	if err != nil {
-		return nil, err
+		return nil, qerr.Classify(err)
 	}
 	res := &Result{Query: q, Snap: s}
 	headPos := make([]int, len(q.HeadNodes))

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/graph"
 	"repro/internal/intern"
+	"repro/internal/qerr"
 )
 
 // StreamOptions tune the streaming executor.
@@ -77,7 +78,7 @@ func (p *Program) stream(ctx context.Context, s *graph.Snapshot, opts StreamOpti
 	if errors.Is(err, errStopStream) {
 		return nil
 	}
-	return err
+	return qerr.Classify(err)
 }
 
 // answerSink deduplicates head projections and applies the limit,

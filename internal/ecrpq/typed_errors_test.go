@@ -1,0 +1,91 @@
+package ecrpq
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/qerr"
+)
+
+// The typed-failure regression suite: budget, deadline and cancellation
+// failures must be errors.Is-able against the qerr taxonomy from every
+// execution entry point — this is what lets the serving daemon map
+// failures to status codes without string matching, and what the
+// fault-injection invariants assert against.
+
+func TestTypedBudgetError(t *testing.T) {
+	q := MustParse("Ans(x,y) <- (x,p1,z), (z,p2,y), eq(p1,p2)", env())
+	g := stringGraph("abababab")
+	_, err := Eval(q, g, Options{MaxProductStates: 5})
+	if !errors.Is(err, qerr.ErrBudgetExceeded) {
+		t.Errorf("Eval budget failure = %v, want qerr.ErrBudgetExceeded", err)
+	}
+	if !errors.Is(err, ErrBudget) {
+		t.Errorf("legacy ErrBudget identity broken: %v", err)
+	}
+	if errors.Is(err, qerr.ErrDeadline) || errors.Is(err, qerr.ErrCanceled) {
+		t.Errorf("budget failure matches an unrelated class: %v", err)
+	}
+}
+
+func TestTypedDeadlineError(t *testing.T) {
+	q, g := heavyWorkload()
+	prog, err := CompileProgram(q, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 0)
+	defer cancel()
+	<-ctx.Done()
+	_, err = prog.Eval(ctx, g, Options{MaxProductStates: 1 << 40})
+	if !errors.Is(err, qerr.ErrDeadline) {
+		t.Errorf("deadline failure = %v, want qerr.ErrDeadline", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("deadline failure lost the context error: %v", err)
+	}
+	if errors.Is(err, qerr.ErrCanceled) {
+		t.Errorf("deadline failure must not match ErrCanceled: %v", err)
+	}
+}
+
+func TestTypedCancelError(t *testing.T) {
+	q, g := heavyWorkload()
+	prog, err := CompileProgram(q, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = prog.Eval(ctx, g, Options{MaxProductStates: 1 << 40})
+	if !errors.Is(err, qerr.ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Errorf("cancel failure = %v, want qerr.ErrCanceled wrapping context.Canceled", err)
+	}
+}
+
+func TestTypedStreamErrors(t *testing.T) {
+	q := MustParse("Ans(x,y) <- (x,p1,z), (z,p2,y), a+(p1), b+(p2), el(p1,p2)", env())
+	g := stringGraph("aaaabbbb")
+	prog, err := CompileProgram(q, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last error
+	for _, err := range prog.Stream(context.Background(), g, StreamOptions{Options: Options{MaxProductStates: 3}}) {
+		last = err
+	}
+	if !errors.Is(last, qerr.ErrBudgetExceeded) {
+		t.Errorf("stream budget failure = %v, want qerr.ErrBudgetExceeded", last)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	last = nil
+	for _, err := range prog.Stream(ctx, g, StreamOptions{Options: Options{MaxProductStates: 1 << 40}}) {
+		last = err
+	}
+	if !errors.Is(last, qerr.ErrCanceled) {
+		t.Errorf("stream cancel failure = %v, want qerr.ErrCanceled", last)
+	}
+}

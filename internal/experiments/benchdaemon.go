@@ -1,0 +1,111 @@
+package experiments
+
+// The Daemon_Serve suite: end-to-end throughput and latency
+// percentiles of the ecrpqd serving core under closed-loop HTTP load,
+// at the standard mixed read/write ratios. Unlike the other suites it
+// measures wall-clock latency distributions (p50/p90/p99) rather than
+// testing.Benchmark averages — the serving daemon's contract is about
+// tails, not means — but it reports them through the same BenchReport
+// schema (NsPerOp = percentile latency in ns) so benchtables -compare
+// works across PRs.
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"time"
+
+	"repro/internal/qcache"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// daemonLoad sizes the suite: per-case duration × client count. Two
+// write ratios × the duration keeps the suite well under a minute.
+const (
+	daemonLoadDuration = 5 * time.Second
+	daemonLoadClients  = 8
+)
+
+// BenchDaemonServe runs the Daemon_Serve suite: an in-process server
+// over the ~100k-edge MixedServing store, the RepeatedServeQueries mix
+// registered as named prepared queries, driven by the closed-loop load
+// generator at each standard write ratio. baseline disables the result
+// cache (every query pays the full evaluation) — the ablation of the
+// serving layer's memoization, same axis as the Scale_RepeatedServe
+// baseline.
+func BenchDaemonServe(baseline bool) (BenchReport, error) {
+	rep := BenchReport{Suite: "Daemon_Serve"}
+	for _, wp := range workload.MixedWritePcts {
+		results, err := runDaemonLoad(wp, baseline)
+		if err != nil {
+			return rep, err
+		}
+		rep.Benchmarks = append(rep.Benchmarks, results...)
+	}
+	return rep, nil
+}
+
+// runDaemonLoad boots one server, drives it at writePct, and renders
+// the load report as BenchResult rows.
+func runDaemonLoad(writePct int, baseline bool) ([]BenchResult, error) {
+	m := workload.NewMixedServing(20)
+	cacheBytes := int64(64 << 20)
+	if baseline {
+		cacheBytes = 0 // Do still single-flights, but nothing is retained
+	}
+	srv := server.New(server.Config{
+		DB:          m.Graph,
+		Env:         m.Env(),
+		Cache:       qcache.New(cacheBytes),
+		MaxStaleLag: 8,
+	})
+	queries := m.RepeatedServeQueries()
+	names := make([]string, len(queries))
+	binds := make([]string, len(queries))
+	for i, sq := range queries {
+		// Registry names are single path segments.
+		names[i] = strings.ReplaceAll(sq.Name, "/", "-")
+		if err := srv.Register(names[i], sq.Text); err != nil {
+			return nil, fmt.Errorf("register %s: %w", sq.Name, err)
+		}
+		for v, node := range sq.Bind {
+			binds[i] = fmt.Sprintf("%s=%s", v, m.Graph.Name(node))
+		}
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	load, err := workload.RunLoad(context.Background(), workload.LoadConfig{
+		BaseURL:    ts.URL,
+		Queries:    names,
+		Binds:      binds,
+		Clients:    daemonLoadClients,
+		Duration:   daemonLoadDuration,
+		WritePct:   writePct,
+		WriteNodes: m.Graph.NumNodes(),
+		WriteSigma: m.Sigma,
+		MaxStale:   8,
+		Seed:       42,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if load.Any5xx() {
+		return nil, fmt.Errorf("daemon bench write_pct=%d: got 5xx responses: %v", writePct, load.Statuses)
+	}
+	prefix := fmt.Sprintf("Daemon_Serve/write_pct=%d", writePct)
+	// Mean client-observed latency: closed-loop clients each run
+	// wall-clock Elapsed, so ops/client per Elapsed gives the mean.
+	meanNs := 0.0
+	if load.Ops > 0 {
+		meanNs = float64(load.Elapsed.Nanoseconds()) * daemonLoadClients / float64(load.Ops)
+	}
+	return []BenchResult{
+		{Name: prefix + "/p50", Iterations: load.Ops, NsPerOp: float64(load.P50.Nanoseconds())},
+		{Name: prefix + "/p90", Iterations: load.Ops, NsPerOp: float64(load.P90.Nanoseconds())},
+		{Name: prefix + "/p99", Iterations: load.Ops, NsPerOp: float64(load.P99.Nanoseconds())},
+		{Name: prefix + "/mean", Iterations: load.Ops, NsPerOp: meanNs},
+	}, nil
+}

@@ -312,7 +312,8 @@ func BenchScaleRepeatedServe(baseline bool) BenchReport {
 
 // WriteBenchJSON runs the benchmark suites selected by suite — "" or
 // "all" for everything, "engine" for Fig1a + Scale_LabelRich, "mixed"
-// for Scale_MixedReadWrite, "serve" for Scale_RepeatedServe — and
+// for Scale_MixedReadWrite, "serve" for Scale_RepeatedServe, "daemon"
+// for the end-to-end Daemon_Serve HTTP latency suite — and
 // writes the combined report as indented JSON, plus a short
 // human-readable table to table (if non-nil). baseline runs the
 // ablation of each selected suite: the exhaustive-enumeration NoPrune
@@ -325,19 +326,22 @@ func WriteBenchJSON(jsonOut io.Writer, table io.Writer, baseline bool, suite str
 	engine := all || suite == "engine"
 	mixed := all || suite == "mixed"
 	serve := all || suite == "serve"
-	if !engine && !mixed && !serve {
-		return fmt.Errorf("experiments: unknown bench suite %q (want all, engine, mixed or serve)", suite)
+	daemon := all || suite == "daemon"
+	if !engine && !mixed && !serve && !daemon {
+		return fmt.Errorf("experiments: unknown bench suite %q (want all, engine, mixed, serve or daemon)", suite)
 	}
 	rep := BenchReport{}
 	switch {
 	case all:
-		rep.Suite = "ECRPQ_Engine+MixedReadWrite+RepeatedServe"
+		rep.Suite = "ECRPQ_Engine+MixedReadWrite+RepeatedServe+Daemon"
 	case engine:
 		rep.Suite = "ECRPQ_Engine"
 	case mixed:
 		rep.Suite = "Scale_MixedReadWrite"
-	default:
+	case serve:
 		rep.Suite = "Scale_RepeatedServe"
+	default:
+		rep.Suite = "Daemon_Serve"
 	}
 	if engine {
 		rep.Benchmarks = append(rep.Benchmarks, BenchFig1aECRPQ(baseline).Benchmarks...)
@@ -348,6 +352,13 @@ func WriteBenchJSON(jsonOut io.Writer, table io.Writer, baseline bool, suite str
 	}
 	if serve {
 		rep.Benchmarks = append(rep.Benchmarks, BenchScaleRepeatedServe(baseline).Benchmarks...)
+	}
+	if daemon {
+		dr, err := BenchDaemonServe(baseline)
+		if err != nil {
+			return err
+		}
+		rep.Benchmarks = append(rep.Benchmarks, dr.Benchmarks...)
 	}
 	if table != nil {
 		fmt.Fprintf(table, "%-40s %14s %12s %12s\n", "benchmark", "ns/op", "B/op", "allocs/op")

@@ -136,8 +136,19 @@ func (g *DB) AddNodes(k int) Node {
 // with the epoch they were taken at.
 func (g *DB) Epoch() uint64 { return g.epoch.Load() }
 
-// NodeByName returns the node with the given name.
+// NodeByName returns the node with the given name. It reads the name
+// index without synchronization and is only safe when no writer is
+// active; concurrent servers use LookupNode.
 func (g *DB) NodeByName(name string) (Node, bool) {
+	v, ok := g.byName[name]
+	return v, ok
+}
+
+// LookupNode is NodeByName under the store's lock — the form a serving
+// layer must use to resolve names while writes may be in flight.
+func (g *DB) LookupNode(name string) (Node, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	v, ok := g.byName[name]
 	return v, ok
 }

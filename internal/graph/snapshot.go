@@ -3,6 +3,8 @@ package graph
 import (
 	"sort"
 	"sync"
+
+	"repro/internal/faultinject"
 )
 
 // Snapshot is an epoch-stamped immutable view of a DB: the last
@@ -440,9 +442,14 @@ const (
 )
 
 // compactionDue reports whether the delta log has crossed the
-// compaction threshold (callers hold g.mu).
+// compaction threshold (callers hold g.mu). The CompactionPolicy fault
+// point can force it, so a harness can drive compaction storms — every
+// post-write snapshot paying the full O(m log m) rebuild.
 func (g *DB) compactionDue() bool {
 	if g.base == nil || g.noDelta {
+		return true
+	}
+	if faultinject.Forced(faultinject.CompactionPolicy) {
 		return true
 	}
 	d := len(g.deltaSorted) + len(g.deltaNew)
@@ -467,6 +474,10 @@ func (g *DB) Snapshot() *Snapshot {
 	if s := g.snap.Load(); s != nil && s.epoch == ep {
 		return s
 	}
+	// Fault point: a hook that sleeps here models slow snapshot builds
+	// (the store cannot fail to snapshot, so an injected error only
+	// delays — the hook does the sleeping).
+	faultinject.Inject(faultinject.SnapshotBuild)
 	n := len(g.names)
 	if g.compactionDue() {
 		g.base = buildCSR(g.out, n, g.nEdges)

@@ -1,0 +1,64 @@
+// Package leakcheck is a minimal goroutine-leak checker for tests: it
+// snapshots the goroutine count at the start of a test and verifies,
+// with a grace period for goroutines still winding down, that the count
+// has returned to the baseline by the end. The serving-daemon tests use
+// it to prove that drained servers leave nothing behind — no admission
+// waiters, no abandoned evaluation goroutines, no cache leaders.
+//
+// It is deliberately count-based rather than stack-based (the classic
+// goleak approach) so it stays dependency-free; on failure it dumps all
+// goroutine stacks, which is what one actually needs to debug a leak.
+package leakcheck
+
+import (
+	"runtime"
+	"time"
+)
+
+// TB is the subset of testing.TB leakcheck needs.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+	Cleanup(func())
+}
+
+// Check registers a cleanup that fails the test if the goroutine count
+// has not returned to its value at the time of the call. Call it first
+// thing in the test:
+//
+//	func TestServer(t *testing.T) {
+//		leakcheck.Check(t)
+//		...
+//	}
+//
+// The comparison retries for up to two seconds, since legitimate
+// goroutines (HTTP keep-alive reapers, drained workers) take a few
+// scheduler ticks to exit after their work is done.
+func Check(t TB) {
+	t.Helper()
+	base := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		if leaked, stacks := wait(base, 2*time.Second); leaked > 0 {
+			t.Errorf("leakcheck: %d goroutine(s) leaked (baseline %d)\n%s", leaked, base, stacks)
+		}
+	})
+}
+
+// wait polls until the goroutine count is at or below base or the
+// deadline passes, returning the excess and a full stack dump when the
+// count never settles.
+func wait(base int, timeout time.Duration) (int, string) {
+	deadline := time.Now().Add(timeout)
+	for {
+		n := runtime.NumGoroutine()
+		if n <= base {
+			return 0, ""
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			return n - base, string(buf)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

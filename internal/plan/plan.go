@@ -24,6 +24,7 @@ import (
 	"repro/internal/ecrpq"
 	"repro/internal/graph"
 	"repro/internal/qcache"
+	"repro/internal/qerr"
 	"repro/internal/regex"
 )
 
@@ -157,6 +158,32 @@ func (p *Plan) EvalSnapshotCached(ctx context.Context, s *graph.Snapshot, opts e
 // advances between some of them.
 func (p *Plan) EvalCached(ctx context.Context, g *graph.DB, opts ecrpq.Options, c *qcache.Cache) (*ecrpq.Result, bool, error) {
 	return p.EvalSnapshotCached(ctx, g.Snapshot(), opts, c)
+}
+
+// CacheKeyFor returns the result-cache key this plan uses for an
+// evaluation against s with opts — the hook for degraded lookups
+// (Cache.Stale) and cache introspection outside the Do path.
+func (p *Plan) CacheKeyFor(s *graph.Snapshot, opts ecrpq.Options) qcache.Key {
+	return qcache.Key{Prog: p.prog, Source: s.Source(), Epoch: s.Epoch(), Opts: opts.CacheKey()}
+}
+
+// StaleSnapshot is the degraded serving path: it returns the freshest
+// cached result for this plan's (options, store) at an epoch within
+// maxLag of s's epoch, without evaluating anything — the bounded-lag
+// answer an overloaded server prefers over a failure. The uint64 is
+// the served result's epoch lag (0 = exact epoch). When the cache is
+// nil or holds nothing within the window, the error is qerr.ErrStale.
+// The cache must have a stale lag configured (Cache.SetStaleLag) for
+// within-lag entries to survive epoch advances at all.
+func (p *Plan) StaleSnapshot(s *graph.Snapshot, opts ecrpq.Options, c *qcache.Cache, maxLag uint64) (*ecrpq.Result, uint64, error) {
+	if c == nil {
+		return nil, 0, qerr.ErrStale
+	}
+	v, lag, err := c.Stale(p.CacheKeyFor(s, opts), maxLag)
+	if err != nil {
+		return nil, lag, err
+	}
+	return v.(*ecrpq.Result), lag, nil
 }
 
 // Stream executes the plan over the current snapshot of g, yielding

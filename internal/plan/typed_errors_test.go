@@ -1,0 +1,81 @@
+package plan
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/ecrpq"
+	"repro/internal/qcache"
+	"repro/internal/qerr"
+)
+
+// End-to-end taxonomy checks at the plan layer: typed failures must
+// survive the trip through the result cache's single-flight path, and
+// the degraded read path must fail typed.
+
+func TestTypedErrorsThroughCache(t *testing.T) {
+	q := ecrpq.MustParse("Ans(x,y) <- (x,p1,z), (z,p2,y), eq(p1,p2)", env())
+	p, err := Compile(q, env())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := stringGraph("abababab")
+	c := qcache.New(1 << 20)
+
+	_, _, err = p.EvalSnapshotCached(context.Background(), g.Snapshot(), ecrpq.Options{MaxProductStates: 5}, c)
+	if !errors.Is(err, qerr.ErrBudgetExceeded) {
+		t.Errorf("cached budget failure = %v, want qerr.ErrBudgetExceeded", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err = p.EvalSnapshotCached(ctx, g.Snapshot(), ecrpq.Options{}, c)
+	if !errors.Is(err, qerr.ErrCanceled) {
+		t.Errorf("cached cancel failure = %v, want qerr.ErrCanceled", err)
+	}
+}
+
+func TestStaleSnapshotTyped(t *testing.T) {
+	q := ecrpq.MustParse("Ans(x,y) <- (x,p,y), a+(p)", env())
+	p, err := Compile(q, env())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := stringGraph("aaa")
+	c := qcache.New(1 << 20)
+	c.SetStaleLag(8)
+
+	// Nothing cached yet: degraded read fails with ErrStale.
+	if _, _, err := p.StaleSnapshot(g.Snapshot(), ecrpq.Options{}, c, 8); !errors.Is(err, qerr.ErrStale) {
+		t.Fatalf("empty-cache stale read = %v, want qerr.ErrStale", err)
+	}
+	// Nil cache degrades the same way.
+	if _, _, err := p.StaleSnapshot(g.Snapshot(), ecrpq.Options{}, nil, 8); !errors.Is(err, qerr.ErrStale) {
+		t.Fatalf("nil-cache stale read = %v, want qerr.ErrStale", err)
+	}
+
+	// Populate at the current epoch, then advance the store: the old
+	// entry is served within the lag window, with the right lag.
+	res, _, err := p.EvalSnapshotCached(context.Background(), g.Snapshot(), ecrpq.Options{}, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := g.AddNode("za"), g.AddNode("zb")
+	g.AddEdge(a, 'b', b)
+	stale, lag, err := p.StaleSnapshot(g.Snapshot(), ecrpq.Options{}, c, 8)
+	if err != nil {
+		t.Fatalf("within-lag stale read failed: %v", err)
+	}
+	if lag == 0 || lag > 8 {
+		t.Errorf("lag = %d, want within (0, 8]", lag)
+	}
+	if stale.Fingerprint() != res.Fingerprint() {
+		t.Errorf("stale result differs from the cached original")
+	}
+
+	// Beyond the permitted lag: typed refusal, lag reported.
+	if _, lag, err := p.StaleSnapshot(g.Snapshot(), ecrpq.Options{}, c, 1); !errors.Is(err, qerr.ErrStale) || lag == 0 {
+		t.Fatalf("beyond-lag stale read = (%d, %v), want qerr.ErrStale with lag", lag, err)
+	}
+}

@@ -33,6 +33,9 @@ import (
 	"context"
 	"errors"
 	"sync"
+
+	"repro/internal/faultinject"
+	"repro/internal/qerr"
 )
 
 // Key identifies one cached evaluation.
@@ -64,8 +67,14 @@ type Stats struct {
 	// Evictions counts entries dropped by the LRU byte budget.
 	Evictions uint64
 	// DeadDropped counts entries dropped because their epoch died (a
-	// newer snapshot of their source store was seen).
+	// newer snapshot of their source store was seen, beyond the stale
+	// lag window).
 	DeadDropped uint64
+	// StaleHits and StaleMisses count Stale lookups that found a
+	// within-lag entry vs. ones that found nothing acceptable — the
+	// graceful-degradation counters.
+	StaleHits   uint64
+	StaleMisses uint64
 	// Entries and Bytes describe the current cache content; MaxBytes is
 	// the configured budget.
 	Entries  int
@@ -84,6 +93,10 @@ type Cache struct {
 	flights map[Key]*flight
 	newest  map[uint64]uint64 // source id → newest epoch seen
 	stats   Stats
+	// staleLag is how many epochs a dead entry is retained past its
+	// death for degraded (bounded-staleness) serving; 0 = drop dead
+	// epochs immediately (the pre-degradation behavior).
+	staleLag uint64
 }
 
 type entry struct {
@@ -168,7 +181,34 @@ func (c *Cache) Do(ctx context.Context, k Key, compute func() (any, int64, error
 		c.stats.Misses++
 		c.mu.Unlock()
 
-		val, size, err := compute()
+		val, size, err := func() (v any, s int64, e error) {
+			// If compute panics, resolve the flight with an error before
+			// the panic continues to the leader's caller (the serving
+			// layer isolates it per request): waiters must never be left
+			// blocked on a flight whose leader is gone.
+			normal := false
+			defer func() {
+				if normal {
+					return
+				}
+				f.err = errors.New("qcache: leader panicked during compute")
+				close(f.done)
+				c.mu.Lock()
+				delete(c.flights, k)
+				c.mu.Unlock()
+			}()
+			v, s, e = compute()
+			normal = true
+			return
+		}()
+		if err == nil {
+			// Fault point: turn a successful leader into a failed one
+			// before waiters see the value — the cache-leader failure
+			// class of the fault-injection harness.
+			if ferr := faultinject.Inject(faultinject.CacheLeader); ferr != nil {
+				val, size, err = nil, 0, ferr
+			}
+		}
 		f.val, f.err = val, err
 		close(f.done)
 
@@ -180,6 +220,59 @@ func (c *Cache) Do(ctx context.Context, k Key, compute func() (any, int64, error
 		c.mu.Unlock()
 		return val, false, err
 	}
+}
+
+// SetStaleLag configures graceful degradation: dead-epoch dropping
+// retains entries that are at most lag epochs behind the newest seen,
+// so Stale can serve them when the serving layer decides a bounded-lag
+// answer beats a failure. Zero (the default) restores immediate
+// dropping. Safe to call concurrently with Do; it affects future drops
+// only.
+func (c *Cache) SetStaleLag(lag uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.staleLag = lag
+}
+
+// Stale returns the freshest cached value for k's (Prog, Source, Opts)
+// at an epoch at most k.Epoch and at least k.Epoch−maxLag, together
+// with its lag (k.Epoch − found epoch; 0 means the exact epoch was
+// cached). It never computes and never waits on flights — it is the
+// degraded read path for an overloaded server: answer from the recent
+// past, bounded, rather than fail.
+//
+// When nothing within the window exists the error is qerr.ErrStale
+// (errors.Is-able), and the second return is the lag of the freshest
+// too-old candidate (0 when there was no candidate at all).
+func (c *Cache) Stale(k Key, maxLag uint64) (any, uint64, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var best *list.Element
+	var bestEpoch uint64
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		if e.key.Prog != k.Prog || e.key.Source != k.Source || e.key.Opts != k.Opts {
+			continue
+		}
+		if e.key.Epoch > k.Epoch {
+			continue // from the future of a pinned old snapshot: not ours
+		}
+		if best == nil || e.key.Epoch > bestEpoch {
+			best, bestEpoch = el, e.key.Epoch
+		}
+	}
+	if best == nil {
+		c.stats.StaleMisses++
+		return nil, 0, qerr.ErrStale
+	}
+	lag := k.Epoch - bestEpoch
+	if lag > maxLag {
+		c.stats.StaleMisses++
+		return nil, lag, qerr.ErrStale
+	}
+	c.lru.MoveToFront(best)
+	c.stats.StaleHits++
+	return best.Value.(*entry).val, lag, nil
 }
 
 // Get returns the cached value for k without computing or waiting.
@@ -196,9 +289,12 @@ func (c *Cache) Get(k Key) (any, bool) {
 }
 
 // dropDeadLocked records epoch for source and, when it advanced, drops
-// every entry of the same source at an older epoch: the store has moved
-// on, so those answers can never be current again. Cost is one walk of
-// the (budget-bounded) entry list per advance.
+// every entry of the same source that has fallen more than staleLag
+// epochs behind: the store has moved on, so those answers can never be
+// served again — not even degraded. Entries within the lag window are
+// retained for Stale lookups (they are never returned by exact-epoch
+// Do hits). Cost is one walk of the (budget-bounded) entry list per
+// advance.
 func (c *Cache) dropDeadLocked(source, epoch uint64) {
 	if source == 0 {
 		return // unidentified store: nothing to invalidate against
@@ -207,11 +303,15 @@ func (c *Cache) dropDeadLocked(source, epoch uint64) {
 		return
 	}
 	c.newest[source] = epoch
+	var floor uint64
+	if epoch > c.staleLag {
+		floor = epoch - c.staleLag
+	}
 	var next *list.Element
 	for el := c.lru.Front(); el != nil; el = next {
 		next = el.Next()
 		e := el.Value.(*entry)
-		if e.key.Source == source && e.key.Epoch < epoch {
+		if e.key.Source == source && e.key.Epoch < floor {
 			c.removeLocked(el)
 			c.stats.DeadDropped++
 		}
@@ -229,7 +329,7 @@ func (c *Cache) admitLocked(k Key, v any, size int64) {
 	if size > c.max {
 		return
 	}
-	if newest, ok := c.newest[k.Source]; ok && k.Epoch < newest {
+	if newest, ok := c.newest[k.Source]; ok && k.Epoch < newest && newest-k.Epoch > c.staleLag {
 		return
 	}
 	if el, ok := c.entries[k]; ok {

@@ -1,0 +1,254 @@
+package qcache_test
+
+// The -race suite of the result cache under concurrent store
+// Clone/compaction traffic (ISSUE 6 satellite): waiters must never
+// receive a result computed against a different store identity, and
+// dead-epoch dropping must never corrupt an entry another goroutine is
+// being served from. The assertions are fingerprint equalities against
+// uncached evaluations of the exact snapshot each caller pinned; the
+// race detector covers the memory-safety half.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/ecrpq"
+	"repro/internal/graph"
+	"repro/internal/plan"
+	"repro/internal/qcache"
+	"repro/internal/qerr"
+)
+
+var sigmaAB = []rune{'a', 'b'}
+
+func testEnv() ecrpq.Env { return ecrpq.Env{Sigma: sigmaAB} }
+
+// lineGraph returns a line graph spelling s, with named nodes.
+func lineGraph(s string) *graph.DB {
+	g := graph.NewDB()
+	prev := g.AddNode("v0")
+	for i, r := range s {
+		next := g.AddNode(fmt.Sprintf("v%d", i+1))
+		g.AddEdge(prev, r, next)
+		prev = next
+	}
+	return g
+}
+
+// TestRaceCloneIdentity evaluates one prepared query against a store
+// and its Clone through a shared cache while both diverge under
+// writes. The clone starts at the source's epoch with the same content
+// but its own identity, so (Source, Epoch) keys must keep every
+// caller's answer consistent with the store it asked about.
+func TestRaceCloneIdentity(t *testing.T) {
+	q := ecrpq.MustParse("Ans(x,y) <- (x,p,y), a+(p)", testEnv())
+	p, err := plan.Compile(q, testEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := lineGraph("aabab")
+	clone := base.Clone()
+	if base.ID() == clone.ID() {
+		t.Fatal("clone shares the source's store identity")
+	}
+	c := qcache.New(1 << 20)
+
+	stores := []*graph.DB{base, clone}
+	const writers = 2
+	const readersPerStore = 4
+	const iters = 150
+	var wg sync.WaitGroup
+	errc := make(chan error, writers+readersPerStore*len(stores))
+
+	// Writers: diverge the two stores with different labels.
+	for wi, g := range stores {
+		wg.Add(1)
+		go func(wi int, g *graph.DB) {
+			defer wg.Done()
+			label := sigmaAB[wi]
+			for i := 0; i < iters; i++ {
+				from := graph.Node(i % g.NumNodes())
+				to := graph.Node((i*7 + wi) % g.NumNodes())
+				g.AddEdge(from, label, to)
+			}
+		}(wi, g)
+	}
+	// Readers: each pins a snapshot of its store, evaluates through the
+	// shared cache, and cross-checks against an uncached evaluation of
+	// the same snapshot — any cross-store contamination shows up as a
+	// fingerprint mismatch.
+	for _, g := range stores {
+		for r := 0; r < readersPerStore; r++ {
+			wg.Add(1)
+			go func(g *graph.DB) {
+				defer wg.Done()
+				ctx := context.Background()
+				for i := 0; i < iters; i++ {
+					s := g.Snapshot()
+					got, _, err := p.EvalSnapshotCached(ctx, s, ecrpq.Options{}, c)
+					if err != nil {
+						errc <- err
+						return
+					}
+					want, err := p.EvalSnapshot(ctx, s, ecrpq.Options{})
+					if err != nil {
+						errc <- err
+						return
+					}
+					if got.Fingerprint() != want.Fingerprint() {
+						errc <- fmt.Errorf("store %d epoch %d: cached answer differs from direct evaluation", s.Source(), s.Epoch())
+						return
+					}
+				}
+			}(g)
+		}
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}
+
+// TestRaceCompactionServing keeps a store under a write rate that
+// repeatedly crosses the compaction threshold while readers are served
+// through the cache (with a stale-lag window retaining recently-dead
+// entries). A result handed to a caller must stay internally
+// consistent after dead-epoch dropping has removed or replaced its
+// entry: the returned value is shared and immutable, so its
+// fingerprint at serve time must equal its fingerprint after the store
+// has moved arbitrarily far ahead.
+func TestRaceCompactionServing(t *testing.T) {
+	q := ecrpq.MustParse("Ans(x,y) <- (x,p,y), a+(p)", testEnv())
+	p, err := plan.Compile(q, testEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := lineGraph("aaaa") // tiny base: nearly every write burst compacts
+	c := qcache.New(1 << 20)
+	c.SetStaleLag(4)
+
+	const iters = 120
+	var wg sync.WaitGroup
+	errc := make(chan error, 8)
+	stop := make(chan struct{})
+
+	wg.Add(1)
+	go func() { // write storm
+		defer wg.Done()
+		for i := 0; i < iters*4; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			g.AddEdge(graph.Node(i%g.NumNodes()), 'a', graph.Node((i*3+1)%g.NumNodes()))
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx := context.Background()
+			for i := 0; i < iters; i++ {
+				s := g.Snapshot()
+				res, _, err := p.EvalSnapshotCached(ctx, s, ecrpq.Options{}, c)
+				if err != nil {
+					errc <- err
+					return
+				}
+				before := res.Fingerprint()
+				// Let the store (and dead-epoch dropping) advance, then
+				// re-fingerprint the value we are holding: eviction must
+				// never mutate or free a served result.
+				g.AddEdge(0, 'b', graph.Node(i%g.NumNodes()))
+				g.Snapshot()
+				if after := res.Fingerprint(); after != before {
+					errc <- fmt.Errorf("served result mutated under dead-epoch dropping: %x != %x", after, before)
+					return
+				}
+				want, err := p.EvalSnapshot(ctx, s, ecrpq.Options{})
+				if err != nil {
+					errc <- err
+					return
+				}
+				if before != want.Fingerprint() {
+					errc <- fmt.Errorf("epoch %d: cached answer differs from direct evaluation", s.Epoch())
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}
+
+// TestRaceStaleLookups runs degraded reads concurrently with the write
+// storm and exact-epoch serving: every stale answer must carry a lag
+// within the requested bound and fingerprint-match a direct evaluation
+// of some recent epoch (≤ lag behind the snapshot asked about).
+func TestRaceStaleLookups(t *testing.T) {
+	q := ecrpq.MustParse("Ans(x,y) <- (x,p,y), a+(p)", testEnv())
+	p, err := plan.Compile(q, testEnv())
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := lineGraph("aaa")
+	c := qcache.New(1 << 20)
+	const maxLag = 6
+	c.SetStaleLag(maxLag)
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 8)
+	const iters = 100
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ctx := context.Background()
+		for i := 0; i < iters; i++ {
+			g.AddEdge(graph.Node(i%g.NumNodes()), 'a', graph.Node((i+1)%g.NumNodes()))
+			if _, _, err := p.EvalSnapshotCached(ctx, g.Snapshot(), ecrpq.Options{}, c); err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				s := g.Snapshot()
+				res, lag, err := p.StaleSnapshot(s, ecrpq.Options{}, c, maxLag)
+				if err != nil {
+					if errors.Is(err, qerr.ErrStale) {
+						continue // nothing within lag yet: a typed, honest refusal
+					}
+					errc <- err
+					return
+				}
+				if lag > maxLag {
+					errc <- fmt.Errorf("stale lag %d exceeds bound %d", lag, maxLag)
+					return
+				}
+				if res == nil {
+					errc <- fmt.Errorf("stale hit returned nil result")
+					return
+				}
+				_ = res.Fingerprint() // must be safely readable under -race
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}

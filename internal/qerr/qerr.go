@@ -1,0 +1,107 @@
+// Package qerr is the typed failure taxonomy of the query engine and
+// its serving layer. Every way an evaluation can fail for a reason that
+// is not a bug — budget exhaustion, deadline, cancellation, overload,
+// staleness — has one sentinel here, and every layer (internal/ecrpq,
+// internal/plan, internal/qcache, internal/server, pathquery) returns
+// errors that are errors.Is-able against them, so callers can route on
+// the failure class instead of matching strings:
+//
+//	res, err := p.EvalSnapshot(ctx, s, opts)
+//	switch {
+//	case errors.Is(err, qerr.ErrBudgetExceeded): // query too expensive
+//	case errors.Is(err, qerr.ErrDeadline):      // out of time
+//	case errors.Is(err, qerr.ErrCanceled):      // caller went away
+//	}
+//
+// Deadline and cancellation failures are produced by wrapping the
+// context error (see Classify), so errors.Is against
+// context.DeadlineExceeded / context.Canceled keeps working — the
+// taxonomy adds names, it does not take any away.
+package qerr
+
+import (
+	"context"
+	"errors"
+)
+
+// The failure taxonomy. Each sentinel names one class of non-bug
+// failure; match with errors.Is.
+var (
+	// ErrBudgetExceeded: the evaluation exceeded its MaxProductStates
+	// (or other resource) budget. The query is well-formed and the
+	// engine is healthy; the answer is just too expensive under the
+	// requested limits.
+	ErrBudgetExceeded = errors.New("query failed: product state budget exceeded")
+
+	// ErrDeadline: the evaluation ran out of time (context deadline).
+	ErrDeadline = errors.New("query failed: deadline exceeded")
+
+	// ErrCanceled: the caller canceled the evaluation (context cancel).
+	ErrCanceled = errors.New("query failed: canceled")
+
+	// ErrOverloaded: the serving layer refused or abandoned the request
+	// because it is at capacity (admission queue full, concurrency limit
+	// reached, or the daemon is draining). The request itself is fine;
+	// retrying later may succeed.
+	ErrOverloaded = errors.New("query failed: server overloaded")
+
+	// ErrStale: a degraded (stale-cache) read was requested but the
+	// freshest available cached result is older than the permitted
+	// epoch lag (or no cached result exists at all).
+	ErrStale = errors.New("query failed: no result within permitted staleness")
+)
+
+// wrapped pairs a taxonomy sentinel with an underlying cause. errors.Is
+// matches both: the sentinel (the class) and the cause (e.g. the
+// original context error), via multi-target Unwrap.
+type wrapped struct {
+	sentinel error
+	cause    error
+}
+
+func (w *wrapped) Error() string { return w.sentinel.Error() + ": " + w.cause.Error() }
+
+func (w *wrapped) Unwrap() []error { return []error{w.sentinel, w.cause} }
+
+// Wrap attaches a taxonomy sentinel to cause, so the result matches
+// both errors.Is(err, sentinel) and errors.Is(err, cause). A nil cause
+// returns the sentinel itself; a cause that already matches the
+// sentinel is returned unchanged.
+func Wrap(sentinel, cause error) error {
+	if cause == nil {
+		return sentinel
+	}
+	if errors.Is(cause, sentinel) {
+		return cause
+	}
+	return &wrapped{sentinel: sentinel, cause: cause}
+}
+
+// Classify maps an evaluation error onto the taxonomy: context
+// deadline/cancellation failures are wrapped with ErrDeadline /
+// ErrCanceled (preserving the context error for errors.Is), already
+// classified errors pass through unchanged, and anything else —
+// parse errors, validation errors, real bugs — is returned as-is.
+// Classify(nil) is nil.
+func Classify(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, context.DeadlineExceeded):
+		return Wrap(ErrDeadline, err)
+	case errors.Is(err, context.Canceled):
+		return Wrap(ErrCanceled, err)
+	default:
+		return err
+	}
+}
+
+// IsResource reports whether err is one of the load-dependent failure
+// classes (budget, deadline, overload) — the classes a serving layer
+// may degrade on (e.g. fall back to a bounded-staleness cached answer)
+// rather than surface to the client.
+func IsResource(err error) bool {
+	return errors.Is(err, ErrBudgetExceeded) ||
+		errors.Is(err, ErrDeadline) ||
+		errors.Is(err, ErrOverloaded)
+}

@@ -1,0 +1,77 @@
+package qerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestClassifyDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 0)
+	defer cancel()
+	<-ctx.Done()
+	err := Classify(ctx.Err())
+	if !errors.Is(err, ErrDeadline) {
+		t.Errorf("classified deadline error does not match ErrDeadline: %v", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("classification must preserve the context error: %v", err)
+	}
+	if errors.Is(err, ErrCanceled) {
+		t.Errorf("deadline error must not match ErrCanceled: %v", err)
+	}
+}
+
+func TestClassifyCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Classify(ctx.Err())
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Errorf("classified cancel error = %v", err)
+	}
+	if errors.Is(err, ErrDeadline) {
+		t.Errorf("cancel error must not match ErrDeadline: %v", err)
+	}
+}
+
+func TestClassifyPassThrough(t *testing.T) {
+	if Classify(nil) != nil {
+		t.Error("Classify(nil) must be nil")
+	}
+	plain := errors.New("some parse error")
+	if Classify(plain) != plain {
+		t.Error("unrelated errors must pass through unchanged")
+	}
+	if got := Classify(ErrBudgetExceeded); got != ErrBudgetExceeded {
+		t.Errorf("already-typed error must pass through, got %v", got)
+	}
+	// A wrapped budget error (fmt.Errorf %w chain) stays classified.
+	wrappedBudget := fmt.Errorf("component 2: %w", ErrBudgetExceeded)
+	if got := Classify(wrappedBudget); !errors.Is(got, ErrBudgetExceeded) {
+		t.Errorf("wrapped budget error lost its class: %v", got)
+	}
+}
+
+func TestWrapIdempotent(t *testing.T) {
+	err := Wrap(ErrDeadline, context.DeadlineExceeded)
+	if again := Classify(err); again != err {
+		t.Errorf("re-classifying must not re-wrap: %v vs %v", again, err)
+	}
+	if Wrap(ErrOverloaded, nil) != ErrOverloaded {
+		t.Error("Wrap with nil cause must return the sentinel")
+	}
+}
+
+func TestIsResource(t *testing.T) {
+	for _, err := range []error{ErrBudgetExceeded, ErrOverloaded, Wrap(ErrDeadline, context.DeadlineExceeded)} {
+		if !IsResource(err) {
+			t.Errorf("IsResource(%v) = false", err)
+		}
+	}
+	for _, err := range []error{ErrStale, Wrap(ErrCanceled, context.Canceled), errors.New("other")} {
+		if IsResource(err) {
+			t.Errorf("IsResource(%v) = true", err)
+		}
+	}
+}

@@ -353,7 +353,10 @@ var MixedWritePcts = []int{1, 10}
 type ServeQuery struct {
 	Name  string
 	Query *ecrpq.Query
-	Bind  map[ecrpq.NodeVar]graph.Node
+	// Text is the textual source of Query — what a client would PUT to
+	// the serving daemon's registry to prepare the same query.
+	Text string
+	Bind map[ecrpq.NodeVar]graph.Node
 }
 
 // RepeatedServeQueries returns the deterministic query mix of the
@@ -364,12 +367,17 @@ type ServeQuery struct {
 // relation-free chain, and a plain selective RPQ.
 func (m *MixedServing) RepeatedServeQueries() []ServeQuery {
 	env := m.Env()
-	chain := ecrpq.MustParse("Ans(x,y) <- (x,p1,z), (z,p2,y), a+(p1), b+(p2)", env)
-	rpq := ecrpq.MustParse("Ans(x,y) <- (x,p,y), a+b(p)", env)
+	const (
+		anbnText  = "Ans(x,y) <- (x,p1,z), (z,p2,y), a+(p1), b+(p2), el(p1,p2)"
+		chainText = "Ans(x,y) <- (x,p1,z), (z,p2,y), a+(p1), b+(p2)"
+		rpqText   = "Ans(x,y) <- (x,p,y), a+b(p)"
+	)
+	chain := ecrpq.MustParse(chainText, env)
+	rpq := ecrpq.MustParse(rpqText, env)
 	return []ServeQuery{
-		{Name: "anbn/tail", Query: m.Query, Bind: m.Bind},
-		{Name: "anbn/tail2", Query: m.Query, Bind: map[ecrpq.NodeVar]graph.Node{"x": graph.Node(m.n/2 + 7)}},
-		{Name: "chain/tail", Query: chain, Bind: map[ecrpq.NodeVar]graph.Node{"x": graph.Node(m.n * 3 / 4)}},
-		{Name: "rpq/tail", Query: rpq, Bind: map[ecrpq.NodeVar]graph.Node{"x": graph.Node(m.n/2 + 13)}},
+		{Name: "anbn/tail", Query: m.Query, Text: anbnText, Bind: m.Bind},
+		{Name: "anbn/tail2", Query: m.Query, Text: anbnText, Bind: map[ecrpq.NodeVar]graph.Node{"x": graph.Node(m.n/2 + 7)}},
+		{Name: "chain/tail", Query: chain, Text: chainText, Bind: map[ecrpq.NodeVar]graph.Node{"x": graph.Node(m.n * 3 / 4)}},
+		{Name: "rpq/tail", Query: rpq, Text: rpqText, Bind: map[ecrpq.NodeVar]graph.Node{"x": graph.Node(m.n/2 + 13)}},
 	}
 }

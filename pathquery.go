@@ -42,8 +42,29 @@ import (
 	"repro/internal/graph"
 	"repro/internal/plan"
 	"repro/internal/qcache"
+	"repro/internal/qerr"
 	"repro/internal/regex"
 	"repro/internal/relations"
+)
+
+// The typed failure taxonomy (see internal/qerr): every non-bug way an
+// evaluation or the serving layer can fail has one sentinel, and every
+// layer of the stack returns errors.Is-able errors against them.
+// Deadline and cancellation failures additionally match the underlying
+// context error (context.DeadlineExceeded / context.Canceled).
+var (
+	// ErrBudgetExceeded: evaluation exceeded Options.MaxProductStates.
+	ErrBudgetExceeded = qerr.ErrBudgetExceeded
+	// ErrDeadline: the context deadline expired mid-evaluation.
+	ErrDeadline = qerr.ErrDeadline
+	// ErrCanceled: the context was canceled mid-evaluation.
+	ErrCanceled = qerr.ErrCanceled
+	// ErrOverloaded: a serving layer refused the request at admission
+	// (queue full, concurrency cap, draining).
+	ErrOverloaded = qerr.ErrOverloaded
+	// ErrStale: a degraded read found no cached result within the
+	// permitted epoch lag.
+	ErrStale = qerr.ErrStale
 )
 
 // Core data model.
