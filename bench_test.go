@@ -419,10 +419,15 @@ func BenchmarkScale_LabelRich(b *testing.B) {
 // hit (one map probe against the (program, epoch, options) key), while
 // the uncached ablation pays the full product BFS each time. The serve
 // cases interleave the rotation with writes at the Scale_MixedReadWrite
-// ratios, so every epoch advance invalidates and the first rotation
-// after a write repopulates — the end-to-end mixed shape. benchtables
-// -suite serve records the cached run; -baseline reruns it with the
-// cache disabled for `-compare` (BENCH_5 vs BENCH_5_baseline).
+// ratios, so epoch advances exercise the incremental serving layer:
+// label-disjoint writes revalidate the cached entry for free, live
+// writes re-run the product BFS only for the affected start
+// assignments — the end-to-end mixed shape. The serve_noadvance cases
+// rerun the same write mix with Options.NoAdvance, the PR-5
+// whole-entry-invalidation shape (every epoch advance recomputes).
+// benchtables -suite serve records the cached run; -baseline reruns it
+// with the cache disabled and -noadvance with the incremental layer
+// disabled for `-compare` (BENCH_7 vs BENCH_7_baseline).
 func BenchmarkScale_RepeatedServe(b *testing.B) {
 	for _, cached := range []bool{true, false} {
 		name := "unchanged_epoch/cached"
@@ -461,36 +466,42 @@ func BenchmarkScale_RepeatedServe(b *testing.B) {
 			}
 		})
 	}
-	for _, wp := range workload.MixedWritePcts {
-		b.Run(fmt.Sprintf("serve/write_pct=%d", wp), func(b *testing.B) {
-			m := workload.NewMixedServing(20)
-			sqs := m.RepeatedServeQueries()
-			c := NewCache(64 << 20)
-			var cps []*CachedPrepared
-			for _, sq := range sqs {
-				p, err := Prepare(sq.Query, m.Env())
-				if err != nil {
-					b.Fatal(err)
+	for _, noAdvance := range []bool{false, true} {
+		prefix := "serve"
+		if noAdvance {
+			prefix = "serve_noadvance"
+		}
+		for _, wp := range workload.MixedWritePcts {
+			b.Run(fmt.Sprintf("%s/write_pct=%d", prefix, wp), func(b *testing.B) {
+				m := workload.NewMixedServing(20)
+				sqs := m.RepeatedServeQueries()
+				c := NewCache(64 << 20)
+				var cps []*CachedPrepared
+				for _, sq := range sqs {
+					p, err := Prepare(sq.Query, m.Env())
+					if err != nil {
+						b.Fatal(err)
+					}
+					cps = append(cps, p.Cached(c))
 				}
-				cps = append(cps, p.Cached(c))
-			}
-			ctx := context.Background()
-			m.Graph.Snapshot() // warm
-			period := 100 / wp
-			writes := 0
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if i%period == 0 {
-					m.Write(writes)
-					writes++
+				ctx := context.Background()
+				m.Graph.Snapshot() // warm
+				period := 100 / wp
+				writes := 0
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if i%period == 0 {
+						m.Write(writes)
+						writes++
+					}
+					k := i % len(sqs)
+					opts := Options{Bind: sqs[k].Bind, MaxProductStates: 50_000_000, NoAdvance: noAdvance}
+					if _, err := cps[k].EvalSnapshot(ctx, m.Graph.Snapshot(), opts); err != nil {
+						b.Fatal(err)
+					}
 				}
-				k := i % len(sqs)
-				opts := Options{Bind: sqs[k].Bind, MaxProductStates: 50_000_000}
-				if _, err := cps[k].EvalSnapshot(ctx, m.Graph.Snapshot(), opts); err != nil {
-					b.Fatal(err)
-				}
-			}
-		})
+			})
+		}
 	}
 }
 

@@ -18,6 +18,13 @@
 //	                                           # without delta overlays,
 //	                                           # serve suite without the
 //	                                           # result cache
+//	go run ./cmd/benchtables -json B.json -suite serve -noadvance
+//	                                           # serve suite with the cache
+//	                                           # but without the incremental
+//	                                           # serving layer (revalidation
+//	                                           # + delta BFS off) — the
+//	                                           # BENCH_7 revalidation-off
+//	                                           # baseline
 //	go run ./cmd/benchtables -json M.json -suite mixed
 //	                                           # one suite only (all,
 //	                                           # engine, mixed, serve,
@@ -47,6 +54,7 @@ func main() {
 	only := flag.String("only", "", "run a single experiment (E1..E16)")
 	jsonPath := flag.String("json", "", "run the ECRPQ engine benchmarks and write machine-readable results to this file")
 	baseline := flag.Bool("baseline", false, "with -json: run the ablation baselines (engine suites without pruning, mixed suite without delta overlays)")
+	noAdvance := flag.Bool("noadvance", false, "with -json -suite serve: keep the result cache but disable incremental re-evaluation (revalidation + delta BFS)")
 	suite := flag.String("suite", "all", "with -json: benchmark suite to run (all, engine, mixed, serve, daemon)")
 	compare := flag.Bool("compare", false, "compare two bench JSON files (old new) and print a speedup table")
 	flag.Parse()
@@ -75,7 +83,7 @@ func main() {
 			os.Exit(1)
 		}
 		defer f.Close()
-		if err := experiments.WriteBenchJSON(f, os.Stdout, *baseline, *suite); err != nil {
+		if err := experiments.WriteBenchJSON(f, os.Stdout, *baseline, *noAdvance, *suite); err != nil {
 			fmt.Fprintf(os.Stderr, "benchtables: %v\n", err)
 			os.Exit(1)
 		}

@@ -300,8 +300,9 @@ func runReplay(ctx context.Context, cfg config, p *plan.Plan, q *ecrpq.Query, g 
 		lineNo, queries, lineErrs, g.Epoch())
 	if qc != nil {
 		st := qc.Stats()
-		fmt.Fprintf(errw, "cache: %d hits, %d misses, %d single-flight waits, %d dead-epoch drops, %d/%d bytes\n",
-			st.Hits, st.Misses, st.Waits, st.DeadDropped, st.Bytes, st.MaxBytes)
+		fmt.Fprintf(errw, "cache: %d hits (%d revalidated, %d incremental), %d misses, %d single-flight waits, %d dead-epoch drops, %d/%d bytes\n",
+			st.Hits+st.Revalidated+st.Incremental, st.Revalidated, st.Incremental,
+			st.Misses, st.Waits, st.DeadDropped, st.Bytes, st.MaxBytes)
 	}
 	if lineErrs > 0 {
 		// Non-zero exit: the first failure names its line, the count

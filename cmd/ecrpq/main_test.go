@@ -188,6 +188,8 @@ query
 edge bob k carol
 query
 query
+edge alice z bob
+query
 `
 	dir := t.TempDir()
 	path := filepath.Join(dir, "replay.txt")
@@ -217,8 +219,13 @@ query
 	if !strings.Contains(se, "query 4: epoch 5, 1 answers (cached)") {
 		t.Errorf("stderr = %q, want query 4 served from cache", se)
 	}
-	if !strings.Contains(se, "cache: 2 hits, 2 misses") {
-		t.Errorf("stderr = %q, want a cache summary with 2 hits and 2 misses", se)
+	// The 'z' edge touches no label the query can consume: the stale
+	// entry revalidates instead of recomputing, still reported cached.
+	if !strings.Contains(se, "query 5: epoch 6, 1 answers (cached)") {
+		t.Errorf("stderr = %q, want query 5 revalidated from cache", se)
+	}
+	if !strings.Contains(se, "cache: 3 hits (1 revalidated, 0 incremental), 2 misses") {
+		t.Errorf("stderr = %q, want a cache summary splitting the serve kinds", se)
 	}
 }
 

@@ -59,6 +59,14 @@ type Options struct {
 	// changes. It exists as the ablation baseline for benchmarks and
 	// the pruned==unpruned property tests.
 	NoPrune bool
+	// NoAdvance disables the incremental serving layer above the
+	// evaluator: epoch-stale cache lookups recompute from scratch
+	// instead of revalidating against the delta or running the
+	// semi-naive delta BFS, and no per-assignment memo is captured.
+	// Answers are identical either way; only the serving cost changes.
+	// It exists as the revalidation-off ablation baseline for the
+	// repeated-serve benchmarks (BENCH_7_baseline).
+	NoAdvance bool
 }
 
 // CacheKey renders the evaluation-relevant options in a canonical
@@ -79,8 +87,8 @@ func (o Options) CacheKey() string {
 	for _, v := range vars {
 		fmt.Fprintf(&b, "%s=%d,", v, o.Bind[NodeVar(v)])
 	}
-	fmt.Fprintf(&b, ";max=%d;join=%d;nodecomp=%t;noprune=%t",
-		o.MaxProductStates, o.Join, o.NoDecompose, o.NoPrune)
+	fmt.Fprintf(&b, ";max=%d;join=%d;nodecomp=%t;noprune=%t;noadv=%t",
+		o.MaxProductStates, o.Join, o.NoDecompose, o.NoPrune, o.NoAdvance)
 	return b.String()
 }
 
@@ -142,6 +150,13 @@ type Result struct {
 	// underlying DB has been mutated since.
 	Snap    *graph.Snapshot
 	Answers []Answer
+
+	// inc is the incremental-evaluation memo captured by
+	// EvalSnapshotMemo (per-component reached-node sets and accepted
+	// rows, per start assignment); Program.Advance consumes it to
+	// re-evaluate only the assignments a delta can affect. Nil when the
+	// evaluation did not capture (head paths, streaming, overflow).
+	inc *incMemo
 }
 
 // Bool reports the boolean result (nonempty output).
@@ -201,6 +216,7 @@ func (r *Result) SizeBytes() int64 {
 			size += int64(len(p.Nodes))*8 + int64(len(p.Labels))*4
 		}
 	}
+	size += r.inc.sizeBytes()
 	return size
 }
 
@@ -296,6 +312,16 @@ type component struct {
 	// AllowRepeatedPathVars).
 	atomsOf [][]PathAtom
 	joint   *relations.Joint
+
+	// liveLabels over-approximates the edge labels any product BFS of
+	// this component can ever traverse: per tape, the intersection over
+	// the covering relation atoms of the runes their automata use at the
+	// tape's coordinate, unioned across tapes (sorted, distinct). A tape
+	// no automaton constrains makes the component liveUniversal — every
+	// label is potentially relevant. Program.Advance proves a cached
+	// result unaffected when a delta's labels miss this set entirely.
+	liveLabels    []rune
+	liveUniversal bool
 }
 
 func decompose(q *Query, monolithic bool) ([]*component, error) {
@@ -369,6 +395,7 @@ func decompose(q *Query, monolithic bool) ([]*component, error) {
 			return nil, err
 		}
 		c.joint = j
+		c.liveLabels, c.liveUniversal = componentLive(atoms, len(vars))
 		comps = append(comps, c)
 	}
 	return comps, nil
@@ -465,6 +492,17 @@ type componentEngine struct {
 	keyBuf   []int
 	chainBuf []int32
 	tmpl     []graph.Node // accept template for the current start assignment
+
+	// memoCap, when non-nil, collects the incremental-evaluation memo
+	// of the execution: per start assignment, the nodes of every reached
+	// product state and the accepted rows (deduplicated per assignment
+	// via capRowTab — the shared rowTab dedups across assignments and
+	// would under-record). endCapAssign seals one assignment; past
+	// memoMaxEntries the capture is abandoned (memoFailed) so a huge
+	// result never pins a second copy of itself.
+	memoCap    *compMemo
+	capRowTab  *intern.Table
+	memoFailed bool
 }
 
 // newComponentEngine builds an engine for c. The graph is not needed at
@@ -546,7 +584,14 @@ func evalComponent(ctx context.Context, e *componentEngine, bind map[NodeVar]gra
 	var enumerate func(i int) error
 	enumerate = func(i int) error {
 		if i == len(xvars) {
-			return e.bfs(ctx, assign, bud)
+			if e.memoCap != nil {
+				e.capRowTab.Reset()
+			}
+			if err := e.bfs(ctx, assign, bud); err != nil {
+				return err
+			}
+			e.endCapAssign()
+			return nil
 		}
 		for _, n := range candidates(xvars[i]) {
 			assign[xvars[i]] = n
@@ -570,6 +615,15 @@ func evalComponent(ctx context.Context, e *componentEngine, bind map[NodeVar]gra
 // long-running product promptly.
 func (e *componentEngine) bfs(ctx context.Context, assign map[NodeVar]graph.Node, bud *stateBudget) error {
 	cnt := e.cnt
+	// The state arrays reset before the start-tuple consistency check so
+	// that an inconsistent (empty) assignment leaves them empty — the
+	// memo capture reads them after bfs returns.
+	e.prodTab.Reset()
+	e.curs = e.curs[:0]
+	e.joints = e.joints[:0]
+	e.parentState = e.parentState[:0]
+	e.parentSym = e.parentSym[:0]
+
 	start, ok := e.startTuple(assign)
 	if !ok {
 		return nil // inconsistent start for repeated path var
@@ -581,12 +635,6 @@ func (e *componentEngine) bfs(ctx context.Context, assign map[NodeVar]graph.Node
 	for v, n := range assign {
 		e.tmpl[varPos(e.allVars, v)] = n
 	}
-
-	e.prodTab.Reset()
-	e.curs = e.curs[:0]
-	e.joints = e.joints[:0]
-	e.parentState = e.parentState[:0]
-	e.parentSym = e.parentSym[:0]
 
 	addState := func(jointID int, nodes []graph.Node, parent, sym int32) (int, bool) {
 		tup := e.tupBuf[:0]
@@ -703,6 +751,14 @@ func (e *componentEngine) accept(state int, cur []graph.Node) error {
 	}
 	for i, n := range nodes {
 		e.keyBuf[i] = int(n)
+	}
+	if e.memoCap != nil {
+		// Memo capture records the accepted rows of this assignment,
+		// deduplicated within the assignment only — replay re-interns
+		// them into the global row table.
+		if _, fresh := e.capRowTab.Intern(e.keyBuf); fresh {
+			e.memoCap.rows = append(e.memoCap.rows, nodes...)
+		}
 	}
 	paths := e.reconstruct(state)
 	idx, added := e.rowTab.Intern(e.keyBuf)

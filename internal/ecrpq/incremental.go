@@ -1,0 +1,557 @@
+package ecrpq
+
+import (
+	"context"
+	"errors"
+	"sort"
+
+	"repro/internal/faultinject"
+	"repro/internal/graph"
+	"repro/internal/intern"
+	"repro/internal/qerr"
+	"repro/internal/relations"
+)
+
+// This file is the incremental re-evaluation layer: given a Result
+// computed at an older epoch of the same store, Program.Advance derives
+// the Result at a newer snapshot without a full product BFS whenever it
+// can prove the derivation sound. Two mechanisms, tried in order:
+//
+//  1. Free revalidation — ECRPQ answers only depend on edges whose
+//     labels the compiled program can ever traverse (the per-component
+//     live-label over-approximation below). When every edge written
+//     since the cached epoch carries a label outside that set, the
+//     cached answers are provably identical at the new epoch and are
+//     re-stamped wholesale.
+//
+//  2. Semi-naive delta BFS — node-tuple answers are monotone in the
+//     edge relation, so an epoch advance that only added edges can only
+//     add rows, and it can only do so for start assignments whose
+//     closure reaches the source endpoint of a new edge. The memo
+//     captured by EvalSnapshotMemo records, per start assignment, the
+//     reached-node set and the accepted rows; Advance re-runs the BFS
+//     for affected assignments only and replays the rest.
+//
+// Witness paths break monotonicity (a new edge can shorten the kept
+// shortest witness without changing the node tuple), so the delta pass
+// is restricted to queries without head path variables; revalidation is
+// sound either way. Node additions can create answers with no new edge
+// at all (ε-accepting relations range over every node), so any change
+// in node count forces the full fallback.
+
+// componentLive computes the live-label over-approximation of one
+// component: per tape, the intersection over the covering (atom,
+// coordinate) pairs of the runes their automata use at that coordinate
+// (any transition consuming a graph edge on the tape must project to
+// one of them); the component set is the union across tapes. A tape no
+// automaton constrains can traverse any label, making the component
+// universal. ⊥ is kept in the sets — it never appears as a stored edge
+// label, so it costs nothing and keeps the approximation conservative.
+func componentLive(atoms []relations.Atom, cnt int) (labels []rune, universal bool) {
+	var scratch []rune
+	for t := 0; t < cnt; t++ {
+		var inter []rune
+		constrained := false
+		for _, at := range atoms {
+			if at.Rel == nil || at.Rel.A == nil {
+				continue
+			}
+			for i, p := range at.Pos {
+				if p != t {
+					continue
+				}
+				scratch = scratch[:0]
+				for _, sym := range at.Rel.A.Alphabet() {
+					rs := []rune(sym)
+					if i < len(rs) {
+						scratch = append(scratch, rs[i])
+					}
+				}
+				sort.Slice(scratch, func(a, b int) bool { return scratch[a] < scratch[b] })
+				scratch = dedupSortedRunes(scratch)
+				if !constrained {
+					inter = append([]rune(nil), scratch...)
+					constrained = true
+				} else {
+					inter = intersectSortedRunes(inter, scratch)
+				}
+			}
+		}
+		if !constrained {
+			return nil, true
+		}
+		labels = unionSortedRunes(labels, inter)
+	}
+	return labels, false
+}
+
+// dedupSortedRunes removes adjacent duplicates in place.
+func dedupSortedRunes(rs []rune) []rune {
+	w := 0
+	for i, r := range rs {
+		if i == 0 || r != rs[w-1] {
+			rs[w] = r
+			w++
+		}
+	}
+	return rs[:w]
+}
+
+// unionSortedRunes merges two sorted distinct rune slices.
+func unionSortedRunes(a, b []rune) []rune {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return append([]rune(nil), b...)
+	}
+	out := make([]rune, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			out = append(out, a[i])
+			i++
+		case a[i] > b[j]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	out = append(out, a[i:]...)
+	out = append(out, b[j:]...)
+	return out
+}
+
+// runeInSorted reports whether r is in the sorted slice rs.
+func runeInSorted(rs []rune, r rune) bool {
+	i := sort.Search(len(rs), func(i int) bool { return rs[i] >= r })
+	return i < len(rs) && rs[i] == r
+}
+
+// incMemo is the incremental-evaluation memo attached to a Result by a
+// capturing evaluation: one compMemo per program component, valid for
+// the node count and canonicalized options it was captured under.
+type incMemo struct {
+	optsKey string
+	nodes   int
+	comps   []*compMemo
+}
+
+// compMemo records one component's execution per start assignment, in
+// the deterministic enumeration order of evalComponent: the sorted
+// distinct nodes of every reached product state (empty for assignments
+// whose BFS never left the start state — the start tuple is re-derived
+// from the assignment instead) and the accepted rows, flat with stride
+// stride. Both arrays are immutable once sealed; replay shares their
+// backing storage across generations.
+type compMemo struct {
+	stride   int
+	touchOff []int32
+	touched  []graph.Node
+	rowOff   []int32
+	rows     []graph.Node
+}
+
+func (m *compMemo) nAssign() int { return len(m.touchOff) - 1 }
+
+// memoMaxEntries bounds the total graph.Node/offset entries one
+// component memo may hold (~32 MB); beyond it capture is abandoned and
+// the result simply carries no memo.
+const memoMaxEntries = 4 << 20
+
+func (m *incMemo) sizeBytes() int64 {
+	if m == nil {
+		return 0
+	}
+	size := int64(answerOverhead)
+	for _, cm := range m.comps {
+		if cm == nil {
+			continue
+		}
+		size += answerOverhead
+		size += int64(len(cm.touched)+len(cm.rows)) * 8
+		size += int64(len(cm.touchOff)+len(cm.rowOff)) * 4
+	}
+	return size
+}
+
+// startCapture arms the engine's memo capture for one execution.
+func (e *componentEngine) startCapture() {
+	e.memoCap = &compMemo{
+		stride:   len(e.allVars),
+		touchOff: make([]int32, 1, 64),
+		rowOff:   make([]int32, 1, 64),
+	}
+	e.memoFailed = false
+	if e.capRowTab == nil {
+		e.capRowTab = intern.NewTable(0)
+	}
+}
+
+// endCapAssign seals the current assignment's memo segment after its
+// BFS completed: the reached-node set (sorted, distinct; skipped when
+// the BFS never left the start state) and the row/touch offsets.
+func (e *componentEngine) endCapAssign() {
+	m := e.memoCap
+	if m == nil {
+		return
+	}
+	if len(e.joints) > 1 {
+		base := len(m.touched)
+		m.touched = append(m.touched, e.curs[:len(e.joints)*e.cnt]...)
+		seg := m.touched[base:]
+		sort.Slice(seg, func(a, b int) bool { return seg[a] < seg[b] })
+		w := base
+		for i := base; i < len(m.touched); i++ {
+			if w == base || m.touched[i] != m.touched[w-1] {
+				m.touched[w] = m.touched[i]
+				w++
+			}
+		}
+		m.touched = m.touched[:w]
+	}
+	m.touchOff = append(m.touchOff, int32(len(m.touched)))
+	m.rowOff = append(m.rowOff, int32(len(m.rows)))
+	if len(m.touched)+len(m.rows)+len(m.touchOff) > memoMaxEntries {
+		e.memoCap = nil
+		e.memoFailed = true
+	}
+}
+
+// replayAssign re-emits an unaffected assignment from the old memo:
+// rows re-intern into the global row table (sharing the old memo's
+// backing array — it is immutable) and the memo segments copy forward.
+func (e *componentEngine) replayAssign(old *compMemo, idx int) {
+	stride := old.stride
+	seg := old.rows[old.rowOff[idx]:old.rowOff[idx+1]]
+	for o := 0; o+stride <= len(seg); o += stride {
+		nodes := seg[o : o+stride : o+stride]
+		for j, nd := range nodes {
+			e.keyBuf[j] = int(nd)
+		}
+		if _, added := e.rowTab.Intern(e.keyBuf); added {
+			e.vr.rows = append(e.vr.rows, row{nodes: nodes})
+		}
+	}
+	m := e.memoCap
+	if m == nil {
+		return
+	}
+	m.touched = append(m.touched, old.touched[old.touchOff[idx]:old.touchOff[idx+1]]...)
+	m.touchOff = append(m.touchOff, int32(len(m.touched)))
+	m.rows = append(m.rows, seg...)
+	m.rowOff = append(m.rowOff, int32(len(m.rows)))
+	if len(m.touched)+len(m.rows)+len(m.touchOff) > memoMaxEntries {
+		e.memoCap = nil
+		e.memoFailed = true
+	}
+}
+
+// errMemoStale signals that a memo does not line up with the current
+// enumeration (defensive — the node-count and options guards in Advance
+// should make it unreachable); the caller falls back to full eval.
+var errMemoStale = errors.New("ecrpq: incremental memo out of step")
+
+// forEachAssignment enumerates the component's start assignments in
+// exactly the order evalComponent does — bound variables fixed, unbound
+// X variables sweeping 0..NumNodes-1 — handing each full assignment and
+// its dense index to f.
+func (e *componentEngine) forEachAssignment(bind map[NodeVar]graph.Node, f func(idx int, assign map[NodeVar]graph.Node) error) error {
+	xvars := e.xvars
+	assign := make(map[NodeVar]graph.Node, len(xvars))
+	idx := 0
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(xvars) {
+			err := f(idx, assign)
+			idx++
+			return err
+		}
+		if n, ok := bind[xvars[i]]; ok {
+			assign[xvars[i]] = n
+			return rec(i + 1)
+		}
+		nn := e.snap.NumNodes()
+		for v := 0; v < nn; v++ {
+			assign[xvars[i]] = graph.Node(v)
+			if err := rec(i + 1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return rec(0)
+}
+
+// deltaSources returns the bitmap of source endpoints of the since-
+// edges the component could traverse (labels in its live set), or nil
+// when no since-edge is relevant to it at all.
+func deltaSources(since []graph.DeltaEdge, c *component, numNodes int) []uint64 {
+	var bits []uint64
+	for _, de := range since {
+		if !c.liveUniversal && !runeInSorted(c.liveLabels, de.Label) {
+			continue
+		}
+		if bits == nil {
+			bits = make([]uint64, (numNodes+63)/64)
+		}
+		if int(de.From) < numNodes {
+			bits[de.From>>6] |= 1 << (uint64(de.From) & 63)
+		}
+	}
+	return bits
+}
+
+// affectedAssignments computes which start assignments a relevant delta
+// can affect: those whose recorded reached-node set — or, for start-
+// only assignments, whose start tuple — contains a delta source. An
+// unaffected assignment's closure cannot see any new edge, so its rows
+// are exactly reproduced by replay.
+func (e *componentEngine) affectedAssignments(old *compMemo, src []uint64, bind map[NodeVar]graph.Node) ([]uint64, int, error) {
+	nA := old.nAssign()
+	bits := make([]uint64, (nA+63)/64)
+	count := 0
+	hit := func(nd graph.Node) bool { return src[nd>>6]&(1<<(uint64(nd)&63)) != 0 }
+	for idx := 0; idx < nA; idx++ {
+		for _, nd := range old.touched[old.touchOff[idx]:old.touchOff[idx+1]] {
+			if hit(nd) {
+				bits[idx>>6] |= 1 << (uint(idx) & 63)
+				count++
+				break
+			}
+		}
+	}
+	err := e.forEachAssignment(bind, func(idx int, assign map[NodeVar]graph.Node) error {
+		if idx >= nA {
+			return errMemoStale
+		}
+		if bits[idx>>6]&(1<<(uint(idx)&63)) != 0 {
+			return nil
+		}
+		if old.touchOff[idx] != old.touchOff[idx+1] {
+			return nil // reached set recorded and already checked
+		}
+		if start, ok := e.startTuple(assign); ok {
+			for _, nd := range start {
+				if hit(nd) {
+					bits[idx>>6] |= 1 << (uint(idx) & 63)
+					count++
+					break
+				}
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return bits, count, nil
+}
+
+// advanceComponent rebuilds one component's relation at the new
+// snapshot: affected assignments re-run the product BFS (capturing a
+// fresh memo segment), unaffected ones replay their recorded rows. A
+// nil affected bitmap replays everything.
+func advanceComponent(ctx context.Context, e *componentEngine, old *compMemo, aff []uint64, bind map[NodeVar]graph.Node, bud *stateBudget) (*varRelation, error) {
+	err := e.forEachAssignment(bind, func(idx int, assign map[NodeVar]graph.Node) error {
+		if idx >= old.nAssign() {
+			return errMemoStale
+		}
+		if aff != nil && aff[idx>>6]&(1<<(uint(idx)&63)) != 0 {
+			if e.memoCap != nil {
+				e.capRowTab.Reset()
+			}
+			if err := e.bfs(ctx, assign, bud); err != nil {
+				return err
+			}
+			e.endCapAssign()
+			return nil
+		}
+		e.replayAssign(old, idx)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return e.vr, nil
+}
+
+// AdvanceKind classifies how Program.Advance derived (or declined to
+// derive) a result from a cached predecessor.
+type AdvanceKind int
+
+const (
+	// AdvanceNone: no sound derivation — the caller must evaluate from
+	// scratch.
+	AdvanceNone AdvanceKind = iota
+	// AdvanceRevalidated: the delta provably cannot affect the program
+	// (label-disjoint, or empty); the cached answers were re-stamped to
+	// the new snapshot without touching the graph.
+	AdvanceRevalidated
+	// AdvanceIncremental: the semi-naive delta pass re-ran the product
+	// BFS for affected start assignments only and replayed the rest.
+	AdvanceIncremental
+)
+
+// String names the kind for logs and stats.
+func (k AdvanceKind) String() string {
+	switch k {
+	case AdvanceRevalidated:
+		return "revalidated"
+	case AdvanceIncremental:
+		return "incremental"
+	}
+	return "none"
+}
+
+// incMaxDeltaDen is the delta-ratio fallback threshold: past
+// NumEdges/incMaxDeltaDen since-edges the affected fraction is large
+// enough that a full evaluation is usually cheaper than the bookkeeping.
+const incMaxDeltaDen = 8
+
+// Advance derives the result of evaluating the program against s from
+// prev, a result for an older epoch of the same store, when it can do
+// so soundly and cheaply; the kind reports the mechanism (see
+// AdvanceKind). AdvanceNone with a nil error means "no sound shortcut —
+// evaluate from scratch"; it is returned when the stores differ, the
+// delta history has been trimmed past prev's epoch, the node count
+// changed, the query outputs witness paths, prev carries no memo, the
+// delta is too large a fraction of the graph, or an injected DeltaBFS
+// fault aborts the attempt. Errors are the usual evaluation taxonomy
+// (cancellation, deadline, budget) and mean the caller should fail the
+// same way a full evaluation would.
+//
+// The returned Result shares prev's answer and memo storage whenever
+// the content is unchanged; callers must treat both as immutable —
+// exactly the contract cached results already have.
+func (p *Program) Advance(ctx context.Context, prev *Result, s *graph.Snapshot, opts Options) (*Result, AdvanceKind, error) {
+	if prev == nil || prev.Snap == nil || s == nil || opts.NoAdvance {
+		return nil, AdvanceNone, nil
+	}
+	ps := prev.Snap
+	if ps.Source() != s.Source() || ps.Epoch() > s.Epoch() {
+		return nil, AdvanceNone, nil
+	}
+	if ps.Epoch() == s.Epoch() {
+		return restamp(prev, s), AdvanceRevalidated, nil
+	}
+	if ps.NumNodes() != s.NumNodes() {
+		return nil, AdvanceNone, nil
+	}
+	since, ok := s.EdgesSince(ps.Epoch())
+	if !ok {
+		return nil, AdvanceNone, nil
+	}
+	if !p.liveUniversal && !edgesIntersectLive(since, p.liveLabels) {
+		return restamp(prev, s), AdvanceRevalidated, nil
+	}
+	m := prev.inc
+	if !p.incCapable || m == nil || m.optsKey != opts.CacheKey() ||
+		m.nodes != s.NumNodes() || len(m.comps) != len(p.comps) {
+		return nil, AdvanceNone, nil
+	}
+	for _, cm := range m.comps {
+		if cm == nil {
+			return nil, AdvanceNone, nil
+		}
+	}
+	if len(since)*incMaxDeltaDen > s.NumEdges() {
+		return nil, AdvanceNone, nil
+	}
+	if err := faultinject.Inject(faultinject.DeltaBFS); err != nil {
+		// A faulted delta pass degrades to the full fallback: the caller
+		// recomputes from scratch with an identical answer set.
+		return nil, AdvanceNone, nil
+	}
+	res, err := p.advanceIncremental(ctx, prev, s, opts, since)
+	if err != nil {
+		if errors.Is(err, errMemoStale) {
+			return nil, AdvanceNone, nil
+		}
+		return nil, AdvanceNone, qerr.Classify(err)
+	}
+	return res, AdvanceIncremental, nil
+}
+
+// restamp shallow-copies prev onto the new snapshot: answers and memo
+// are shared (both immutable), only the snapshot pointer moves.
+func restamp(prev *Result, s *graph.Snapshot) *Result {
+	return &Result{Query: prev.Query, Snap: s, Answers: prev.Answers, inc: prev.inc}
+}
+
+// edgesIntersectLive reports whether any since-edge's label is in the
+// sorted live set.
+func edgesIntersectLive(since []graph.DeltaEdge, live []rune) bool {
+	for _, de := range since {
+		if runeInSorted(live, de.Label) {
+			return true
+		}
+	}
+	return false
+}
+
+// advanceIncremental runs the semi-naive delta pass: per component,
+// find the start assignments whose recorded closure (or start tuple)
+// contains the source of a relevant since-edge, re-run only those, and
+// replay the rest; then re-join and re-project as usual. When no
+// assignment anywhere is affected the previous result is re-stamped
+// outright — the relevant edges landed at nodes no evaluation reaches.
+func (p *Program) advanceIncremental(ctx context.Context, prev *Result, s *graph.Snapshot, opts Options, since []graph.DeltaEdge) (*Result, error) {
+	m := prev.inc
+	n := len(p.comps)
+	engines := make([]*componentEngine, n)
+	for i := range engines {
+		engines[i] = p.take(i)
+	}
+	defer func() {
+		for i, e := range engines {
+			p.put(i, e)
+		}
+	}()
+	aff := make([][]uint64, n)
+	total := 0
+	for i, c := range p.comps {
+		e := engines[i]
+		e.reset(s, opts)
+		src := deltaSources(since, c, s.NumNodes())
+		if src == nil {
+			continue // no relevant since-edge: every assignment replays
+		}
+		bits, cnt, err := e.affectedAssignments(m.comps[i], src, opts.Bind)
+		if err != nil {
+			return nil, err
+		}
+		aff[i] = bits
+		total += cnt
+	}
+	if total == 0 {
+		return restamp(prev, s), nil
+	}
+	bud := newStateBudget(opts.MaxProductStates)
+	rels := make([]*varRelation, n)
+	memos := make([]*compMemo, n)
+	memoOK := true
+	for i := range p.comps {
+		e := engines[i]
+		e.startCapture()
+		vr, err := advanceComponent(ctx, e, m.comps[i], aff[i], opts.Bind, bud)
+		if err != nil {
+			return nil, err
+		}
+		memos[i] = e.memoCap
+		memoOK = memoOK && !e.memoFailed
+		rels[i] = vr
+	}
+	res, err := p.assemble(ctx, s, rels, opts)
+	if err != nil {
+		return nil, err
+	}
+	if memoOK {
+		res.inc = &incMemo{optsKey: m.optsKey, nodes: m.nodes, comps: memos}
+	}
+	return res, nil
+}

@@ -1,0 +1,370 @@
+package ecrpq
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/graph"
+	"repro/internal/qerr"
+)
+
+func envABCD() Env { return Env{Sigma: []rune{'a', 'b', 'c', 'd'}} }
+
+// TestProgramLiveLabels pins the compile-time live-label
+// over-approximation that free revalidation relies on.
+func TestProgramLiveLabels(t *testing.T) {
+	p, err := CompileProgram(MustParse("Ans(x,y) <- (x,p,y), a+(p)", envABCD()), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.liveUniversal {
+		t.Fatal("a+ program claims a universal live set")
+	}
+	if !runeInSorted(p.liveLabels, 'a') {
+		t.Fatalf("live set %q misses 'a'", string(p.liveLabels))
+	}
+	if runeInSorted(p.liveLabels, 'b') {
+		t.Fatalf("live set %q includes the never-traversable 'b'", string(p.liveLabels))
+	}
+
+	// An unconstrained path variable can traverse anything.
+	u, err := CompileProgram(MustParse("Ans(x,y) <- (x,p,y)", envABCD()), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !u.liveUniversal {
+		t.Fatal("unconstrained program not universal")
+	}
+
+	// eq over Σ touches every letter but is not universal.
+	e, err := CompileProgram(MustParse("Ans(x,y) <- (x,p1,z), (z,p2,y), eq(p1,p2)", envABCD()), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.liveUniversal {
+		t.Fatal("eq program claims a universal live set")
+	}
+	for _, r := range "abcd" {
+		if !runeInSorted(e.liveLabels, r) {
+			t.Fatalf("eq live set %q misses %q", string(e.liveLabels), r)
+		}
+	}
+}
+
+// TestAdvanceRevalidatesDisjointDelta: a delta whose labels the program
+// can never traverse re-stamps the cached result without touching the
+// graph — answers shared, snapshot advanced, from-scratch identical.
+func TestAdvanceRevalidatesDisjointDelta(t *testing.T) {
+	g := graph.NewDB()
+	n := make([]graph.Node, 8)
+	for i := range n {
+		n[i] = g.AddNode("v" + itoa(i))
+	}
+	for i := 0; i+1 < len(n); i++ {
+		g.AddEdge(n[i], 'a', n[i+1])
+	}
+	p, err := CompileProgram(MustParse("Ans(x,y) <- (x,p,y), a+(p)", envABCD()), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	prev, err := p.EvalSnapshotMemo(ctx, g.Snapshot(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		g.AddEdge(n[i], 'b', n[(i+3)%len(n)])
+		g.AddEdge(n[i], 'c', n[(i+5)%len(n)])
+	}
+	s := g.Snapshot()
+	res, kind, err := p.Advance(ctx, prev, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != AdvanceRevalidated {
+		t.Fatalf("kind = %v, want revalidated", kind)
+	}
+	if res.Snap != s {
+		t.Fatal("revalidated result not re-stamped to the new snapshot")
+	}
+	if &res.Answers[0] != &prev.Answers[0] {
+		t.Fatal("revalidated result did not share the previous answers")
+	}
+	scratch, err := p.EvalSnapshot(ctx, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fingerprint() != scratch.Fingerprint() {
+		t.Fatal("revalidated fingerprint differs from scratch")
+	}
+}
+
+// TestAdvanceIncrementalMatchesScratch is the headline property: under
+// a randomized write storm of live and dead labels, every successful
+// Advance (revalidation or delta pass) must produce exactly the
+// from-scratch result — same rows, same Fingerprint — and the chain of
+// advanced results must keep seeding further advances.
+func TestAdvanceIncrementalMatchesScratch(t *testing.T) {
+	queries := []string{
+		"Ans(x,y) <- (x,p,y), a+(p)",
+		"Ans(x,y) <- (x,p1,z), (z,p2,y), eq(p1,p2)",
+		"Ans(x,z) <- (x,p1,y), (y,p2,z), a+(p1), (a|b)+(p2)",
+	}
+	for _, src := range queries {
+		t.Run(src, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			g := graph.NewDB()
+			const nNodes = 24
+			for i := 0; i < nNodes; i++ {
+				g.AddNode("v" + itoa(i))
+			}
+			for i := 0; i < 60; i++ {
+				g.AddEdge(graph.Node(rng.Intn(nNodes)), rune('a'+rng.Intn(2)), graph.Node(rng.Intn(nNodes)))
+			}
+			p, err := CompileProgram(MustParse(src, envABCD()), false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx := context.Background()
+			prev, err := p.EvalSnapshotMemo(ctx, g.Snapshot(), Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var reval, incr, full int
+			for round := 0; round < 40; round++ {
+				// A storm: mostly edges over the full alphabet (c,d are
+				// dead for every query above), occasionally a node add to
+				// force the fallback.
+				writes := 1 + rng.Intn(4)
+				for w := 0; w < writes; w++ {
+					if rng.Intn(20) == 0 {
+						g.AddNode("w" + itoa(round) + "_" + itoa(w))
+						continue
+					}
+					g.AddEdge(graph.Node(rng.Intn(g.NumNodes())), rune('a'+rng.Intn(4)), graph.Node(rng.Intn(g.NumNodes())))
+				}
+				s := g.Snapshot()
+				res, kind, err := p.Advance(ctx, prev, s, Options{})
+				if err != nil {
+					t.Fatalf("round %d: Advance: %v", round, err)
+				}
+				scratch, err := p.EvalSnapshot(ctx, s, Options{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				switch kind {
+				case AdvanceNone:
+					full++
+					res, err = p.EvalSnapshotMemo(ctx, s, Options{})
+					if err != nil {
+						t.Fatal(err)
+					}
+				case AdvanceRevalidated:
+					reval++
+				case AdvanceIncremental:
+					incr++
+				}
+				if res.Fingerprint() != scratch.Fingerprint() {
+					t.Fatalf("round %d: %v fingerprint %x != scratch %x (answers %d vs %d)",
+						round, kind, res.Fingerprint(), scratch.Fingerprint(), len(res.Answers), len(scratch.Answers))
+				}
+				if len(res.Answers) != len(scratch.Answers) {
+					t.Fatalf("round %d: row count %d != %d", round, len(res.Answers), len(scratch.Answers))
+				}
+				prev = res
+			}
+			if reval == 0 || incr == 0 || full == 0 {
+				t.Fatalf("storm did not exercise all paths: %d revalidated, %d incremental, %d full", reval, incr, full)
+			}
+		})
+	}
+}
+
+// TestAdvanceWitnessQueries: head path variables disable the delta pass
+// (shortest witnesses are not monotone) but label-disjoint revalidation
+// stays sound, witnesses included.
+func TestAdvanceWitnessQueries(t *testing.T) {
+	g := graph.NewDB()
+	n := make([]graph.Node, 10)
+	for i := range n {
+		n[i] = g.AddNode("v" + itoa(i))
+	}
+	for i := 0; i+1 < len(n); i++ {
+		g.AddEdge(n[i], 'a', n[i+1])
+	}
+	p, err := CompileProgram(MustParse("Ans(x,y,p) <- (x,p,y), a+(p)", envABCD()), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	prev, err := p.EvalSnapshotMemo(ctx, g.Snapshot(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prev.inc != nil {
+		t.Fatal("witness query captured a memo")
+	}
+	// Dead-label delta: revalidated, witnesses identical to scratch.
+	g.AddEdge(n[3], 'c', n[0])
+	s1 := g.Snapshot()
+	res, kind, err := p.Advance(ctx, prev, s1, Options{})
+	if err != nil || kind != AdvanceRevalidated {
+		t.Fatalf("dead-label advance = %v, %v", kind, err)
+	}
+	scratch, err := p.EvalSnapshot(ctx, s1, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fingerprint() != scratch.Fingerprint() {
+		t.Fatal("revalidated witness fingerprint differs from scratch")
+	}
+	// Live-label delta (an 'a' shortcut that shortens witnesses): the
+	// only sound answer is a full fallback.
+	g.AddEdge(n[0], 'a', n[9])
+	if _, kind, err := p.Advance(ctx, res, g.Snapshot(), Options{}); err != nil || kind != AdvanceNone {
+		t.Fatalf("live-label witness advance = %v, %v, want none", kind, err)
+	}
+}
+
+// TestAdvanceFallbacks covers the remaining refusal conditions: node
+// additions, oversized deltas, cross-store seeds and trimmed history.
+func TestAdvanceFallbacks(t *testing.T) {
+	ctx := context.Background()
+	build := func() (*graph.DB, *Program, *Result) {
+		g := graph.NewDB()
+		for i := 0; i < 16; i++ {
+			g.AddNode("v" + itoa(i))
+		}
+		for i := 0; i < 15; i++ {
+			g.AddEdge(graph.Node(i), 'a', graph.Node(i+1))
+		}
+		p, err := CompileProgram(MustParse("Ans(x,y) <- (x,p,y), a+(p)", envABCD()), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev, err := p.EvalSnapshotMemo(ctx, g.Snapshot(), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g, p, prev
+	}
+
+	// Node addition: even with zero new edges the answer set can grow.
+	g, p, prev := build()
+	g.AddNode("fresh")
+	if _, kind, _ := p.Advance(ctx, prev, g.Snapshot(), Options{}); kind != AdvanceNone {
+		t.Fatalf("node-add advance = %v, want none", kind)
+	}
+
+	// Oversized live delta: past the ratio threshold the pass declines.
+	g, p, prev = build()
+	for i := 0; i < 16; i++ {
+		for j := 0; j < 16; j++ {
+			if i != j {
+				g.AddEdge(graph.Node(i), 'a', graph.Node(j))
+			}
+		}
+	}
+	if _, kind, _ := p.Advance(ctx, prev, g.Snapshot(), Options{}); kind != AdvanceNone {
+		t.Fatalf("oversized-delta advance = %v, want none", kind)
+	}
+
+	// A seed from a different store never advances.
+	g, p, prev = build()
+	g2, _, _ := build()
+	g2.AddEdge(0, 'b', 1)
+	if _, kind, _ := p.Advance(ctx, prev, g2.Snapshot(), Options{}); kind != AdvanceNone {
+		t.Fatalf("cross-store advance = %v, want none", kind)
+	}
+
+	// Options drift: a different binding cannot reuse the memo (but a
+	// dead-label delta still revalidates — answers are option-independent
+	// only through the memo guard, so check the incremental leg).
+	g, p, prev = build()
+	g.AddEdge(2, 'a', 9)
+	bound := Options{Bind: map[NodeVar]graph.Node{"x": 3}}
+	if _, kind, _ := p.Advance(ctx, prev, g.Snapshot(), bound); kind != AdvanceNone {
+		t.Fatalf("options-drift advance = %v, want none", kind)
+	}
+}
+
+// TestAdvanceFaultInjection: a forced DeltaBFS fault turns the delta
+// pass into the full fallback; the recomputed result is identical.
+func TestAdvanceFaultInjection(t *testing.T) {
+	g := graph.NewDB()
+	for i := 0; i < 12; i++ {
+		g.AddNode("v" + itoa(i))
+	}
+	for i := 0; i < 11; i++ {
+		g.AddEdge(graph.Node(i), 'a', graph.Node(i+1))
+	}
+	p, err := CompileProgram(MustParse("Ans(x,y) <- (x,p,y), a+(p)", envABCD()), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	prev, err := p.EvalSnapshotMemo(ctx, g.Snapshot(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.AddEdge(3, 'a', 0)
+	s := g.Snapshot()
+
+	faultinject.Set(func(pt faultinject.Point, n uint64) error {
+		if pt == faultinject.DeltaBFS {
+			return faultinject.ErrForced
+		}
+		return nil
+	})
+	defer faultinject.Clear()
+	if _, kind, err := p.Advance(ctx, prev, s, Options{}); err != nil || kind != AdvanceNone {
+		t.Fatalf("faulted advance = %v, %v, want clean none", kind, err)
+	}
+	if faultinject.Hits(faultinject.DeltaBFS) == 0 {
+		t.Fatal("DeltaBFS fault point never fired")
+	}
+	faultinject.Clear()
+	// Unfaulted, the same advance succeeds incrementally and matches the
+	// full evaluation the fallback would have run.
+	res, kind, err := p.Advance(ctx, prev, s, Options{})
+	if err != nil || kind != AdvanceIncremental {
+		t.Fatalf("unfaulted advance = %v, %v, want incremental", kind, err)
+	}
+	scratch, err := p.EvalSnapshot(ctx, s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Fingerprint() != scratch.Fingerprint() {
+		t.Fatal("incremental fingerprint differs from the fallback's")
+	}
+}
+
+// TestAdvanceCancellation: the delta pass honors the context with the
+// typed taxonomy, like any evaluation.
+func TestAdvanceCancellation(t *testing.T) {
+	g := graph.NewDB()
+	for i := 0; i < 12; i++ {
+		g.AddNode("v" + itoa(i))
+	}
+	for i := 0; i < 11; i++ {
+		g.AddEdge(graph.Node(i), 'a', graph.Node(i+1))
+	}
+	p, err := CompileProgram(MustParse("Ans(x,y) <- (x,p,y), a+(p)", envABCD()), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev, err := p.EvalSnapshotMemo(context.Background(), g.Snapshot(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.AddEdge(5, 'a', 0)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, kind, err := p.Advance(ctx, prev, g.Snapshot(), Options{})
+	if kind != AdvanceNone || !errors.Is(err, qerr.ErrCanceled) {
+		t.Fatalf("cancelled advance = %v, %v, want none + ErrCanceled", kind, err)
+	}
+}

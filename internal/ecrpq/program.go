@@ -52,6 +52,15 @@ type Program struct {
 	keepPaths map[PathVar]bool
 	jp        joinPlan
 
+	// Live-label over-approximation of the whole program (union of the
+	// component sets; see componentLive) and whether the query is
+	// eligible for the semi-naive delta pass: node-tuple answers are
+	// monotone in the edge relation, but kept shortest witnesses are
+	// not, so only queries without head path variables capture memos.
+	liveLabels    []rune
+	liveUniversal bool
+	incCapable    bool
+
 	pools []enginePool
 }
 
@@ -105,6 +114,13 @@ func CompileProgram(q *Query, monolithic bool) (*Program, error) {
 		p.pools[i].free = append(p.pools[i].free, e)
 	}
 	p.jp = planJoin(varSets)
+	p.incCapable = len(q.HeadPaths) == 0
+	for _, c := range comps {
+		if c.liveUniversal {
+			p.liveUniversal = true
+		}
+		p.liveLabels = unionSortedRunes(p.liveLabels, c.liveLabels)
+	}
 	return p, nil
 }
 
@@ -223,6 +239,11 @@ func (p *Program) put(i int, e *componentEngine) {
 	e.snap = nil
 	e.vr = nil
 	e.sink = nil
+	e.memoCap = nil
+	e.memoFailed = false
+	if e.capRowTab != nil && e.capRowTab.Cap() > maxPooledScratch {
+		e.capRowTab = intern.NewTable(0)
+	}
 	if e.effSnap != nil && e.effSnap.NumEdges() > maxPooledScratch {
 		e.effSnap = nil
 		e.effLive = e.effLive[:0]
@@ -251,7 +272,10 @@ func (p *Program) put(i int, e *componentEngine) {
 // cancels the rest. Every component reads the same immutable snapshot,
 // so a multi-component answer is always consistent with one epoch even
 // under concurrent writers.
-func (p *Program) evalComponents(ctx context.Context, s *graph.Snapshot, opts Options) ([]*varRelation, error) {
+// When capture is set each engine records the incremental-evaluation
+// memo of its component (see incMemo); the returned memos slice is nil
+// when capture was off or any component's capture overflowed.
+func (p *Program) evalComponents(ctx context.Context, s *graph.Snapshot, opts Options, capture bool) ([]*varRelation, []*compMemo, error) {
 	bud := newStateBudget(opts.MaxProductStates)
 	n := len(p.comps)
 	engines := make([]*componentEngine, n)
@@ -267,15 +291,30 @@ func (p *Program) evalComponents(ctx context.Context, s *graph.Snapshot, opts Op
 		}
 	}()
 	rels := make([]*varRelation, n)
+	var memos []*compMemo
+	memoOK := capture
+	if capture {
+		memos = make([]*compMemo, n)
+	}
 	if n == 1 {
 		e := engines[0]
 		e.reset(s, opts)
+		if capture {
+			e.startCapture()
+		}
 		vr, err := evalComponent(ctx, e, opts.Bind, bud)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		rels[0] = vr
-		return rels, nil
+		if capture {
+			memos[0] = e.memoCap
+			memoOK = !e.memoFailed
+		}
+		if !memoOK {
+			memos = nil
+		}
+		return rels, memos, nil
 	}
 	cctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -298,24 +337,40 @@ func (p *Program) evalComponents(ctx context.Context, s *graph.Snapshot, opts Op
 			}
 			e := engines[i]
 			e.reset(s, opts)
+			if capture {
+				e.startCapture()
+			}
 			vr, err := evalComponent(cctx, e, opts.Bind, bud)
 			if err != nil {
 				errOnce.Do(func() { firstErr = err; cancel() })
 				return
 			}
 			rels[i] = vr
+			if capture {
+				memos[i] = e.memoCap
+			}
 		}(i)
 	}
 	wg.Wait()
 	if firstErr != nil {
-		return nil, firstErr
+		return nil, nil, firstErr
 	}
 	// The components may all have finished before noticing a late
 	// cancellation of the caller's context; honor it anyway.
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return rels, nil
+	if capture {
+		for _, e := range engines {
+			if e.memoFailed {
+				memoOK = false
+			}
+		}
+	}
+	if !memoOK {
+		memos = nil
+	}
+	return rels, memos, nil
 }
 
 // Eval runs the program to completion over the current snapshot of g;
@@ -337,14 +392,42 @@ func (p *Program) Eval(ctx context.Context, g *graph.DB, opts Options) (*Result,
 // it is fully isolated from concurrent writers, and repeated calls
 // with the same snapshot reuse the per-epoch move-plan memos.
 func (p *Program) EvalSnapshot(ctx context.Context, s *graph.Snapshot, opts Options) (*Result, error) {
-	q := p.q
-	if err := q.Validate(); err != nil {
+	return p.evalFull(ctx, s, opts, false)
+}
+
+// EvalSnapshotMemo is EvalSnapshot capturing the incremental-evaluation
+// memo when the query is eligible (no head path variables): the
+// returned Result can seed Program.Advance at later epochs. The memo
+// roughly doubles the result's retained footprint (SizeBytes accounts
+// for it); plain EvalSnapshot skips the capture entirely.
+func (p *Program) EvalSnapshotMemo(ctx context.Context, s *graph.Snapshot, opts Options) (*Result, error) {
+	return p.evalFull(ctx, s, opts, p.incCapable)
+}
+
+func (p *Program) evalFull(ctx context.Context, s *graph.Snapshot, opts Options, capture bool) (*Result, error) {
+	if err := p.q.Validate(); err != nil {
 		return nil, err
 	}
-	rels, err := p.evalComponents(ctx, s, opts)
+	rels, memos, err := p.evalComponents(ctx, s, opts, capture)
 	if err != nil {
 		return nil, qerr.Classify(err)
 	}
+	res, err := p.assemble(ctx, s, rels, opts)
+	if err != nil {
+		return nil, err
+	}
+	if memos != nil {
+		res.inc = &incMemo{optsKey: opts.CacheKey(), nodes: s.NumNodes(), comps: memos}
+	}
+	return res, nil
+}
+
+// assemble joins the component relations per the compile-time join
+// plan, projects and deduplicates the head (keeping shortest
+// witnesses), and sorts — the shared tail of full and incremental
+// evaluation.
+func (p *Program) assemble(ctx context.Context, s *graph.Snapshot, rels []*varRelation, opts Options) (*Result, error) {
+	q := p.q
 	joined, err := joinAll(ctx, rels, p.jp, opts.Join, q.HeadNodes, q.HeadPaths)
 	if err != nil {
 		return nil, qerr.Classify(err)

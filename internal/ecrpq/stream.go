@@ -163,7 +163,7 @@ func (p *Program) streamSingle(ctx context.Context, s *graph.Snapshot, opts Stre
 // (concurrently) to completion, then the final join enumeration yields
 // answers incrementally.
 func (p *Program) streamJoin(ctx context.Context, s *graph.Snapshot, opts StreamOptions, sink *answerSink) error {
-	rels, err := p.evalComponents(ctx, s, opts.Options)
+	rels, _, err := p.evalComponents(ctx, s, opts.Options, false)
 	if err != nil {
 		return err
 	}

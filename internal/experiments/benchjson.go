@@ -233,10 +233,13 @@ func BenchScaleMixedReadWrite(baseline bool) BenchReport {
 // ratios, so epoch advances invalidate and repopulate. baseline reruns
 // the same cases with the cache disabled (every query pays the full
 // product BFS) — the ablation half of the BENCH_5 vs BENCH_5_baseline
-// comparison. Cache hits are byte-identical to misses (see the root
-// package's cached-eval property tests), so the two runs do identical
-// semantic work.
-func BenchScaleRepeatedServe(baseline bool) BenchReport {
+// comparison. noAdvance keeps the cache but disables the incremental
+// serving layer (Options.NoAdvance): epoch-stale lookups always
+// recompute, the PR-5 whole-entry-invalidation serving shape — the
+// revalidation-off half of the BENCH_7 vs BENCH_7_baseline comparison.
+// Cache hits are byte-identical to misses (see the root package's
+// cached-eval property tests), so all runs do identical semantic work.
+func BenchScaleRepeatedServe(baseline, noAdvance bool) BenchReport {
 	rep := BenchReport{Suite: "Scale_RepeatedServe"}
 	newCache := func() *qcache.Cache {
 		if baseline {
@@ -266,7 +269,7 @@ func BenchScaleRepeatedServe(baseline bool) BenchReport {
 			ctx := context.Background()
 			s := m.Graph.Snapshot()
 			for i, sq := range sqs { // warm: cache populated, memos hot
-				opts := ecrpq.Options{Bind: sq.Bind, MaxProductStates: 50_000_000}
+				opts := ecrpq.Options{Bind: sq.Bind, MaxProductStates: 50_000_000, NoAdvance: noAdvance}
 				if _, _, err := plans[i].EvalSnapshotCached(ctx, s, opts, qc); err != nil {
 					b.Fatal(err)
 				}
@@ -274,7 +277,7 @@ func BenchScaleRepeatedServe(baseline bool) BenchReport {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				k := i % len(sqs)
-				opts := ecrpq.Options{Bind: sqs[k].Bind, MaxProductStates: 50_000_000}
+				opts := ecrpq.Options{Bind: sqs[k].Bind, MaxProductStates: 50_000_000, NoAdvance: noAdvance}
 				if _, _, err := plans[k].EvalSnapshotCached(ctx, m.Graph.Snapshot(), opts, qc); err != nil {
 					b.Fatal(err)
 				}
@@ -300,7 +303,7 @@ func BenchScaleRepeatedServe(baseline bool) BenchReport {
 						writes++
 					}
 					k := i % len(sqs)
-					opts := ecrpq.Options{Bind: sqs[k].Bind, MaxProductStates: 50_000_000}
+					opts := ecrpq.Options{Bind: sqs[k].Bind, MaxProductStates: 50_000_000, NoAdvance: noAdvance}
 					if _, _, err := plans[k].EvalSnapshotCached(ctx, m.Graph.Snapshot(), opts, qc); err != nil {
 						b.Fatal(err)
 					}
@@ -320,8 +323,11 @@ func BenchScaleRepeatedServe(baseline bool) BenchReport {
 // baseline for the engine suites, the delta-overlay-disabled
 // full-rebuild baseline for the mixed suite, and the cache-disabled
 // baseline for the repeated-serve suite — producing the old file of a
-// `benchtables -compare` pair.
-func WriteBenchJSON(jsonOut io.Writer, table io.Writer, baseline bool, suite string) error {
+// `benchtables -compare` pair. noAdvance is the finer serve-only
+// ablation: cache on, incremental serving layer off (Options.NoAdvance)
+// — the revalidation-off baseline of the BENCH_7 comparison. It is
+// only meaningful for the serve suite and rejected elsewhere.
+func WriteBenchJSON(jsonOut io.Writer, table io.Writer, baseline, noAdvance bool, suite string) error {
 	all := suite == "" || suite == "all"
 	engine := all || suite == "engine"
 	mixed := all || suite == "mixed"
@@ -329,6 +335,12 @@ func WriteBenchJSON(jsonOut io.Writer, table io.Writer, baseline bool, suite str
 	daemon := all || suite == "daemon"
 	if !engine && !mixed && !serve && !daemon {
 		return fmt.Errorf("experiments: unknown bench suite %q (want all, engine, mixed, serve or daemon)", suite)
+	}
+	if noAdvance && suite != "serve" {
+		return fmt.Errorf("experiments: -noadvance is a repeated-serve ablation; use it with -suite serve")
+	}
+	if noAdvance && baseline {
+		return fmt.Errorf("experiments: -noadvance keeps the cache on; it cannot combine with -baseline (cache off)")
 	}
 	rep := BenchReport{}
 	switch {
@@ -351,7 +363,7 @@ func WriteBenchJSON(jsonOut io.Writer, table io.Writer, baseline bool, suite str
 		rep.Benchmarks = append(rep.Benchmarks, BenchScaleMixedReadWrite(baseline).Benchmarks...)
 	}
 	if serve {
-		rep.Benchmarks = append(rep.Benchmarks, BenchScaleRepeatedServe(baseline).Benchmarks...)
+		rep.Benchmarks = append(rep.Benchmarks, BenchScaleRepeatedServe(baseline, noAdvance).Benchmarks...)
 	}
 	if daemon {
 		dr, err := BenchDaemonServe(baseline)

@@ -47,6 +47,12 @@ const (
 	// hook returning an error turns a successful leader into a failed
 	// one — the cache-leader failure class.
 	CacheLeader
+	// DeltaBFS fires when Program.Advance commits to the semi-naive
+	// delta pass, after the free-revalidation checks. A hook returning
+	// an error aborts the incremental attempt — the caller falls back to
+	// full evaluation with an identical answer set — and a hook that
+	// panics models a crash inside the delta machinery.
+	DeltaBFS
 	numPoints
 )
 
@@ -61,6 +67,8 @@ func (p Point) String() string {
 		return "ecrpq.bfs-step"
 	case CacheLeader:
 		return "qcache.leader"
+	case DeltaBFS:
+		return "ecrpq.delta-bfs"
 	}
 	return "unknown"
 }

@@ -1,0 +1,171 @@
+package graph
+
+import (
+	"testing"
+)
+
+// TestEdgesSinceBasic checks the since-edge contract on a store small
+// enough to never compact or trim: edges are reported in write order
+// with their stamping epochs, node additions never appear, and the
+// boundary epochs behave as documented.
+func TestEdgesSinceBasic(t *testing.T) {
+	g := NewDB()
+	u := g.AddNode("u")
+	v := g.AddNode("v")
+	w := g.AddNode("w")
+	e0 := g.Epoch()
+	g.AddEdge(u, 'a', v)
+	g.AddEdge(v, 'b', w)
+	g.AddEdge(u, 'a', v) // duplicate: no epoch, no history entry
+	g.AddNode("x")       // advances the epoch but is not an edge
+	g.AddEdge(w, 'c', u)
+	s := g.Snapshot()
+
+	since, ok := s.EdgesSince(e0)
+	if !ok {
+		t.Fatal("EdgesSince(pre-write epoch) not servable")
+	}
+	want := []DeltaEdge{
+		{From: u, Label: 'a', To: v, Epoch: e0 + 1},
+		{From: v, Label: 'b', To: w, Epoch: e0 + 2},
+		{From: w, Label: 'c', To: u, Epoch: e0 + 4}, // e0+3 was the AddNode
+	}
+	if len(since) != len(want) {
+		t.Fatalf("EdgesSince = %v, want %v", since, want)
+	}
+	for i, de := range since {
+		if de != want[i] {
+			t.Fatalf("EdgesSince[%d] = %+v, want %+v", i, de, want[i])
+		}
+	}
+
+	// A cutoff mid-stream drops the prefix.
+	mid, ok := s.EdgesSince(e0 + 2)
+	if !ok || len(mid) != 1 || mid[0] != want[2] {
+		t.Fatalf("EdgesSince(mid) = %v ok=%v, want [%+v]", mid, ok, want[2])
+	}
+	// The snapshot's own epoch (and anything newer) is an empty delta.
+	if d, ok := s.EdgesSince(s.Epoch()); !ok || len(d) != 0 {
+		t.Fatalf("EdgesSince(current) = %v ok=%v, want empty ok", d, ok)
+	}
+	if d, ok := s.EdgesSince(s.Epoch() + 10); !ok || len(d) != 0 {
+		t.Fatalf("EdgesSince(future) = %v ok=%v, want empty ok", d, ok)
+	}
+
+	labs, ok := s.LabelsSince(e0)
+	if !ok || string(labs) != "abc" {
+		t.Fatalf("LabelsSince = %q ok=%v, want \"abc\"", string(labs), ok)
+	}
+}
+
+// TestEdgesSinceAcrossCompaction pins that the history survives
+// compaction: enough delta edges to trip the compaction policy must
+// still be reported to a reader holding a pre-compaction epoch.
+func TestEdgesSinceAcrossCompaction(t *testing.T) {
+	g := NewDB()
+	n := g.AddNodes(300)
+	_ = n
+	e0 := g.Epoch()
+	s0 := g.Snapshot()
+	// Well past compactMinDelta with a tiny base: every fresh snapshot
+	// below compacts the overlay away.
+	const writes = 256
+	for i := 0; i < writes; i++ {
+		g.AddEdge(Node(i%300), 'a', Node((i+1)%300))
+	}
+	s := g.Snapshot()
+	if got := s.DeltaEdges(); got != 0 {
+		t.Fatalf("delta overlay not compacted (%d delta edges); the test premise is off", got)
+	}
+	since, ok := s.EdgesSince(e0)
+	if !ok {
+		t.Fatal("EdgesSince(pre-compaction epoch) not servable after compaction")
+	}
+	if len(since) != writes {
+		t.Fatalf("EdgesSince returned %d edges, want %d", len(since), writes)
+	}
+	for i, de := range since {
+		if de.Epoch != e0+uint64(i)+1 {
+			t.Fatalf("since[%d].Epoch = %d, want %d", i, de.Epoch, e0+uint64(i)+1)
+		}
+	}
+	// The pinned pre-write snapshot still answers for its own epoch.
+	if d, ok := s0.EdgesSince(e0); !ok || len(d) != 0 {
+		t.Fatalf("pinned snapshot EdgesSince = %v ok=%v, want empty ok", d, ok)
+	}
+}
+
+// TestEdgesSinceRetainedTail checks the bounded-history window: past
+// 2×histKeep writes the log trims to the newest histKeep entries,
+// HistoryFloor advances, and queries below the floor are refused while
+// queries inside the window still serve exactly.
+func TestEdgesSinceRetainedTail(t *testing.T) {
+	g := NewDB()
+	g.AddNodes(64)
+	e0 := g.Epoch()
+	total := 2*histKeep + 100
+	k := 0
+	for lbl := 0; lbl < 16 && k < total; lbl++ {
+		for f := 0; f < 64 && k < total; f++ {
+			for to := 0; to < 64 && k < total; to++ {
+				g.AddEdge(Node(f), rune('a'+lbl), Node(to))
+				k++
+			}
+		}
+	}
+	s := g.Snapshot()
+	if s.HistoryFloor() == 0 {
+		t.Fatal("history floor did not advance after 2×histKeep writes")
+	}
+	if _, ok := s.EdgesSince(e0); ok {
+		t.Fatal("EdgesSince(trimmed epoch) claimed servable")
+	}
+	if _, ok := s.EdgesSince(s.HistoryFloor() - 1); ok {
+		t.Fatal("EdgesSince(below floor) claimed servable")
+	}
+	since, ok := s.EdgesSince(s.HistoryFloor())
+	if !ok {
+		t.Fatal("EdgesSince(floor) not servable")
+	}
+	if len(since) == 0 || len(since) > 2*histKeep {
+		t.Fatalf("window size = %d, want within (0, %d]", len(since), 2*histKeep)
+	}
+	// The window is contiguous up to the snapshot's epoch.
+	if got, want := since[len(since)-1].Epoch, s.Epoch(); got != want {
+		t.Fatalf("window tail epoch = %d, want %d", got, want)
+	}
+	for i := 1; i < len(since); i++ {
+		if since[i].Epoch != since[i-1].Epoch+1 {
+			t.Fatalf("window not contiguous at %d: %d then %d", i, since[i-1].Epoch, since[i].Epoch)
+		}
+	}
+}
+
+// TestDeltaHistoryClone pins that Clone copies the history: writes to
+// the clone and the original afterwards are tracked independently, and
+// the clone's floor starts where the original's was.
+func TestDeltaHistoryClone(t *testing.T) {
+	g := NewDB()
+	u := g.AddNode("u")
+	v := g.AddNode("v")
+	g.AddEdge(u, 'a', v)
+	e := g.Epoch()
+
+	h := g.Clone()
+	g.AddEdge(v, 'b', u)
+	h.AddEdge(v, 'c', u)
+
+	gs, ok := g.Snapshot().EdgesSince(e)
+	if !ok || len(gs) != 1 || gs[0].Label != 'b' {
+		t.Fatalf("original EdgesSince = %v ok=%v, want one 'b'", gs, ok)
+	}
+	hs, ok := h.Snapshot().EdgesSince(e)
+	if !ok || len(hs) != 1 || hs[0].Label != 'c' {
+		t.Fatalf("clone EdgesSince = %v ok=%v, want one 'c'", hs, ok)
+	}
+	// The shared pre-clone prefix is visible on both sides.
+	full, ok := h.Snapshot().EdgesSince(e - 1)
+	if !ok || len(full) != 2 || full[0].Label != 'a' {
+		t.Fatalf("clone full history = %v ok=%v, want ['a' 'c']", full, ok)
+	}
+}

@@ -66,7 +66,24 @@ type DB struct {
 	// noDelta disables delta overlays (every snapshot compacts) — the
 	// full-rebuild ablation baseline for the mixed read/write benchmarks.
 	noDelta bool
+
+	// hist is the epoch-ordered edge write log: every fresh AddEdge
+	// appends its stamped entry here, and unlike the delta overlay it is
+	// NOT cleared by compaction — it is what Snapshot.EdgesSince answers
+	// from. Only a bounded tail is retained (histKeep entries); histFloor
+	// is the newest trimmed-away epoch, below which EdgesSince refuses.
+	// Published snapshots share the backing array: entries are immutable
+	// once written, appends land past every published length, and trims
+	// move the tail to a fresh array.
+	hist      []DeltaEdge
+	histFloor uint64
 }
+
+// histKeep bounds the retained delta-history tail. Trimming is
+// amortized: the log grows to 2×histKeep, then the newest histKeep
+// entries move to a fresh array, so steady writes pay O(1) amortized
+// instead of a copy per write.
+const histKeep = 4096
 
 // dedupThreshold is the (node,label) fan-out beyond which AddEdge and
 // HasEdge switch from a linear scan to a membership set.
@@ -200,8 +217,15 @@ func (g *DB) AddEdge(from Node, label rune, to Node) {
 	}
 	g.out[from][label] = append(tos, to)
 	g.nEdges++
-	g.deltaNew = append(g.deltaNew, rawEdge{From: from, Label: label, To: to})
-	g.epoch.Add(1)
+	e := rawEdge{From: from, Label: label, To: to, Epoch: g.epoch.Add(1)}
+	g.deltaNew = append(g.deltaNew, e)
+	g.hist = append(g.hist, e)
+	if len(g.hist) >= 2*histKeep {
+		g.histFloor = g.hist[len(g.hist)-histKeep-1].Epoch
+		tail := make([]DeltaEdge, histKeep, 2*histKeep)
+		copy(tail, g.hist[len(g.hist)-histKeep:])
+		g.hist = tail
+	}
 }
 
 // SetDeltaOverlay toggles delta overlays (default on). With overlays
@@ -293,6 +317,10 @@ func (g *DB) Clone() *DB {
 		baseN:       g.baseN,
 		deltaNew:    append([]rawEdge(nil), g.deltaNew...),
 		noDelta:     g.noDelta,
+		// The history tail is copied, not shared: both stores keep
+		// appending at the same index otherwise.
+		hist:      append([]DeltaEdge(nil), g.hist...),
+		histFloor: g.histFloor,
 	}
 	for name, v := range g.byName {
 		h.byName[name] = v

@@ -43,17 +43,30 @@ type Snapshot struct {
 
 	alphabet []rune
 
+	// Delta history: the retained tail of the store's epoch-ordered edge
+	// write log (independent of the CSR-ordered overlay above, and NOT
+	// cleared by compaction). EdgesSince answers from it for any epoch at
+	// or above histFloor; older epochs have been trimmed away.
+	hist      []DeltaEdge
+	histFloor uint64
+
 	adjOnce sync.Once
 	adj     [][]Edge
 }
 
-// rawEdge is one delta-log entry: an edge appended since the last
-// compaction (already deduplicated by AddEdge).
-type rawEdge struct {
+// DeltaEdge is one epoch-stamped delta-log entry: an edge appended by
+// AddEdge (already deduplicated), carrying the epoch its write advanced
+// the store to. Snapshot.EdgesSince reports these, which is what lets
+// incremental re-evaluation see exactly the writes between two epochs.
+type DeltaEdge struct {
 	From  Node
 	Label rune
 	To    Node
+	Epoch uint64
 }
+
+// rawEdge is the delta log's internal name for its entries.
+type rawEdge = DeltaEdge
 
 // rawEdgeLess orders delta edges in CSR order: source, label, target.
 func rawEdgeLess(a, b rawEdge) bool {
@@ -88,16 +101,18 @@ func mergeDelta(sorted, add []rawEdge) []rawEdge {
 // newSnapshot assembles the snapshot of a DB state: base CSR covering
 // baseN nodes plus the delta overlay (already in CSR order), under n
 // total nodes. sorted is owned by the snapshot store and immutable.
-func newSnapshot(source, epoch uint64, names []string, base *CSR, baseN int, sorted []rawEdge, nEdges int) *Snapshot {
+func newSnapshot(source, epoch uint64, names []string, base *CSR, baseN int, sorted []rawEdge, nEdges int, hist []DeltaEdge, histFloor uint64) *Snapshot {
 	s := &Snapshot{
-		source:  source,
-		epoch:   epoch,
-		n:       len(names),
-		names:   names,
-		nEdges:  nEdges,
-		base:    base,
-		baseN:   baseN,
-		baseLen: int32(len(base.Edges)),
+		source:    source,
+		epoch:     epoch,
+		n:         len(names),
+		names:     names,
+		nEdges:    nEdges,
+		base:      base,
+		baseN:     baseN,
+		baseLen:   int32(len(base.Edges)),
+		hist:      hist,
+		histFloor: histFloor,
 	}
 	if len(sorted) == 0 {
 		s.alphabet = base.alphabet
@@ -184,6 +199,54 @@ func (s *Snapshot) BaseEdges() int { return int(s.baseLen) }
 // DeltaEdges returns the number of edges in the delta overlay; zero
 // means the snapshot is fully compacted.
 func (s *Snapshot) DeltaEdges() int { return len(s.dEdges) }
+
+// EdgesSince returns the edges written to the store strictly after
+// epoch (and at or before the snapshot's own epoch), in write order
+// with their epoch stamps, from the retained delta-history tail. The
+// tail is bounded and survives compaction, but not forever: when epoch
+// predates the retained window the second result is false and the
+// caller must fall back to treating the whole graph as changed. The
+// returned slice is shared and must not be modified.
+//
+// Node additions do NOT appear here (they carry no edge); a caller
+// reasoning about changes between two epochs must separately compare
+// NumNodes.
+func (s *Snapshot) EdgesSince(epoch uint64) ([]DeltaEdge, bool) {
+	if epoch >= s.epoch {
+		return nil, true
+	}
+	if epoch < s.histFloor {
+		return nil, false
+	}
+	h := s.hist
+	i := sort.Search(len(h), func(i int) bool { return h[i].Epoch > epoch })
+	return h[i:len(h):len(h)], true
+}
+
+// LabelsSince returns the distinct labels carried by the edges written
+// strictly after epoch, sorted; like EdgesSince it reports false when
+// epoch predates the retained history window.
+func (s *Snapshot) LabelsSince(epoch uint64) ([]rune, bool) {
+	since, ok := s.EdgesSince(epoch)
+	if !ok {
+		return nil, false
+	}
+	var labels []rune
+	for _, e := range since {
+		if !runeIn(labels, e.Label) {
+			i := sort.Search(len(labels), func(i int) bool { return labels[i] >= e.Label })
+			labels = append(labels, 0)
+			copy(labels[i+1:], labels[i:])
+			labels[i] = e.Label
+		}
+	}
+	return labels, true
+}
+
+// HistoryFloor returns the oldest epoch EdgesSince can answer for:
+// calls with an epoch at or above the floor succeed, older ones report
+// an exhausted history window.
+func (s *Snapshot) HistoryFloor() uint64 { return s.histFloor }
 
 // Name returns the name of v at the snapshot's epoch.
 func (s *Snapshot) Name(v Node) string { return s.names[v] }
@@ -492,7 +555,8 @@ func (g *DB) Snapshot() *Snapshot {
 		g.deltaSorted = mergeDelta(g.deltaSorted, g.deltaNew)
 		g.deltaNew = g.deltaNew[:0]
 	}
-	s := newSnapshot(g.id, ep, g.names[:n:n], g.base, g.baseN, g.deltaSorted, g.nEdges)
+	s := newSnapshot(g.id, ep, g.names[:n:n], g.base, g.baseN, g.deltaSorted, g.nEdges,
+		g.hist[:len(g.hist):len(g.hist)], g.histFloor)
 	g.snap.Store(s)
 	return s
 }

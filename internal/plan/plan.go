@@ -130,27 +130,61 @@ func (p *Plan) EvalSnapshot(ctx context.Context, s *graph.Snapshot, opts ecrpq.O
 // cache's single-flight admission, and entries of epochs the store has
 // moved past are dropped as newer snapshots are served.
 //
-// The bool reports whether the result came from the cache (or another
-// caller's in-flight evaluation) rather than this call's own. Cached
-// results are shared: callers must treat the Result as immutable. A
-// nil cache degrades to a plain EvalSnapshot.
+// The bool reports whether the result was served from cached data —
+// an exact-epoch hit, another caller's in-flight evaluation, a
+// label-disjoint revalidation or a semi-naive delta pass — rather than
+// a from-scratch evaluation of this call's own. Cached results are
+// shared: callers must treat the Result as immutable. A nil cache
+// degrades to a plain EvalSnapshot.
+//
+// On an epoch-stale lookup the leader first asks the program to
+// Advance the freshest prior-epoch entry of the same (program, store,
+// options) group: a delta provably disjoint from the program's live
+// labels re-stamps the old result for free, and an edge-only delta on
+// a memo-carrying entry re-runs the product BFS only for the affected
+// start assignments. Either way the derived result is admitted at the
+// new epoch under the same single-flight leadership a full evaluation
+// would have, and qcache.Stats splits the serve kinds out.
+// Options.NoAdvance switches the whole layer off: every epoch-stale
+// lookup recomputes from scratch and no memo is captured.
 func (p *Plan) EvalSnapshotCached(ctx context.Context, s *graph.Snapshot, opts ecrpq.Options, c *qcache.Cache) (*ecrpq.Result, bool, error) {
 	if c == nil {
 		res, err := p.prog.EvalSnapshot(ctx, s, opts)
 		return res, false, err
 	}
 	k := qcache.Key{Prog: p.prog, Source: s.Source(), Epoch: s.Epoch(), Opts: opts.CacheKey()}
-	v, hit, err := c.Do(ctx, k, func() (any, int64, error) {
-		res, err := p.prog.EvalSnapshot(ctx, s, opts)
-		if err != nil {
-			return nil, 0, err
+	v, served, err := c.DoServe(ctx, k, func() (any, int64, qcache.Served, error) {
+		if opts.NoAdvance {
+			res, err := p.prog.EvalSnapshot(ctx, s, opts)
+			if err != nil {
+				return nil, 0, qcache.ServedCompute, err
+			}
+			return res, res.SizeBytes(), qcache.ServedCompute, nil
 		}
-		return res, res.SizeBytes(), nil
+		if pv, _, ok := c.Prev(k); ok {
+			if prev, isRes := pv.(*ecrpq.Result); isRes {
+				res, kind, aerr := p.prog.Advance(ctx, prev, s, opts)
+				if aerr != nil {
+					return nil, 0, qcache.ServedCompute, aerr
+				}
+				switch kind {
+				case ecrpq.AdvanceRevalidated:
+					return res, res.SizeBytes(), qcache.ServedRevalidated, nil
+				case ecrpq.AdvanceIncremental:
+					return res, res.SizeBytes(), qcache.ServedIncremental, nil
+				}
+			}
+		}
+		res, err := p.prog.EvalSnapshotMemo(ctx, s, opts)
+		if err != nil {
+			return nil, 0, qcache.ServedCompute, err
+		}
+		return res, res.SizeBytes(), qcache.ServedCompute, nil
 	})
 	if err != nil {
 		return nil, false, err
 	}
-	return v.(*ecrpq.Result), hit, nil
+	return v.(*ecrpq.Result), served != qcache.ServedCompute, nil
 }
 
 // EvalCached is EvalSnapshotCached over the current snapshot of g —

@@ -16,13 +16,15 @@
 //     reported size; admission evicts from the cold end until the
 //     budget holds. Values larger than the whole budget are returned
 //     but never admitted.
-//   - Dead-epoch dropping: the cache tracks the newest epoch seen per
-//     source store. When a Do call arrives with a newer epoch — i.e. a
-//     fresh snapshot of that store has been taken — every entry of the
-//     same store at an older epoch is dropped immediately instead of
-//     waiting for LRU to age it out. (Entries for other stores are
-//     untouched; a pinned old snapshot can still be served, it just
-//     re-evaluates.)
+//   - Dead-epoch dropping with seed retention: the cache tracks the
+//     newest epoch seen per source store. When a Do call arrives with a
+//     newer epoch — i.e. a fresh snapshot of that store has been taken —
+//     entries of the same store at older epochs are dropped instead of
+//     waiting for LRU to age them out, EXCEPT the freshest entry of each
+//     (program, source, options) group: that one is retained as the
+//     revalidation seed (Prev) until a newer entry of its group is
+//     admitted. (Entries for other stores are untouched; a pinned old
+//     snapshot can still be served, it just re-evaluates.)
 //
 // Values are shared between all callers that hit one entry: they must
 // be treated as immutable. The cache itself is safe for concurrent use.
@@ -55,12 +57,57 @@ type Key struct {
 	Opts string
 }
 
+// Served says how a Do/DoServe call's value was produced — the
+// freshness taxonomy the daemon's /statz and the replay summary report.
+type Served uint8
+
+const (
+	// ServedCompute: the leader ran the full computation.
+	ServedCompute Served = iota
+	// ServedHit: answered from a stored exact-epoch entry.
+	ServedHit
+	// ServedWait: joined another caller's in-flight computation.
+	ServedWait
+	// ServedRevalidated: the leader proved a previous epoch's entry
+	// unaffected by the writes since and re-stamped it — a full-speed
+	// hit in all but the counter.
+	ServedRevalidated
+	// ServedIncremental: the leader advanced a previous epoch's entry by
+	// delta evaluation instead of recomputing from scratch.
+	ServedIncremental
+)
+
+// String returns the counter-style name of the serving kind.
+func (s Served) String() string {
+	switch s {
+	case ServedCompute:
+		return "compute"
+	case ServedHit:
+		return "hit"
+	case ServedWait:
+		return "wait"
+	case ServedRevalidated:
+		return "revalidated"
+	case ServedIncremental:
+		return "incremental"
+	}
+	return "unknown"
+}
+
 // Stats is a point-in-time counter snapshot (see Cache.Stats).
 type Stats struct {
-	// Hits counts Do calls answered from a stored entry.
+	// Hits counts Do calls answered from a stored entry at the exact
+	// epoch asked about — the fresh hits.
 	Hits uint64
-	// Misses counts Do calls that ran the computation as leader.
+	// Misses counts Do calls that ran the full computation as leader.
 	Misses uint64
+	// Revalidated counts leader flights resolved by proving a previous
+	// epoch's entry unaffected (ServedRevalidated), Incremental ones
+	// resolved by delta evaluation over a previous entry
+	// (ServedIncremental). Together with Hits they split "served from
+	// cached data" into fresh / revalidated / incremental.
+	Revalidated uint64
+	Incremental uint64
 	// Waits counts Do calls that joined another caller's in-flight
 	// computation instead of starting their own (the single-flight wins).
 	Waits uint64
@@ -112,6 +159,13 @@ type flight struct {
 	err  error
 }
 
+// groupOf strips the epoch from a key: entries sharing a group are the
+// same question asked of the same store at different epochs.
+func groupOf(k Key) Key {
+	k.Epoch = 0
+	return k
+}
+
 // New returns a cache bounded to maxBytes of cached value sizes (as
 // reported by the compute callbacks). maxBytes <= 0 disables storage —
 // Do still deduplicates concurrent identical computations, but nothing
@@ -146,6 +200,23 @@ func isCtxErr(err error) bool {
 // client cannot poison the answer for patient ones. ctx cancellation
 // while waiting returns ctx.Err() without disturbing the flight.
 func (c *Cache) Do(ctx context.Context, k Key, compute func() (any, int64, error)) (any, bool, error) {
+	v, served, err := c.DoServe(ctx, k, func() (any, int64, Served, error) {
+		val, size, cerr := compute()
+		return val, size, ServedCompute, cerr
+	})
+	return v, served == ServedHit || served == ServedWait, err
+}
+
+// DoServe is Do with a freshness-aware compute: the leader callback
+// reports how it produced the value (full compute, revalidation of a
+// previous epoch's entry, or incremental delta evaluation — see Served)
+// so the stats split serving into fresh hits / revalidated /
+// incremental / full recomputes. The returned Served reports this
+// caller's own serving kind (ServedHit for a stored entry, ServedWait
+// for a joined flight, otherwise whatever the leader callback
+// reported). Single-flight, error, and admission semantics are exactly
+// Do's.
+func (c *Cache) DoServe(ctx context.Context, k Key, compute func() (any, int64, Served, error)) (any, Served, error) {
 	for {
 		c.mu.Lock()
 		c.dropDeadLocked(k.Source, k.Epoch)
@@ -154,7 +225,7 @@ func (c *Cache) Do(ctx context.Context, k Key, compute func() (any, int64, error
 			c.stats.Hits++
 			v := el.Value.(*entry).val
 			c.mu.Unlock()
-			return v, true, nil
+			return v, ServedHit, nil
 		}
 		if f, ok := c.flights[k]; ok {
 			c.stats.Waits++
@@ -162,26 +233,25 @@ func (c *Cache) Do(ctx context.Context, k Key, compute func() (any, int64, error
 			select {
 			case <-f.done:
 			case <-ctx.Done():
-				return nil, false, ctx.Err()
+				return nil, ServedWait, ctx.Err()
 			}
 			if f.err != nil {
 				if isCtxErr(f.err) {
 					// The leader gave up for its own reasons; ask again.
 					if ctx.Err() != nil {
-						return nil, false, ctx.Err()
+						return nil, ServedWait, ctx.Err()
 					}
 					continue
 				}
-				return nil, false, f.err
+				return nil, ServedWait, f.err
 			}
-			return f.val, true, nil
+			return f.val, ServedWait, nil
 		}
 		f := &flight{done: make(chan struct{})}
 		c.flights[k] = f
-		c.stats.Misses++
 		c.mu.Unlock()
 
-		val, size, err := func() (v any, s int64, e error) {
+		val, size, served, err := func() (v any, s int64, sv Served, e error) {
 			// If compute panics, resolve the flight with an error before
 			// the panic continues to the leader's caller (the serving
 			// layer isolates it per request): waiters must never be left
@@ -195,9 +265,10 @@ func (c *Cache) Do(ctx context.Context, k Key, compute func() (any, int64, error
 				close(f.done)
 				c.mu.Lock()
 				delete(c.flights, k)
+				c.stats.Misses++
 				c.mu.Unlock()
 			}()
-			v, s, e = compute()
+			v, s, sv, e = compute()
 			normal = true
 			return
 		}()
@@ -214,12 +285,50 @@ func (c *Cache) Do(ctx context.Context, k Key, compute func() (any, int64, error
 
 		c.mu.Lock()
 		delete(c.flights, k)
+		switch {
+		case err != nil || served == ServedCompute:
+			c.stats.Misses++
+		case served == ServedRevalidated:
+			c.stats.Revalidated++
+		case served == ServedIncremental:
+			c.stats.Incremental++
+		default:
+			c.stats.Misses++
+		}
 		if err == nil {
 			c.admitLocked(k, val, size)
 		}
 		c.mu.Unlock()
-		return val, false, err
+		return val, served, err
 	}
+}
+
+// Prev returns the freshest stored value of k's (Prog, Source, Opts)
+// group at an epoch strictly older than k.Epoch, with its epoch. It is
+// the leader's revalidation seed: dead-epoch dropping deliberately
+// retains the newest entry of each group (see dropDeadLocked) so an
+// epoch-stale lookup can try to advance it instead of recomputing. The
+// LRU order is left untouched — a seed read is not a hit.
+func (c *Cache) Prev(k Key) (any, uint64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var best *entry
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		if e.key.Prog != k.Prog || e.key.Source != k.Source || e.key.Opts != k.Opts {
+			continue
+		}
+		if e.key.Epoch >= k.Epoch {
+			continue
+		}
+		if best == nil || e.key.Epoch > best.key.Epoch {
+			best = e
+		}
+	}
+	if best == nil {
+		return nil, 0, false
+	}
+	return best.val, best.key.Epoch, true
 }
 
 // SetStaleLag configures graceful degradation: dead-epoch dropping
@@ -290,11 +399,15 @@ func (c *Cache) Get(k Key) (any, bool) {
 
 // dropDeadLocked records epoch for source and, when it advanced, drops
 // every entry of the same source that has fallen more than staleLag
-// epochs behind: the store has moved on, so those answers can never be
-// served again — not even degraded. Entries within the lag window are
-// retained for Stale lookups (they are never returned by exact-epoch
-// Do hits). Cost is one walk of the (budget-bounded) entry list per
-// advance.
+// epochs behind — with one exception: the freshest entry of each
+// (Prog, Source, Opts) group survives as a revalidation seed, so an
+// epoch-stale lookup can prove it unaffected or advance it by delta
+// evaluation instead of recomputing (see Prev). A seed is dropped the
+// moment a newer entry of its group is admitted (see admitLocked), so
+// each group holds at most one below-floor entry. Entries within the
+// lag window are retained for Stale lookups regardless (they are never
+// returned by exact-epoch Do hits). Cost is one walk of the
+// (budget-bounded) entry list per advance.
 func (c *Cache) dropDeadLocked(source, epoch uint64) {
 	if source == 0 {
 		return // unidentified store: nothing to invalidate against
@@ -307,11 +420,25 @@ func (c *Cache) dropDeadLocked(source, epoch uint64) {
 	if epoch > c.staleLag {
 		floor = epoch - c.staleLag
 	}
+	var freshest map[Key]uint64
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*entry)
+		if e.key.Source != source {
+			continue
+		}
+		g := groupOf(e.key)
+		if freshest == nil {
+			freshest = make(map[Key]uint64)
+		}
+		if cur, ok := freshest[g]; !ok || e.key.Epoch > cur {
+			freshest[g] = e.key.Epoch
+		}
+	}
 	var next *list.Element
 	for el := c.lru.Front(); el != nil; el = next {
 		next = el.Next()
 		e := el.Value.(*entry)
-		if e.key.Source == source && e.key.Epoch < floor {
+		if e.key.Source == source && e.key.Epoch < floor && e.key.Epoch < freshest[groupOf(e.key)] {
 			c.removeLocked(el)
 			c.stats.DeadDropped++
 		}
@@ -337,6 +464,23 @@ func (c *Cache) admitLocked(k Key, v any, size int64) {
 		// the existing entry fresh rather than double-counting.
 		c.lru.MoveToFront(el)
 		return
+	}
+	// Superseding admit: a below-floor entry of the same group was only
+	// being retained as the revalidation seed, and this newer entry is a
+	// strictly better one — drop the old seed now rather than letting it
+	// hold budget until the next epoch advance.
+	var floor uint64
+	if newest := c.newest[k.Source]; newest > c.staleLag {
+		floor = newest - c.staleLag
+	}
+	var next *list.Element
+	for el := c.lru.Front(); el != nil; el = next {
+		next = el.Next()
+		e := el.Value.(*entry)
+		if e.key.Epoch < k.Epoch && e.key.Epoch < floor && groupOf(e.key) == groupOf(k) {
+			c.removeLocked(el)
+			c.stats.DeadDropped++
+		}
 	}
 	el := c.lru.PushFront(&entry{key: k, val: v, size: size})
 	c.entries[k] = el

@@ -106,22 +106,31 @@ func TestLRUEviction(t *testing.T) {
 }
 
 // TestDeadEpochDrop: a Do at a newer epoch of the same source drops the
-// older epochs' entries of that source and leaves other sources alone.
+// older epochs' entries of that source — except the freshest entry of
+// each (Prog, Source, Opts) group, which is retained as the
+// revalidation seed (Prev) until a newer entry of its own group
+// supersedes it. Other sources are left alone.
 func TestDeadEpochDrop(t *testing.T) {
 	c := New(1 << 20)
 	cmp := func() (any, int64, error) { return "v", 8, nil }
-	c.Do(context.Background(), key("p", 1, 2, "a"), cmp)
+	c.Do(context.Background(), key("p", 1, 1, "a"), cmp) // older entry of group a
+	c.Do(context.Background(), key("p", 1, 2, "a"), cmp) // supersedes it on admit
 	c.Do(context.Background(), key("p", 1, 2, "b"), cmp)
 	c.Do(context.Background(), key("p", 2, 1, ""), cmp) // other store
-	if s := c.Stats(); s.Entries != 3 {
-		t.Fatalf("entries = %d", s.Entries)
+	// The epoch-2 admit of group a superseded the dead epoch-1 entry
+	// immediately — a group keeps at most one below-floor entry.
+	if _, ok := c.Get(key("p", 1, 1, "a")); ok {
+		t.Error("superseded dead entry of group a survived its superseding admit")
+	}
+	if s := c.Stats(); s.Entries != 3 || s.DeadDropped != 1 {
+		t.Fatalf("entries/dropped = %d/%d", s.Entries, s.DeadDropped)
 	}
 	c.Do(context.Background(), key("p", 1, 5, ""), cmp) // epoch advance on store 1
-	if _, ok := c.Get(key("p", 1, 2, "a")); ok {
-		t.Error("dead epoch entry a survived")
+	if _, ok := c.Get(key("p", 1, 2, "a")); !ok {
+		t.Error("revalidation seed of group a dropped")
 	}
-	if _, ok := c.Get(key("p", 1, 2, "b")); ok {
-		t.Error("dead epoch entry b survived")
+	if _, ok := c.Get(key("p", 1, 2, "b")); !ok {
+		t.Error("revalidation seed of group b dropped")
 	}
 	if _, ok := c.Get(key("p", 2, 1, "")); !ok {
 		t.Error("unrelated store's entry dropped")
@@ -129,7 +138,50 @@ func TestDeadEpochDrop(t *testing.T) {
 	if _, ok := c.Get(key("p", 1, 5, "")); !ok {
 		t.Error("current epoch entry missing")
 	}
+	// Prev finds the seed of its group, not other groups' entries.
+	if v, ep, ok := c.Prev(key("p", 1, 9, "a")); !ok || ep != 2 || v != "v" {
+		t.Fatalf("Prev = (%v, %d, %v)", v, ep, ok)
+	}
+	if _, _, ok := c.Prev(key("q", 1, 9, "a")); ok {
+		t.Fatal("Prev crossed program identity")
+	}
+	// Admitting a newer entry of group a drops its retained seed.
+	c.Do(context.Background(), key("p", 1, 5, "a"), cmp)
+	if _, ok := c.Get(key("p", 1, 2, "a")); ok {
+		t.Error("seed of group a survived its superseding admit")
+	}
 	if s := c.Stats(); s.DeadDropped != 2 {
+		t.Fatalf("stats after supersede = %+v", s)
+	}
+}
+
+// TestServedKinds: DoServe's leader outcome drives the split counters —
+// revalidated and incremental flights are not misses.
+func TestServedKinds(t *testing.T) {
+	c := New(1 << 20)
+	do := func(epoch uint64, kind Served) Served {
+		_, served, err := c.DoServe(context.Background(), key("p", 1, epoch, ""), func() (any, int64, Served, error) {
+			return "v", 8, kind, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return served
+	}
+	if got := do(1, ServedCompute); got != ServedCompute {
+		t.Fatalf("served = %v", got)
+	}
+	if got := do(2, ServedRevalidated); got != ServedRevalidated {
+		t.Fatalf("served = %v", got)
+	}
+	if got := do(3, ServedIncremental); got != ServedIncremental {
+		t.Fatalf("served = %v", got)
+	}
+	if got := do(3, ServedCompute); got != ServedHit {
+		t.Fatalf("repeat at epoch 3 served = %v", got)
+	}
+	s := c.Stats()
+	if s.Misses != 1 || s.Revalidated != 1 || s.Incremental != 1 || s.Hits != 1 {
 		t.Fatalf("stats = %+v", s)
 	}
 }

@@ -287,14 +287,20 @@ func TestGracefulDegradation(t *testing.T) {
 	if code := getJSON(t, ts.URL+"/query/aplus", &warm); code != 200 {
 		t.Fatalf("warm read status = %d", code)
 	}
-	// Advance the store (the warmed entry is now stale but retained).
-	resp, _ := http.Post(ts.URL+"/write", "text/plain", strings.NewReader("edge v1 b v0\n"))
+	// Advance the store with a live-label edge (the warmed entry is now
+	// stale but retained; an 'a' write cannot be revalidated away).
+	resp, _ := http.Post(ts.URL+"/write", "text/plain", strings.NewReader("edge v1 a v0\n"))
 	resp.Body.Close()
 
 	// A fresh evaluation now fails its (tiny) deadline — but the request
-	// permits bounded staleness, so it is served the warmed answer.
+	// permits bounded staleness, so it is served the warmed answer. The
+	// delta pass is faulted off so the stale entry cannot be advanced
+	// either: degradation is the only 200 left.
 	faultinject.Set(func(p faultinject.Point, n uint64) error {
-		if p == faultinject.BFSStep {
+		switch p {
+		case faultinject.DeltaBFS:
+			return faultinject.ErrForced
+		case faultinject.BFSStep:
 			time.Sleep(20 * time.Millisecond)
 		}
 		return nil
@@ -517,5 +523,85 @@ func TestFaultCompactionStorm(t *testing.T) {
 	}
 	if faultinject.Hits(faultinject.CompactionPolicy) == 0 {
 		t.Fatal("compaction fault point never reached")
+	}
+}
+
+// TestFaultDeltaBFSFallback: the semi-naive delta pass is an
+// optimization, never a correctness dependency — a forced DeltaBFS
+// failure makes the serve fall back to a full evaluation with answers
+// byte-identical to an unfaulted replica, and once the fault clears
+// the incremental path resumes and its serve kind shows up in /statz.
+func TestFaultDeltaBFSFallback(t *testing.T) {
+	word := strings.Repeat("ab", 8) // big enough for the delta-ratio guard
+	g := lineGraph(word)
+	twin := lineGraph(word) // unfaulted replica replaying the same writes
+	_, ts := newTestServer(t, "", Config{DB: g})
+
+	// Warm: full compute + memo capture at the initial epoch.
+	if code := getJSON(t, ts.URL+"/query/aplus", nil); code != 200 {
+		t.Fatalf("warm status = %d", code)
+	}
+
+	write := func(line string) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/write", "text/plain", strings.NewReader(line+"\n"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("write status = %d", resp.StatusCode)
+		}
+		if err := graph.ApplyTextLine(twin, line); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// A live write with the delta pass forced to fail: the serve must
+	// still succeed, from a full fallback evaluation.
+	faultinject.Set(func(p faultinject.Point, n uint64) error {
+		if p == faultinject.DeltaBFS {
+			return faultinject.ErrForced
+		}
+		return nil
+	})
+	t.Cleanup(faultinject.Clear)
+	write("edge v0 a v4")
+	var qr queryResponse
+	if code := getJSON(t, ts.URL+"/query/aplus", &qr); code != 200 {
+		t.Fatalf("faulted serve status = %d", code)
+	}
+	if want := unfaultedFingerprint(t, "Ans(x,y) <- (x,p,y), a+(p)", twin); qr.Fingerprint != want {
+		t.Fatalf("faulted fallback changed answers: %s != %s", qr.Fingerprint, want)
+	}
+	if qr.Cached {
+		t.Fatal("faulted delta pass must fall back to a full evaluation, not serve cached data")
+	}
+	if faultinject.Hits(faultinject.DeltaBFS) == 0 {
+		t.Fatal("delta-BFS fault point never reached")
+	}
+	faultinject.Clear()
+
+	// Fault cleared: the same write shape now advances incrementally,
+	// with identical answers.
+	write("edge v2 a v6")
+	var qr2 queryResponse
+	if code := getJSON(t, ts.URL+"/query/aplus", &qr2); code != 200 || !qr2.Cached {
+		t.Fatalf("incremental serve = %d cached=%v, want cached", code, qr2.Cached)
+	}
+	if want := unfaultedFingerprint(t, "Ans(x,y) <- (x,p,y), a+(p)", twin); qr2.Fingerprint != want {
+		t.Fatalf("incremental advance changed answers: %s != %s", qr2.Fingerprint, want)
+	}
+	var st struct {
+		Cache struct {
+			Revalidated uint64
+			Incremental uint64
+		} `json:"cache"`
+	}
+	if code := getJSON(t, ts.URL+"/statz", &st); code != 200 {
+		t.Fatalf("statz status = %d", code)
+	}
+	if st.Cache.Incremental == 0 {
+		t.Fatalf("statz cache counters = %+v, want incremental > 0", st.Cache)
 	}
 }
