@@ -505,6 +505,46 @@ func BenchmarkScale_RepeatedServe(b *testing.B) {
 	}
 }
 
+// E22 — scale: the single-component product-BFS hot loop at several
+// worker counts. The permissive (a|b)*-style languages under el keep
+// every graph edge live, so the product frontier grows into the
+// thousands and the level-synchronous parallel BFS has real work to
+// shard. bfs binds the source, so the whole run is ONE product
+// traversal — the frontier-sharding axis in isolation; fanout leaves
+// the endpoints unbound, so the run is many start assignments — the
+// second parallel axis (the per-assignment engines are sequential
+// there). workers=1 is the exact sequential engine (the ablation
+// baseline benchtables records with `-suite bigcomp -baseline`);
+// workers=0 is all cores. Answers and fingerprints are byte-identical
+// across the axis — see internal/ecrpq/parallel_test.go — so all
+// sub-benchmarks do identical semantic work.
+func BenchmarkScale_BigComponent(b *testing.B) {
+	q := ecrpq.MustParse("Ans(x,y) <- (x,p1,z), (z,p2,y), (a|b)*a(p1), (a|b)*b(p2), el(p1,p2)", benchEnv())
+	for _, n := range []int{64, 128} {
+		g := workload.Random(rand.New(rand.NewSource(8)), n, 3.0, benchSigma)
+		bind := map[ecrpq.NodeVar]graph.Node{"x": 0}
+		for _, w := range []int{1, 0} {
+			b.Run(fmt.Sprintf("bfs/n=%d/workers=%d", n, w), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := ecrpq.Eval(q, g, ecrpq.Options{Bind: bind, BFSWorkers: w, MaxProductStates: 50_000_000}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+	g := workload.Random(rand.New(rand.NewSource(8)), 32, 3.0, benchSigma)
+	for _, w := range []int{1, 0} {
+		b.Run(fmt.Sprintf("fanout/n=32/workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ecrpq.Eval(q, g, ecrpq.Options{BFSWorkers: w, MaxProductStates: 50_000_000}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // E16 — ablation: Yannakakis vs backtracking join.
 func BenchmarkAblation_Yannakakis(b *testing.B) {
 	g := workload.Random(rand.New(rand.NewSource(16)), 48, 2.0, benchSigma)

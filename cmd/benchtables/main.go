@@ -14,10 +14,18 @@
 //	                                           # same suites as ablation
 //	                                           # baselines: engine suites
 //	                                           # without label-directed
-//	                                           # pruning, mixed suite
+//	                                           # pruning, bigcomp suite
+//	                                           # with the sequential BFS
+//	                                           # (BFSWorkers=1), mixed suite
 //	                                           # without delta overlays,
 //	                                           # serve suite without the
 //	                                           # result cache
+//	go run ./cmd/benchtables -json B.json -suite bigcomp
+//	                                           # single-component parallel
+//	                                           # product-BFS suite (all
+//	                                           # cores); with -baseline the
+//	                                           # sequential ablation — the
+//	                                           # BENCH_8 comparison pair
 //	go run ./cmd/benchtables -json B.json -suite serve -noadvance
 //	                                           # serve suite with the cache
 //	                                           # but without the incremental
@@ -27,8 +35,8 @@
 //	                                           # baseline
 //	go run ./cmd/benchtables -json M.json -suite mixed
 //	                                           # one suite only (all,
-//	                                           # engine, mixed, serve,
-//	                                           # daemon) — e.g.
+//	                                           # engine, bigcomp, mixed,
+//	                                           # serve, daemon) — e.g.
 //	                                           # Scale_MixedReadWrite, the
 //	                                           # Scale_RepeatedServe cached
 //	                                           # serving suite, or the
@@ -53,9 +61,9 @@ import (
 func main() {
 	only := flag.String("only", "", "run a single experiment (E1..E16)")
 	jsonPath := flag.String("json", "", "run the ECRPQ engine benchmarks and write machine-readable results to this file")
-	baseline := flag.Bool("baseline", false, "with -json: run the ablation baselines (engine suites without pruning, mixed suite without delta overlays)")
+	baseline := flag.Bool("baseline", false, "with -json: run the ablation baselines (engine suites without pruning, bigcomp suite with the sequential BFS, mixed suite without delta overlays)")
 	noAdvance := flag.Bool("noadvance", false, "with -json -suite serve: keep the result cache but disable incremental re-evaluation (revalidation + delta BFS)")
-	suite := flag.String("suite", "all", "with -json: benchmark suite to run (all, engine, mixed, serve, daemon)")
+	suite := flag.String("suite", "all", "with -json: benchmark suite to run (all, engine, bigcomp, mixed, serve, daemon)")
 	compare := flag.Bool("compare", false, "compare two bench JSON files (old new) and print a speedup table")
 	flag.Parse()
 	if *compare {

@@ -23,6 +23,8 @@
 //	                                  N epochs behind under pressure
 //	      fresh=1                     forbid degraded (stale) serving
 //	      limit=100                   answers rendered (count is exact)
+//	      workers=8                   parallel-BFS workers (0 = GOMAXPROCS,
+//	                                  1 = sequential; same answers either way)
 //	POST /write                 apply graph text lines (`edge A l B`, ...)
 //
 // Flags:
@@ -36,6 +38,7 @@
 //	-timeout D        default per-request deadline (default 2s)
 //	-max-timeout D    clamp for request-supplied deadlines (default 30s)
 //	-budget N         default product-state budget (0 = engine default)
+//	-bfs-workers N    default parallel-BFS workers (0 = GOMAXPROCS, 1 = sequential)
 //	-max-stale N      cache retention window in epochs for degraded reads
 //	-cache BYTES      result-cache budget (default 64 MiB)
 //	-drain-timeout D  how long SIGTERM waits for in-flight requests
@@ -81,6 +84,7 @@ type config struct {
 	timeout      time.Duration
 	maxTimeout   time.Duration
 	budget       int
+	bfsWorkers   int
 	maxStale     uint64
 	cacheBytes   int64
 	drainTimeout time.Duration
@@ -109,6 +113,7 @@ func main() {
 	flag.DurationVar(&cfg.timeout, "timeout", 2*time.Second, "default per-request deadline")
 	flag.DurationVar(&cfg.maxTimeout, "max-timeout", 30*time.Second, "clamp for request deadlines")
 	flag.IntVar(&cfg.budget, "budget", 0, "default product-state budget (0 = engine default)")
+	flag.IntVar(&cfg.bfsWorkers, "bfs-workers", 0, "default parallel-BFS workers (0 = GOMAXPROCS, 1 = sequential)")
 	flag.Uint64Var(&cfg.maxStale, "max-stale", 8, "epoch retention window for degraded reads")
 	flag.Int64Var(&cfg.cacheBytes, "cache", 64<<20, "result cache budget in bytes")
 	flag.DurationVar(&cfg.drainTimeout, "drain-timeout", 15*time.Second, "SIGTERM drain deadline")
@@ -168,6 +173,7 @@ func run(ctx context.Context, cfg config, ready chan<- string, errw io.Writer) e
 		MaxTimeout:     cfg.maxTimeout,
 		DefaultBudget:  cfg.budget,
 		MaxStaleLag:    cfg.maxStale,
+		BFSWorkers:     cfg.bfsWorkers,
 	})
 	for _, nv := range cfg.queries {
 		name, text, _ := strings.Cut(nv, "=")

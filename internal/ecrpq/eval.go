@@ -67,6 +67,12 @@ type Options struct {
 	// It exists as the revalidation-off ablation baseline for the
 	// repeated-serve benchmarks (BENCH_7_baseline).
 	NoAdvance bool
+	// BFSWorkers sets the worker count of the frontier-synchronous
+	// parallel product BFS and of the start-assignment fan-out. Zero
+	// uses GOMAXPROCS; 1 forces the exact sequential engine (the
+	// ablation baseline). Answers, witness paths and Result.Fingerprint
+	// are byte-identical at every worker count — only the cost changes.
+	BFSWorkers int
 }
 
 // CacheKey renders the evaluation-relevant options in a canonical
@@ -87,8 +93,9 @@ func (o Options) CacheKey() string {
 	for _, v := range vars {
 		fmt.Fprintf(&b, "%s=%d,", v, o.Bind[NodeVar(v)])
 	}
-	fmt.Fprintf(&b, ";max=%d;join=%d;nodecomp=%t;noprune=%t;noadv=%t",
-		o.MaxProductStates, o.Join, o.NoDecompose, o.NoPrune, o.NoAdvance)
+	fmt.Fprintf(&b, ";max=%d;join=%d;nodecomp=%t;noprune=%t;noadv=%t;bfsw=%d",
+		o.MaxProductStates, o.Join, o.NoDecompose, o.NoPrune, o.NoAdvance,
+		effectiveBFSWorkers(o.BFSWorkers))
 	return b.String()
 }
 
@@ -119,6 +126,15 @@ func newStateBudget(max int) *stateBudget {
 
 // spend consumes one product state; false means the budget is exhausted.
 func (b *stateBudget) spend() bool { return b.left.Add(-1) >= 0 }
+
+// refund returns n states to the pool: the parallel BFS refunds
+// everything it charged before degrading to the sequential engine, so
+// the rerun re-spends the same states exactly once.
+func (b *stateBudget) refund(n int) {
+	if n > 0 {
+		b.left.Add(int64(n))
+	}
+}
 
 const defaultMaxProductStates = 4_000_000
 
@@ -503,6 +519,21 @@ type componentEngine struct {
 	memoCap    *compMemo
 	capRowTab  *intern.Table
 	memoFailed bool
+
+	// Parallel execution state (see parallel.go). workers and opts are
+	// set by reset from the per-call options; par holds the lanes, shard
+	// tables and outboxes of the frontier-synchronous BFS, built lazily
+	// on the first parallel run and retained across executions like the
+	// runner memos. allNodes is the shared 0..NumNodes-1 candidate slice
+	// of the start-assignment enumeration. fanTake/fanPut, installed by
+	// Program.take, let the assignment fan-out borrow sibling engines of
+	// the same component pool.
+	workers  int
+	opts     Options
+	par      *parState
+	allNodes []graph.Node
+	fanTake  func() *componentEngine
+	fanPut   func(*componentEngine)
 }
 
 // newComponentEngine builds an engine for c. The graph is not needed at
@@ -552,6 +583,8 @@ func newComponentEngine(c *component, keepPaths map[PathVar]bool) *componentEngi
 func (e *componentEngine) reset(s *graph.Snapshot, opts Options) {
 	e.snap = s
 	e.noPrune = opts.NoPrune
+	e.opts = opts
+	e.workers = effectiveBFSWorkers(opts.BFSWorkers)
 	e.vr = &varRelation{vars: e.allVars}
 	e.rowTab.Reset()
 	for i, v := range e.allVars {
@@ -569,15 +602,17 @@ func (e *componentEngine) reset(s *graph.Snapshot, opts Options) {
 // consumed the rows instead).
 func evalComponent(ctx context.Context, e *componentEngine, bind map[NodeVar]graph.Node, bud *stateBudget) (*varRelation, error) {
 	xvars := e.xvars
+	// One shared all-nodes slice per engine: the closure used to build a
+	// fresh []graph.Node for every unbound variable at every enumeration
+	// step, which dominated allocation on assignment-heavy components.
 	candidates := func(v NodeVar) []graph.Node {
 		if n, ok := bind[v]; ok {
 			return []graph.Node{n}
 		}
-		out := make([]graph.Node, e.snap.NumNodes())
-		for i := range out {
-			out[i] = graph.Node(i)
-		}
-		return out
+		return e.allNodesSlice()
+	}
+	if vr, done, err := e.evalAssignFanout(ctx, bind, bud); done {
+		return vr, err
 	}
 
 	assign := make(map[NodeVar]graph.Node, len(xvars))
@@ -610,10 +645,22 @@ func evalComponent(ctx context.Context, e *componentEngine, bind map[NodeVar]gra
 
 // bfs explores the product of G⊥^c with the component's joint relation
 // automaton from the start tuple given by assign, collecting accepting
-// bindings into e.vr (or handing them to e.sink). Cancellation of ctx
-// is checked periodically inside the state loop so a deadline aborts a
-// long-running product promptly.
+// bindings into e.vr (or handing them to e.sink). With one worker it is
+// the sequential single-cursor scan; with more it dispatches to the
+// frontier-synchronous parallel traversal (parallel.go), which produces
+// byte-identical results.
 func (e *componentEngine) bfs(ctx context.Context, assign map[NodeVar]graph.Node, bud *stateBudget) error {
+	if e.workers > 1 {
+		return e.bfsParallel(ctx, assign, bud)
+	}
+	return e.bfsSeq(ctx, assign, bud)
+}
+
+// bfsSeq is the sequential product BFS: a single head cursor scanning
+// e.joints in discovery order. Cancellation of ctx is checked
+// periodically inside the state loop so a deadline aborts a
+// long-running product promptly.
+func (e *componentEngine) bfsSeq(ctx context.Context, assign map[NodeVar]graph.Node, bud *stateBudget) error {
 	cnt := e.cnt
 	// The state arrays reset before the start-tuple consistency check so
 	// that an inconsistent (empty) assignment leaves them empty — the
@@ -734,21 +781,41 @@ func (e *componentEngine) bfs(ctx context.Context, assign map[NodeVar]graph.Node
 // the node tuple, keeping shortest witnesses) — or streams it to the
 // engine's sink when one is installed.
 func (e *componentEngine) accept(state int, cur []graph.Node) error {
-	nodes := e.nodesBuf
-	copy(nodes, e.tmpl)
+	nodes, ok := e.checkAccept(cur, e.nodesBuf)
+	if !ok {
+		return nil
+	}
+	paths := e.reconstruct(state)
+	return e.applyRow(nodes, paths)
+}
+
+// checkAccept validates an accepting product state's node tuple against
+// the template and external bindings, filling buf (len(allVars), caller
+// owned — parallel workers pass per-lane buffers). ok=false means the
+// state binds no consistent row.
+func (e *componentEngine) checkAccept(cur []graph.Node, buf []graph.Node) ([]graph.Node, bool) {
+	copy(buf, e.tmpl)
 	for _, ck := range e.plan {
 		val := cur[ck.coord]
-		if got := nodes[ck.yi]; got >= 0 {
+		if got := buf[ck.yi]; got >= 0 {
 			if got != val {
-				return nil
+				return nil, false
 			}
 			continue
 		}
 		if b := e.bindVal[ck.yi]; b >= 0 && b != val {
-			return nil
+			return nil, false
 		}
-		nodes[ck.yi] = val
+		buf[ck.yi] = val
 	}
+	return buf, true
+}
+
+// applyRow records one checked row: memo capture, dedup on the node
+// tuple (first discovery wins, later duplicates refine witnesses to the
+// shortest), sink or relation append. Single-threaded: the parallel BFS
+// calls it only at the level barrier, in deterministic sequential order.
+func (e *componentEngine) applyRow(nodes []graph.Node, paths map[PathVar]graph.Path) error {
 	for i, n := range nodes {
 		e.keyBuf[i] = int(n)
 	}
@@ -760,7 +827,6 @@ func (e *componentEngine) accept(state int, cur []graph.Node) error {
 			e.memoCap.rows = append(e.memoCap.rows, nodes...)
 		}
 	}
-	paths := e.reconstruct(state)
 	idx, added := e.rowTab.Intern(e.keyBuf)
 	if e.sink != nil {
 		if !added {

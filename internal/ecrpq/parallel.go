@@ -1,0 +1,971 @@
+package ecrpq
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/faultinject"
+	"repro/internal/graph"
+	"repro/internal/intern"
+	"repro/internal/regex"
+	"repro/internal/relations"
+)
+
+// This file is the frontier-synchronous parallel product BFS: the
+// level-order traversal of eval.go's sequential engine, sharded across
+// W workers with byte-identical results.
+//
+// Layout. The global state arrays (curs, joints, parentState,
+// parentSym) stay exactly as in the sequential engine — dense global
+// ids in discovery order, which is what witness reconstruction and the
+// memo capture read. What shards is the membership test: parShards
+// intern tables, one per hash class of the (joint, nodes...) tuple, so
+// dedup of a level's candidates runs without a global lock. Workers
+// never consult membership during expansion at all — they emit every
+// candidate into per-(worker, shard) outboxes and membership is decided
+// at the barrier.
+//
+// A level runs in four phases:
+//
+//  1. Expand (parallel): each lane scans a contiguous slice of the
+//     frontier [lo, hi), records accept candidates (checked tuple +
+//     reconstructed witnesses) and emits successor candidates to its
+//     outboxes, tagging each with its emission order.
+//  2. Accepts (sequential): lane-order application of the accept
+//     records. Lane k's slice precedes lane k+1's, and within a lane
+//     records are in scan order, so rows apply in exactly the order the
+//     sequential head cursor would have produced.
+//  3. Dedup (parallel over shards): shard s interns its candidates —
+//     lanes in order, within a lane in emission order, which is exactly
+//     ascending global sequence order restricted to the shard — and
+//     marks the first occurrence of each tuple fresh.
+//  4. Merge (sequential): lanes in order, candidates in emission order;
+//     fresh ones append to the global arrays and spend budget. This is
+//     the same first-discovery order the sequential engine's immediate
+//     interning produces, so state ids, parent pointers and budget
+//     charges are identical.
+//
+// Determinism. Answers, witness paths and Result.Fingerprint are
+// byte-identical to the sequential engine at any worker count: level
+// order preserves BFS level structure, phase 4 reproduces sequential
+// discovery order exactly, and phase 2 reproduces sequential accept
+// order exactly (all accepts of level L precede all of level L+1 in
+// both engines). The one scheduling-dependent quantity is which worker
+// first forces a master memo in the shared joint runner — that can
+// permute *internal* joint-state ids across runs, which nothing
+// observable depends on (see relations.RunnerGroup).
+//
+// Small frontiers skip the machinery: below parFrontierMin the level is
+// processed inline by the owner goroutine with the sequential code path
+// (same membership tables), so narrow products pay nothing for the
+// parallel capability.
+
+// maxBFSWorkers caps Options.BFSWorkers.
+const maxBFSWorkers = 64
+
+// parShards is the number of membership shards (power of two). Sized
+// above any realistic worker count so dedup scales with workers.
+const parShards = 32
+
+const parShardMask = parShards - 1
+
+// parFrontierMin is the frontier size below which a level is processed
+// inline (sequential code path); parMinSlice is the minimum frontier
+// slice worth a lane of its own. Vars, not consts, so tests can force
+// multi-lane processing on small graphs.
+var (
+	parFrontierMin = 256
+	parMinSlice    = 32
+)
+
+// parDedupMin is the candidate count below which the dedup phase runs
+// inline instead of spawning per-shard goroutines.
+const parDedupMin = 2048
+
+// fanoutFactor: the assignment fan-out engages when a component has at
+// least fanoutFactor×workers start assignments (below that the inner
+// parallel BFS uses the cores better); fanoutChunks×workers chunks keep
+// the dynamic schedule balanced.
+const (
+	fanoutFactor = 4
+	fanoutChunks = 4
+)
+
+// Package counters for /statz: how often the parallel machinery
+// actually engaged.
+var (
+	parRunsCtr      atomic.Uint64 // BFS runs that ran ≥1 multi-lane level
+	parLevelsCtr    atomic.Uint64 // multi-lane levels processed
+	parFallbacksCtr atomic.Uint64 // fault-degraded runs (ParallelBFS point)
+	parFanoutsCtr   atomic.Uint64 // assignment fan-outs engaged
+)
+
+// BFSParallelStats reports cumulative parallel-BFS activity: runs that
+// used multi-lane expansion, multi-lane levels processed, runs degraded
+// to the sequential engine by an injected worker fault, and component
+// evaluations that fanned start assignments over the worker pool.
+func BFSParallelStats() (runs, levels, fallbacks, fanouts uint64) {
+	return parRunsCtr.Load(), parLevelsCtr.Load(), parFallbacksCtr.Load(), parFanoutsCtr.Load()
+}
+
+// effectiveBFSWorkers resolves Options.BFSWorkers: 0 means GOMAXPROCS,
+// anything below 1 clamps to the sequential engine, and the cap bounds
+// per-engine lane state.
+func effectiveBFSWorkers(w int) int {
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		w = 1
+	}
+	if w > maxBFSWorkers {
+		w = maxBFSWorkers
+	}
+	return w
+}
+
+// parFaultError wraps an error injected at the ParallelBFS fault point;
+// bfsParallel recognizes it and degrades to the sequential engine
+// instead of failing the evaluation.
+type parFaultError struct{ err error }
+
+func (e parFaultError) Error() string { return "ecrpq: parallel worker fault: " + e.err.Error() }
+func (e parFaultError) Unwrap() error { return e.err }
+
+// allNodesSlice returns the engine's shared 0..NumNodes-1 slice, the
+// candidate list of every unbound start variable (rebuilt only when the
+// snapshot's node count changes).
+func (e *componentEngine) allNodesSlice() []graph.Node {
+	n := e.snap.NumNodes()
+	if len(e.allNodes) != n {
+		e.allNodes = e.allNodes[:0]
+		for i := 0; i < n; i++ {
+			e.allNodes = append(e.allNodes, graph.Node(i))
+		}
+	}
+	return e.allNodes
+}
+
+// shardOf hashes a product-state tuple (joint id + node tuple) to its
+// membership shard. FNV-1a over the components; the exact function is
+// irrelevant to results (any deterministic map works) — it only spreads
+// dedup load.
+func shardOf(joint int32, nodes []graph.Node) uint32 {
+	h := uint64(14695981039346656037)
+	h ^= uint64(uint32(joint))
+	h *= 1099511628211
+	for _, n := range nodes {
+		h ^= uint64(uint32(n))
+		h *= 1099511628211
+	}
+	h ^= h >> 32
+	return uint32(h) & parShardMask
+}
+
+// parState is the reusable parallel machinery of one engine: the shared
+// runner group, per-shard membership tables, lanes (one per worker)
+// and dedup scratch. Built on the first parallel run, retained across
+// executions like the runner memos, dropped by Program.put when
+// oversized.
+type parState struct {
+	group     *relations.RunnerGroup
+	shards    []*intern.Table
+	lanes     []*bfsLane
+	dedupBufs [][]int
+	sharded   bool // this run has switched membership to the shard tables
+}
+
+func (e *componentEngine) ensurePar() *parState {
+	if e.par == nil {
+		p := &parState{group: relations.NewRunnerGroup(e.runner)}
+		p.shards = make([]*intern.Table, parShards)
+		for i := range p.shards {
+			p.shards[i] = intern.NewTable(0)
+		}
+		e.par = p
+	}
+	return e.par
+}
+
+// oversized reports whether the retained parallel state exceeds the
+// pooled-scratch budget (Program.put drops it then).
+func (p *parState) oversized() bool {
+	for _, t := range p.shards {
+		if t.Cap() > maxPooledScratch {
+			return true
+		}
+	}
+	for _, ln := range p.lanes {
+		if cap(ln.where) > maxPooledScratch {
+			return true
+		}
+		for i := range ln.out {
+			if cap(ln.out[i].joints) > maxPooledScratch {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ensureLanes grows the lane set to n workers, each with its own runner
+// view and move-plan scratch.
+func (p *parState) ensureLanes(e *componentEngine, n int) {
+	for len(p.lanes) < n {
+		cnt := e.cnt
+		ln := &bfsLane{
+			e:        e,
+			view:     p.group.View(),
+			moveRuns: make([][]int32, cnt),
+			botOK:    make([]bool, cnt),
+			symInts:  make([]int, cnt),
+			symRunes: make([]rune, cnt),
+			next:     make([]graph.Node, cnt),
+			symTab:   intern.NewTable(0),
+			nodesBuf: make([]graph.Node, len(e.allVars)),
+			out:      make([]laneBox, parShards),
+		}
+		p.lanes = append(p.lanes, ln)
+	}
+}
+
+// laneBox is one (lane, shard) outbox: the candidate successor states a
+// lane emitted whose tuples hash to the shard, in emission order.
+// fresh is filled by the dedup phase.
+type laneBox struct {
+	nodes   []graph.Node // flat, stride cnt
+	joints  []int32
+	parents []int32 // global id of the generating state
+	syms    []int32 // shared symbol id of the generating move
+	fresh   []bool
+}
+
+// acceptRec is one accept candidate found during expansion: the checked
+// node tuple (copied) and the witnesses reconstructed by the lane.
+type acceptRec struct {
+	nodes []graph.Node
+	paths map[PathVar]graph.Path
+}
+
+// bfsLane is one worker of the parallel BFS: a private runner view,
+// private move-plan scratch mirroring prodCore's, a private symbol
+// intern table mapped to shared ids, and the level outputs.
+type bfsLane struct {
+	e    *componentEngine
+	view *relations.RunnerView
+
+	// Move planning scratch (same shape as prodCore's).
+	moveRuns [][]int32
+	botOK    []bool
+	symInts  []int
+	symRunes []rune
+	next     []graph.Node
+	moveCur  []graph.Node
+	curGID   int32
+
+	// Local symbol interning: lane-local dense ids via symTab, mapped to
+	// the shared (master) ids via symMap. The master table and runner
+	// stay the single authority so sequential and parallel phases of the
+	// same engine agree on every id.
+	symTab *intern.Table
+	symMap []int32
+
+	// Graph-effective live sets, memoized per joint state per snapshot
+	// (the lane-local analogue of prodCore.effLive).
+	effLive [][]relations.LiveSet
+	effSnap *graph.Snapshot
+
+	// Accept scratch.
+	nodesBuf []graph.Node
+	chainBuf []int32
+
+	// Level outputs: per-shard outboxes, the per-candidate (shard, idx)
+	// locator in emission order, accept records, and the lane error.
+	out     []laneBox
+	where   []int64
+	accepts []acceptRec
+	err     error
+}
+
+// beginLevel resets the lane's level outputs.
+func (ln *bfsLane) beginLevel() {
+	for i := range ln.out {
+		b := &ln.out[i]
+		b.nodes = b.nodes[:0]
+		b.joints = b.joints[:0]
+		b.parents = b.parents[:0]
+		b.syms = b.syms[:0]
+		b.fresh = b.fresh[:0]
+	}
+	ln.where = ln.where[:0]
+	ln.accepts = ln.accepts[:0]
+	ln.err = nil
+}
+
+// symID interns the tuple symbol currently in ln.symInts, returning its
+// shared id. The hot path is the lane-local table; first sight of a
+// symbol registers it with the master under the group lock.
+func (ln *bfsLane) symID() int {
+	id, fresh := ln.symTab.Intern(ln.symInts)
+	if fresh {
+		var shared int
+		ln.view.Do(func(*relations.JointRunner) {
+			shared = ln.e.symIDOf(ln.symInts)
+		})
+		ln.symMap = append(ln.symMap, int32(shared))
+	}
+	return int(ln.symMap[id])
+}
+
+// liveFor is the lane-local analogue of prodCore.liveFor: the runner's
+// live sets for jointID intersected with the snapshot's alphabet,
+// memoized per joint state for the lifetime of the pinned snapshot.
+func (ln *bfsLane) liveFor(jointID int) []relations.LiveSet {
+	if ln.e.snap != ln.effSnap {
+		ln.effLive = ln.effLive[:0]
+		ln.effSnap = ln.e.snap
+	}
+	for len(ln.effLive) <= jointID {
+		ln.effLive = append(ln.effLive, nil)
+	}
+	if eff := ln.effLive[jointID]; eff != nil {
+		return eff
+	}
+	eff := effectiveLive(ln.view.Live(jointID), ln.e.snap.Alphabet())
+	ln.effLive[jointID] = eff
+	return eff
+}
+
+// prepareMoves is prodCore.prepareMoves on lane-local scratch.
+func (ln *bfsLane) prepareMoves(jointID int, cur []graph.Node) bool {
+	e := ln.e
+	if e.noPrune {
+		for i, v := range cur {
+			ln.moveRuns[i] = e.snap.AppendOutRanges(v, ln.moveRuns[i][:0])
+			ln.botOK[i] = true
+		}
+		return true
+	}
+	live := ln.liveFor(jointID)
+	for i, v := range cur {
+		ls := live[i]
+		rr := planCoordMoves(e.snap, ls, v, ln.moveRuns[i][:0])
+		ln.moveRuns[i] = rr
+		ln.botOK[i] = ls.Bot
+		if len(rr) == 0 && !ls.Bot {
+			return false
+		}
+	}
+	return true
+}
+
+// expand scans the frontier slice [lo, hi): accept records for
+// accepting states, successor candidates into the outboxes. Runs
+// concurrently with the other lanes; everything it reads from the
+// engine (state arrays, template, plan) is frozen for the level, and
+// everything it writes is lane-private.
+func (ln *bfsLane) expand(ctx context.Context, lo, hi int) {
+	e := ln.e
+	cnt := e.cnt
+	for gid := lo; gid < hi; gid++ {
+		if (gid-lo)&255 == 0 {
+			if err := ctx.Err(); err != nil {
+				ln.err = err
+				return
+			}
+			if err := faultinject.Inject(faultinject.BFSStep); err != nil {
+				ln.err = err
+				return
+			}
+			if err := faultinject.Inject(faultinject.ParallelBFS); err != nil {
+				ln.err = parFaultError{err}
+				return
+			}
+		}
+		cur := e.curs[gid*cnt : gid*cnt+cnt]
+		joint := int(e.joints[gid])
+		if ln.view.Accepting(joint) {
+			if nodes, ok := e.checkAccept(cur, ln.nodesBuf); ok {
+				rec := acceptRec{nodes: append([]graph.Node(nil), nodes...)}
+				if len(e.keptCoords) > 0 {
+					rec.paths = ln.reconstruct(gid)
+				}
+				ln.accepts = append(ln.accepts, rec)
+			}
+		}
+		if !ln.prepareMoves(joint, cur) {
+			continue
+		}
+		ln.curGID = int32(gid)
+		ln.moveCur = cur
+		ln.enumMoves(0, joint)
+	}
+}
+
+// enumMoves enumerates the move combinations planned by prepareMoves
+// (the lane-local mirror of prodCore.enumMoves), emitting each stepped
+// candidate to its shard outbox.
+func (ln *bfsLane) enumMoves(i, joint int) {
+	e := ln.e
+	if i == e.cnt {
+		symID := ln.symID()
+		js, ok := ln.view.Step(joint, symID)
+		if !ok {
+			return
+		}
+		s := shardOf(int32(js), ln.next)
+		box := &ln.out[s]
+		box.nodes = append(box.nodes, ln.next...)
+		box.joints = append(box.joints, int32(js))
+		box.parents = append(box.parents, ln.curGID)
+		box.syms = append(box.syms, int32(symID))
+		box.fresh = append(box.fresh, false)
+		ln.where = append(ln.where, int64(s)<<32|int64(len(box.joints)-1))
+		return
+	}
+	if ln.botOK[i] {
+		ln.symInts[i] = int(regex.Bot)
+		ln.next[i] = ln.moveCur[i]
+		ln.enumMoves(i+1, joint)
+	}
+	rr := ln.moveRuns[i]
+	for k := 0; k+1 < len(rr); k += 2 {
+		for _, ed := range ln.e.snap.EdgeRange(rr[k], rr[k+1]) {
+			ln.symInts[i] = int(ed.Label)
+			ln.next[i] = ed.To
+			ln.enumMoves(i+1, joint)
+		}
+	}
+}
+
+// reconstruct is componentEngine.reconstruct on lane-local scratch,
+// reading the frozen global arrays through the lane's runner view.
+func (ln *bfsLane) reconstruct(state int) map[PathVar]graph.Path {
+	e := ln.e
+	chain := ln.chainBuf[:0]
+	for cur := int32(state); cur >= 0; cur = e.parentState[cur] {
+		chain = append(chain, cur)
+	}
+	ln.chainBuf = chain
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	cnt := e.cnt
+	out := make(map[PathVar]graph.Path, len(e.keptCoords))
+	for k, i := range e.keptCoords {
+		p := graph.Path{Nodes: []graph.Node{e.curs[int(chain[0])*cnt+i]}}
+		for step := 1; step < len(chain); step++ {
+			id := int(chain[step])
+			a := ln.view.SymRunes(int(e.parentSym[id]))[i]
+			if a == regex.Bot {
+				continue
+			}
+			p.Nodes = append(p.Nodes, e.curs[id*cnt+i])
+			p.Labels = append(p.Labels, a)
+		}
+		out[e.keptVars[k]] = p
+	}
+	return out
+}
+
+// bfsParallel is the frontier-synchronous parallel product BFS (see the
+// file comment for the phase structure and determinism argument). An
+// injected ParallelBFS fault degrades to bfsSeq after refunding the
+// budget charged so far — rerunning is idempotent because row interning
+// and shortest-witness refinement are.
+func (e *componentEngine) bfsParallel(ctx context.Context, assign map[NodeVar]graph.Node, bud *stateBudget) error {
+	par := e.ensurePar()
+	par.sharded = false
+	e.prodTab.Reset()
+	e.curs = e.curs[:0]
+	e.joints = e.joints[:0]
+	e.parentState = e.parentState[:0]
+	e.parentSym = e.parentSym[:0]
+
+	start, ok := e.startTuple(assign)
+	if !ok {
+		return nil // inconsistent start for repeated path var
+	}
+	for i := range e.tmpl {
+		e.tmpl[i] = -1
+	}
+	for v, n := range assign {
+		e.tmpl[varPos(e.allVars, v)] = n
+	}
+	tup := e.tupBuf[:0]
+	tup = append(tup, e.runner.StartID())
+	for _, n := range start {
+		tup = append(tup, int(n))
+	}
+	e.tupBuf = tup
+	e.prodTab.Intern(tup)
+	e.curs = append(e.curs, start...)
+	e.joints = append(e.joints, int32(e.runner.StartID()))
+	e.parentState = append(e.parentState, -1)
+	e.parentSym = append(e.parentSym, -1)
+
+	spent := 0
+	counted := false
+	lo, hi := 0, 1
+	for lo < hi {
+		if fault := faultinject.Inject(faultinject.ParallelBFS); fault != nil {
+			return e.degradeToSeq(ctx, assign, bud, spent)
+		}
+		var err error
+		if hi-lo < parFrontierMin {
+			err = e.levelInline(ctx, lo, hi, bud, &spent)
+		} else {
+			if !par.sharded {
+				e.activateShards()
+			}
+			if !counted {
+				counted = true
+				parRunsCtr.Add(1)
+			}
+			err = e.levelParallel(ctx, lo, hi, bud, &spent)
+		}
+		if err != nil {
+			if _, isFault := err.(parFaultError); isFault {
+				return e.degradeToSeq(ctx, assign, bud, spent)
+			}
+			return err
+		}
+		lo, hi = hi, len(e.joints)
+	}
+	return nil
+}
+
+// degradeToSeq abandons a faulted parallel traversal: refund the budget
+// it charged and rerun the sequential engine from scratch. Rows already
+// applied re-apply idempotently (dedup first-wins plus monotone witness
+// refinement over identical accept sequences), the per-assignment
+// capture table keeps its entries so memo rows do not duplicate, and
+// the memo's reached-node segment is sealed only after the rerun.
+func (e *componentEngine) degradeToSeq(ctx context.Context, assign map[NodeVar]graph.Node, bud *stateBudget, spent int) error {
+	parFallbacksCtr.Add(1)
+	bud.refund(spent)
+	return e.bfsSeq(ctx, assign, bud)
+}
+
+// activateShards switches this run's membership from prodTab to the
+// shard tables, re-interning every state discovered so far. Runs once
+// per BFS run, and only for runs that actually grow a large frontier —
+// small products never touch the shard tables at all.
+func (e *componentEngine) activateShards() {
+	par := e.par
+	for _, t := range par.shards {
+		t.Reset()
+	}
+	cnt := e.cnt
+	for gid := 0; gid < len(e.joints); gid++ {
+		tup := e.tupBuf[:0]
+		tup = append(tup, int(e.joints[gid]))
+		for _, n := range e.curs[gid*cnt : gid*cnt+cnt] {
+			tup = append(tup, int(n))
+		}
+		e.tupBuf = tup
+		par.shards[shardOf(e.joints[gid], e.curs[gid*cnt:gid*cnt+cnt])].Intern(tup)
+	}
+	par.sharded = true
+}
+
+// levelInline processes the frontier [lo, hi) on the owner goroutine
+// with the sequential code path (immediate membership interning,
+// interleaved accepts) — the semantics are identical to batched
+// processing, and small levels skip all batching overhead.
+func (e *componentEngine) levelInline(ctx context.Context, lo, hi int, bud *stateBudget, spent *int) error {
+	cnt := e.cnt
+	par := e.par
+	snap := e.snap
+	for head := lo; head < hi; head++ {
+		if (head-lo)&255 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := faultinject.Inject(faultinject.BFSStep); err != nil {
+				return err
+			}
+		}
+		cur := e.curs[head*cnt : head*cnt+cnt]
+		joint := int(e.joints[head])
+		if e.runner.Accepting(joint) {
+			if err := e.accept(head, cur); err != nil {
+				return err
+			}
+		}
+		if !e.prepareMoves(joint, cur) {
+			continue
+		}
+		e.moveCur = cur
+		err := e.expandInline(0, head, joint, snap, par, bud, spent)
+		e.moveCur = nil
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// expandInline is the sequential move recursion of levelInline,
+// interning fresh states into whichever membership structure the run is
+// using (prodTab before the shard switch, the shard tables after).
+func (e *componentEngine) expandInline(i, head, joint int, snap *graph.Snapshot, par *parState, bud *stateBudget, spent *int) error {
+	cnt := e.cnt
+	if i == cnt {
+		symID := e.symID()
+		js, ok := e.runner.Step(joint, symID)
+		if !ok {
+			return nil
+		}
+		tup := e.tupBuf[:0]
+		tup = append(tup, js)
+		for _, n := range e.next {
+			tup = append(tup, int(n))
+		}
+		e.tupBuf = tup
+		var added bool
+		if par.sharded {
+			_, added = par.shards[shardOf(int32(js), e.next)].Intern(tup)
+		} else {
+			_, added = e.prodTab.Intern(tup)
+		}
+		if !added {
+			return nil
+		}
+		e.curs = append(e.curs, e.next...)
+		e.joints = append(e.joints, int32(js))
+		e.parentState = append(e.parentState, int32(head))
+		e.parentSym = append(e.parentSym, int32(symID))
+		if !bud.spend() {
+			return ErrBudget
+		}
+		*spent++
+		return nil
+	}
+	if e.botOK[i] {
+		e.symInts[i] = int(regex.Bot)
+		e.next[i] = e.moveCur[i]
+		if err := e.expandInline(i+1, head, joint, snap, par, bud, spent); err != nil {
+			return err
+		}
+	}
+	rr := e.moveRuns[i]
+	for k := 0; k+1 < len(rr); k += 2 {
+		for _, ed := range snap.EdgeRange(rr[k], rr[k+1]) {
+			e.symInts[i] = int(ed.Label)
+			e.next[i] = ed.To
+			if err := e.expandInline(i+1, head, joint, snap, par, bud, spent); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// levelParallel processes the frontier [lo, hi) with the four-phase
+// parallel pipeline described in the file comment.
+func (e *componentEngine) levelParallel(ctx context.Context, lo, hi int, bud *stateBudget, spent *int) error {
+	par := e.par
+	n := hi - lo
+	L := e.workers
+	if maxL := (n + parMinSlice - 1) / parMinSlice; L > maxL {
+		L = maxL
+	}
+	par.ensureLanes(e, L)
+	lanes := par.lanes[:L]
+	for _, ln := range lanes {
+		ln.beginLevel()
+	}
+	parLevelsCtr.Add(1)
+
+	// Phase 1: expand, one contiguous slice per lane.
+	chunk := (n + L - 1) / L
+	var wg sync.WaitGroup
+	for k := 0; k < L; k++ {
+		a := lo + k*chunk
+		b := a + chunk
+		if b > hi {
+			b = hi
+		}
+		if a >= b {
+			break
+		}
+		wg.Add(1)
+		go func(ln *bfsLane, a, b int) {
+			defer wg.Done()
+			ln.expand(ctx, a, b)
+		}(lanes[k], a, b)
+	}
+	wg.Wait()
+	var fault error
+	for _, ln := range lanes {
+		if ln.err == nil {
+			continue
+		}
+		if _, ok := ln.err.(parFaultError); ok {
+			if fault == nil {
+				fault = ln.err
+			}
+			continue
+		}
+		return ln.err // first real error in lane order
+	}
+	if fault != nil {
+		return fault
+	}
+
+	// Phase 2: apply accepts in lane order — identical to the order the
+	// sequential head cursor visits the same states.
+	for _, ln := range lanes {
+		for i := range ln.accepts {
+			if err := e.applyRow(ln.accepts[i].nodes, ln.accepts[i].paths); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Phase 3: dedup, independently per shard. Lanes in order, within a
+	// lane in emission order = ascending global sequence order within
+	// the shard, so the first occurrence marked fresh is the same
+	// candidate sequential immediate-interning would have admitted.
+	total := 0
+	for _, ln := range lanes {
+		total += len(ln.where)
+	}
+	cnt := e.cnt
+	dedupShard := func(s int, tup []int) []int {
+		tab := par.shards[s]
+		for _, ln := range lanes {
+			box := &ln.out[s]
+			for i := range box.joints {
+				tup = tup[:0]
+				tup = append(tup, int(box.joints[i]))
+				for _, n := range box.nodes[i*cnt : i*cnt+cnt] {
+					tup = append(tup, int(n))
+				}
+				_, added := tab.Intern(tup)
+				box.fresh[i] = added
+			}
+		}
+		return tup
+	}
+	if total >= parDedupMin && L > 1 {
+		G := L
+		if G > parShards {
+			G = parShards
+		}
+		for len(par.dedupBufs) < G {
+			par.dedupBufs = append(par.dedupBufs, make([]int, 0, cnt+1))
+		}
+		var dwg sync.WaitGroup
+		for g := 0; g < G; g++ {
+			dwg.Add(1)
+			go func(g int) {
+				defer dwg.Done()
+				tup := par.dedupBufs[g]
+				for s := g; s < parShards; s += G {
+					tup = dedupShard(s, tup)
+				}
+				par.dedupBufs[g] = tup
+			}(g)
+		}
+		dwg.Wait()
+	} else {
+		buf := e.tupBuf[:0]
+		for s := 0; s < parShards; s++ {
+			buf = dedupShard(s, buf)
+		}
+		e.tupBuf = buf
+	}
+
+	// Phase 4: merge fresh states into the global arrays in emission
+	// (= sequential discovery) order, charging the budget per state
+	// exactly as the sequential engine does.
+	for _, ln := range lanes {
+		for _, w := range ln.where {
+			s, i := int(w>>32), int(uint32(w))
+			box := &ln.out[s]
+			if !box.fresh[i] {
+				continue
+			}
+			e.curs = append(e.curs, box.nodes[i*cnt:i*cnt+cnt]...)
+			e.joints = append(e.joints, box.joints[i])
+			e.parentState = append(e.parentState, box.parents[i])
+			e.parentSym = append(e.parentSym, box.syms[i])
+			if !bud.spend() {
+				return ErrBudget
+			}
+			*spent++
+		}
+	}
+	return nil
+}
+
+// fanChunk is one chunk's outcome in the assignment fan-out.
+type fanChunk struct {
+	vr       *varRelation
+	memo     *compMemo
+	memoFail bool
+	err      error
+	ran      bool
+}
+
+// evalAssignFanout fans a component's start assignments over the worker
+// pool when there are enough of them to dominate the inner BFS
+// parallelism: the dense assignment index space splits into fixed
+// contiguous chunks claimed dynamically by workers, each worker borrows
+// a sibling engine from the component pool and runs its chunk with the
+// sequential BFS, and the chunk results merge in chunk-index order —
+// reproducing exactly the fold the sequential enumeration computes
+// (first-wins rows, per-variable shortest witnesses, memo segments in
+// assignment order). done=false means the caller should run the
+// sequential enumeration instead.
+func (e *componentEngine) evalAssignFanout(ctx context.Context, bind map[NodeVar]graph.Node, bud *stateBudget) (*varRelation, bool, error) {
+	if e.workers <= 1 || e.sink != nil || e.fanTake == nil || len(e.xvars) == 0 {
+		return nil, false, nil
+	}
+	lists := make([][]graph.Node, len(e.xvars))
+	total := uint64(1)
+	for i, v := range e.xvars {
+		if n, ok := bind[v]; ok {
+			lists[i] = []graph.Node{n}
+		} else {
+			lists[i] = e.allNodesSlice()
+		}
+		if len(lists[i]) == 0 {
+			return nil, false, nil // empty graph: sequential path handles
+		}
+		if total > (1<<62)/uint64(len(lists[i])) {
+			return nil, false, nil // assignment space overflows; unreachable in practice
+		}
+		total *= uint64(len(lists[i]))
+	}
+	if total < uint64(fanoutFactor*e.workers) {
+		return nil, false, nil
+	}
+	parFanoutsCtr.Add(1)
+
+	nCh := uint64(fanoutChunks * e.workers)
+	if nCh > total {
+		nCh = total
+	}
+	capture := e.memoCap != nil
+	results := make([]fanChunk, nCh)
+	var next atomic.Int64
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	workers := e.workers
+	if uint64(workers) > nCh {
+		workers = int(nCh)
+	}
+	seqOpts := e.opts
+	seqOpts.BFSWorkers = 1
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sib := e.fanTake()
+			defer e.fanPut(sib)
+			for {
+				ci := uint64(next.Add(1) - 1)
+				if ci >= nCh || stop.Load() {
+					return
+				}
+				lo := ci * total / nCh
+				hi := (ci + 1) * total / nCh
+				sib.reset(e.snap, seqOpts)
+				if capture {
+					sib.startCapture()
+				}
+				err := sib.runAssignRange(ctx, lists, lo, hi, bud)
+				results[ci] = fanChunk{vr: sib.vr, memo: sib.memoCap, memoFail: sib.memoFailed, err: err, ran: true}
+				if err != nil {
+					stop.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for ci := range results {
+		if results[ci].ran && results[ci].err != nil {
+			return nil, true, results[ci].err
+		}
+	}
+	// No chunk failed ⇒ every chunk ran (stop is only set on error).
+	for ci := range results {
+		r := &results[ci]
+		for _, rw := range r.vr.rows {
+			for j, nd := range rw.nodes {
+				e.keyBuf[j] = int(nd)
+			}
+			idx, added := e.rowTab.Intern(e.keyBuf)
+			if added {
+				e.vr.rows = append(e.vr.rows, rw)
+				continue
+			}
+			for pv, p := range rw.paths {
+				if old, ok := e.vr.rows[idx].paths[pv]; !ok || p.Len() < old.Len() {
+					e.vr.rows[idx].paths[pv] = p
+				}
+			}
+		}
+		if !capture {
+			continue
+		}
+		if r.memo == nil || r.memoFail {
+			e.memoCap = nil
+			e.memoFailed = true
+			capture = false
+			continue
+		}
+		m := e.memoCap
+		tBase, rBase := int32(len(m.touched)), int32(len(m.rows))
+		m.touched = append(m.touched, r.memo.touched...)
+		m.rows = append(m.rows, r.memo.rows...)
+		for _, off := range r.memo.touchOff[1:] {
+			m.touchOff = append(m.touchOff, tBase+off)
+		}
+		for _, off := range r.memo.rowOff[1:] {
+			m.rowOff = append(m.rowOff, rBase+off)
+		}
+		if len(m.touched)+len(m.rows)+len(m.touchOff) > memoMaxEntries {
+			e.memoCap = nil
+			e.memoFailed = true
+			capture = false
+		}
+	}
+	return e.vr, true, nil
+}
+
+// runAssignRange runs the product BFS for the dense assignment indices
+// [lo, hi), decoding each index in the mixed-radix order of the
+// sequential enumeration (first X variable most significant).
+func (e *componentEngine) runAssignRange(ctx context.Context, lists [][]graph.Node, lo, hi uint64, bud *stateBudget) error {
+	k := len(e.xvars)
+	suf := make([]uint64, k)
+	p := uint64(1)
+	for i := k - 1; i >= 0; i-- {
+		suf[i] = p
+		p *= uint64(len(lists[i]))
+	}
+	assign := make(map[NodeVar]graph.Node, k)
+	for idx := lo; idx < hi; idx++ {
+		rem := idx
+		for i := 0; i < k; i++ {
+			d := rem / suf[i]
+			rem %= suf[i]
+			assign[e.xvars[i]] = lists[i][d]
+		}
+		if e.memoCap != nil {
+			e.capRowTab.Reset()
+		}
+		if err := e.bfs(ctx, assign, bud); err != nil {
+			return err
+		}
+		e.endCapAssign()
+	}
+	return nil
+}

@@ -1,0 +1,406 @@
+package ecrpq
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/faultinject"
+	"repro/internal/graph"
+	"repro/internal/qerr"
+)
+
+// This file pins the frontier-synchronous parallel product BFS
+// (parallel.go) against the sequential engine: answers, witness-path
+// lengths and Result.Fingerprint must be byte-identical at every worker
+// count, budget failures must agree exactly, memo capture must be
+// deterministic under the assignment fan-out, and an injected worker
+// fault must degrade to the sequential engine with identical output.
+
+// forceParallel lowers the parallel engagement thresholds so the
+// multi-lane level machinery (and the shard-table switch) exercises on
+// the small graphs the property suites use, restoring them on cleanup.
+func forceParallel(t *testing.T) {
+	t.Helper()
+	oldMin, oldSlice := parFrontierMin, parMinSlice
+	parFrontierMin, parMinSlice = 2, 1
+	t.Cleanup(func() { parFrontierMin, parMinSlice = oldMin, oldSlice })
+}
+
+// parWorkerCounts is the worker dimension the determinism properties
+// sweep: the sequential baseline, the smallest parallel count, and a
+// count above this machine's core count.
+var parWorkerCounts = []int{1, 2, 8}
+
+// checkWorkersAgree evaluates q over g at every worker count and
+// asserts byte-identical results against the W=1 baseline: same
+// fingerprint, same answers, same witness lengths.
+func checkWorkersAgree(t *testing.T, q *Query, g *graph.DB, label string) {
+	t.Helper()
+	base, err := Eval(q, g, Options{BFSWorkers: 1})
+	if err != nil {
+		t.Fatalf("%s: sequential eval: %v", label, err)
+	}
+	for _, w := range parWorkerCounts[1:] {
+		res, err := Eval(q, g, Options{BFSWorkers: w})
+		if err != nil {
+			t.Fatalf("%s: eval at W=%d: %v", label, w, err)
+		}
+		if got, want := res.Fingerprint(), base.Fingerprint(); got != want {
+			t.Fatalf("%s: query %q: fingerprint at W=%d = %016x, sequential %016x",
+				label, q, w, got, want)
+		}
+		if len(res.Answers) != len(base.Answers) {
+			t.Fatalf("%s: query %q: %d answers at W=%d, sequential %d",
+				label, q, len(res.Answers), w, len(base.Answers))
+		}
+		for i, a := range res.Answers {
+			if a.Key() != base.Answers[i].Key() {
+				t.Fatalf("%s: query %q: answer %d at W=%d is %s, sequential %s",
+					label, q, i, w, a.Key(), base.Answers[i].Key())
+			}
+			for pi := range q.HeadPaths {
+				if a.Paths[pi].Len() != base.Answers[i].Paths[pi].Len() {
+					t.Fatalf("%s: query %q answer %s: witness %d length %d at W=%d, sequential %d",
+						label, q, a.Key(), pi, a.Paths[pi].Len(), w, base.Answers[i].Paths[pi].Len())
+				}
+			}
+		}
+	}
+}
+
+// TestParallelBFSFingerprintDeterministic sweeps the oracle and
+// label-rich query suites over random graphs at W=1,2,8 with the
+// parallel machinery forced on, asserting byte-identical fingerprints,
+// answers and witness lengths — and that the multi-lane path actually
+// ran.
+func TestParallelBFSFingerprintDeterministic(t *testing.T) {
+	forceParallel(t)
+	runs0, levels0, _, _ := BFSParallelStats()
+	r := rand.New(rand.NewSource(97))
+	queries := append(oracleQueries(t), MustParse("Ans(x, y, p) <- (x,p,y), (a|b)*(p)", env()))
+	for trial := 0; trial < 6; trial++ {
+		g := randomDAG(r, 5+r.Intn(3), 0.5, sigmaAB)
+		for qi, q := range queries {
+			checkWorkersAgree(t, q, g, fmt.Sprintf("trial %d query %d", trial, qi))
+		}
+	}
+	for trial := 0; trial < 4; trial++ {
+		g := skewedDAG(r, 6+r.Intn(3), sigmaRich)
+		for qi, q := range labelRichQueries(t) {
+			checkWorkersAgree(t, q, g, fmt.Sprintf("rich trial %d query %d", trial, qi))
+		}
+	}
+	runs1, levels1, _, _ := BFSParallelStats()
+	if runs1 == runs0 || levels1 == levels0 {
+		t.Fatalf("parallel BFS never engaged multi-lane levels (runs %d→%d, levels %d→%d)",
+			runs0, runs1, levels0, levels1)
+	}
+}
+
+// TestParallelBFSMatchesNaiveOracle extends the naive-oracle property
+// with the worker dimension: the parallel engine must match the
+// reference evaluator exactly, including shortest-witness lengths.
+func TestParallelBFSMatchesNaiveOracle(t *testing.T) {
+	forceParallel(t)
+	r := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 10; trial++ {
+		g := randomDAG(r, 4+r.Intn(3), 0.45, sigmaAB)
+		q := randomOracleQuery(t, r)
+		label := fmt.Sprintf("trial %d", trial)
+		naive, err := NaiveEval(q, g, g.NumNodes())
+		if err != nil {
+			t.Fatalf("%s: naive: %v", label, err)
+		}
+		want := map[string]Answer{}
+		for _, a := range naive {
+			want[a.Key()] = a
+		}
+		for _, w := range parWorkerCounts {
+			res, err := Eval(q, g, Options{BFSWorkers: w})
+			if err != nil {
+				t.Fatalf("%s: eval at W=%d: %v", label, w, err)
+			}
+			if len(res.Answers) != len(want) {
+				t.Fatalf("%s: query %q: eval at W=%d %d answers, naive %d",
+					label, q, w, len(res.Answers), len(want))
+			}
+			for _, a := range res.Answers {
+				na, ok := want[a.Key()]
+				if !ok {
+					t.Fatalf("%s: query %q: answer %s at W=%d not in naive output", label, q, a.Key(), w)
+				}
+				for pi := range q.HeadPaths {
+					if a.Paths[pi].Len() != na.Paths[pi].Len() {
+						t.Fatalf("%s: query %q answer %s: witness length %d at W=%d, naive shortest %d",
+							label, q, a.Key(), a.Paths[pi].Len(), w, na.Paths[pi].Len())
+					}
+				}
+			}
+		}
+	}
+}
+
+// bigComponentGraph builds a dense-ish random labeled digraph (cycles
+// included) whose Combined-style product space forms one large
+// component — the shape the parallel BFS is for.
+func bigComponentGraph(r *rand.Rand, n, deg int, sigma []rune) *graph.DB {
+	g := graph.NewDB()
+	for i := 0; i < n; i++ {
+		g.AddNode("")
+	}
+	for i := 0; i < n; i++ {
+		for d := 0; d < deg; d++ {
+			j := r.Intn(n)
+			g.AddEdge(graph.Node(i), sigma[r.Intn(len(sigma))], graph.Node(j))
+		}
+	}
+	return g
+}
+
+// TestParallelBFSBigComponentAgree runs a Combined-style multi-tape
+// query over cyclic graphs large enough to reach real frontiers (and,
+// at W>1, to trigger the start-assignment fan-out) without lowered
+// thresholds, asserting fingerprint equality across worker counts.
+func TestParallelBFSBigComponentAgree(t *testing.T) {
+	r := rand.New(rand.NewSource(103))
+	queries := []*Query{
+		MustParse("Ans(x, y) <- (x,p1,z), (z,p2,y), a+(p1), b+(p2), el(p1,p2)", env()),
+		MustParse("Ans(x, y) <- (x,p1,y), (x,p2,y), prefix(p1,p2)", env()),
+	}
+	for trial := 0; trial < 3; trial++ {
+		g := bigComponentGraph(r, 40, 3, sigmaAB)
+		for qi, q := range queries {
+			checkWorkersAgree(t, q, g, fmt.Sprintf("trial %d query %d", trial, qi))
+		}
+	}
+	_, _, _, fanouts := BFSParallelStats()
+	if fanouts == 0 {
+		t.Fatalf("assignment fan-out never engaged on 40-node unbound queries")
+	}
+}
+
+// TestParallelBudgetParity sweeps tight product-state budgets and
+// asserts exact error parity: at every budget, every worker count fails
+// with ErrBudget exactly when the sequential engine does, and succeeds
+// with an identical fingerprint otherwise.
+func TestParallelBudgetParity(t *testing.T) {
+	forceParallel(t)
+	q := MustParse("Ans(x, y) <- (x,p1,z), (z,p2,y), a+(p1), b+(p2), el(p1,p2)", env())
+	g := bigComponentGraph(rand.New(rand.NewSource(107)), 12, 2, sigmaAB)
+	for _, budget := range []int{1, 2, 5, 17, 63, 255, 1024, 65536} {
+		base, baseErr := Eval(q, g, Options{BFSWorkers: 1, MaxProductStates: budget})
+		if baseErr != nil && !errors.Is(baseErr, qerr.ErrBudgetExceeded) {
+			t.Fatalf("budget %d: sequential failed untyped: %v", budget, baseErr)
+		}
+		for _, w := range parWorkerCounts[1:] {
+			res, err := Eval(q, g, Options{BFSWorkers: w, MaxProductStates: budget})
+			if (err != nil) != (baseErr != nil) {
+				t.Fatalf("budget %d: W=%d err=%v, sequential err=%v", budget, w, err, baseErr)
+			}
+			if err != nil {
+				if !errors.Is(err, qerr.ErrBudgetExceeded) {
+					t.Fatalf("budget %d: W=%d failed untyped: %v", budget, w, err)
+				}
+				continue
+			}
+			if res.Fingerprint() != base.Fingerprint() {
+				t.Fatalf("budget %d: W=%d fingerprint %016x, sequential %016x",
+					budget, w, res.Fingerprint(), base.Fingerprint())
+			}
+		}
+	}
+}
+
+// TestParallelMemoDeterministic pins the fan-out's memo capture: the
+// incremental-evaluation memo rows and touch sets must land in the
+// same per-assignment segments no matter how chunks are scheduled, so
+// the memos captured at W=1 and W=8 must be deeply equal.
+func TestParallelMemoDeterministic(t *testing.T) {
+	q := MustParse("Ans(x, y) <- (x,p1,z), (z,p2,y), a+(p1), b+(p2), el(p1,p2)", env())
+	g := bigComponentGraph(rand.New(rand.NewSource(109)), 40, 3, sigmaAB)
+	prog, err := CompileProgram(q, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := g.Snapshot()
+	capture := func(w int) *incMemo {
+		t.Helper()
+		res, err := prog.EvalSnapshotMemo(context.Background(), s, Options{BFSWorkers: w})
+		if err != nil {
+			t.Fatalf("W=%d: %v", w, err)
+		}
+		if res.inc == nil {
+			t.Fatalf("W=%d: no memo captured", w)
+		}
+		return res.inc
+	}
+	base := capture(1)
+	for _, w := range parWorkerCounts[1:] {
+		m := capture(w)
+		if len(m.comps) != len(base.comps) {
+			t.Fatalf("W=%d: %d component memos, sequential %d", w, len(m.comps), len(base.comps))
+		}
+		for i := range m.comps {
+			if !reflect.DeepEqual(m.comps[i], base.comps[i]) {
+				t.Fatalf("W=%d: component %d memo differs from sequential capture", w, i)
+			}
+		}
+	}
+}
+
+// TestParallelAdvanceAcrossEpochs drives the incremental serving path
+// at W>1: evaluate with memo, add edges, Advance — the delta pass runs
+// its re-evaluated assignments through the parallel core and must match
+// a from-scratch parallel evaluation and the W=1 Advance exactly.
+func TestParallelAdvanceAcrossEpochs(t *testing.T) {
+	forceParallel(t)
+	r := rand.New(rand.NewSource(113))
+	q := MustParse("Ans(x, y) <- (x,p1,z), (z,p2,y), a+(p1), b+(p2), el(p1,p2)", env())
+	g := bigComponentGraph(r, 20, 2, sigmaAB)
+	prog, err := CompileProgram(q, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, w := range parWorkerCounts {
+		opts := Options{BFSWorkers: w}
+		prev, err := prog.EvalSnapshotMemo(context.Background(), g.Snapshot(), opts)
+		if err != nil {
+			t.Fatalf("W=%d: memo eval: %v", w, err)
+		}
+		g.AddEdge(graph.Node(r.Intn(20)), 'a', graph.Node(r.Intn(20)))
+		s := g.Snapshot()
+		adv, kind, err := prog.Advance(context.Background(), prev, s, opts)
+		if err != nil {
+			t.Fatalf("W=%d: advance: %v", w, err)
+		}
+		if kind == AdvanceNone {
+			t.Fatalf("W=%d: expected an incremental advance", w)
+		}
+		full, err := prog.EvalSnapshot(context.Background(), s, opts)
+		if err != nil {
+			t.Fatalf("W=%d: full eval: %v", w, err)
+		}
+		if adv.Fingerprint() != full.Fingerprint() {
+			t.Fatalf("W=%d: advance fingerprint %016x, full %016x", w, adv.Fingerprint(), full.Fingerprint())
+		}
+	}
+}
+
+// TestParallelStreamAgreesAcrossWorkers pins the streaming executor on
+// the parallel core: the emitted answer sequence (order included) must
+// be identical at every worker count, because level-barrier accepts
+// apply in exactly the sequential order.
+func TestParallelStreamAgreesAcrossWorkers(t *testing.T) {
+	forceParallel(t)
+	q := MustParse("Ans(x, y) <- (x,p1,z), (z,p2,y), a+(p1), b+(p2), el(p1,p2)", env())
+	g := bigComponentGraph(rand.New(rand.NewSource(127)), 15, 2, sigmaAB)
+	prog, err := CompileProgram(q, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	collect := func(w, limit int) []string {
+		t.Helper()
+		var keys []string
+		for a, err := range prog.Stream(context.Background(), g, StreamOptions{Options: Options{BFSWorkers: w}, Limit: limit}) {
+			if err != nil {
+				t.Fatalf("W=%d: stream: %v", w, err)
+			}
+			keys = append(keys, a.Key())
+		}
+		return keys
+	}
+	for _, limit := range []int{0, 3} {
+		base := collect(1, limit)
+		for _, w := range parWorkerCounts[1:] {
+			got := collect(w, limit)
+			if !reflect.DeepEqual(got, base) {
+				t.Fatalf("limit %d: stream order at W=%d %v, sequential %v", limit, w, got, base)
+			}
+		}
+	}
+}
+
+// TestParallelBFSFaultDegradesToSequential pins the ParallelBFS fault
+// point: worker failures — injected on every hit, and on scattered
+// hits — must degrade the run to the sequential engine with an
+// identical fingerprint and no error, and the fallback counter must
+// advance.
+func TestParallelBFSFaultDegradesToSequential(t *testing.T) {
+	forceParallel(t)
+	q := MustParse("Ans(x, y, p1, p2) <- (x,p1,z), (z,p2,y), a+(p1), b+(p2), el(p1,p2)", env())
+	// 5 nodes keeps the assignment space (5²) below the fan-out
+	// threshold at W=8, so every run takes bfsParallel — where the
+	// ParallelBFS point lives — rather than sequential sibling engines.
+	g := bigComponentGraph(rand.New(rand.NewSource(131)), 5, 3, sigmaAB)
+	want, err := Eval(q, g, Options{BFSWorkers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	schedules := []struct {
+		name string
+		hook faultinject.Hook
+	}{
+		{"every-hit", func(p faultinject.Point, n uint64) error {
+			if p == faultinject.ParallelBFS {
+				return errors.New("injected worker fault")
+			}
+			return nil
+		}},
+		{"every-3rd-hit", func(p faultinject.Point, n uint64) error {
+			if p == faultinject.ParallelBFS && n%3 == 0 {
+				return errors.New("injected worker fault")
+			}
+			return nil
+		}},
+	}
+	for _, sc := range schedules {
+		_, _, fb0, _ := BFSParallelStats()
+		faultinject.Set(sc.hook)
+		res, err := Eval(q, g, Options{BFSWorkers: 8})
+		hits := faultinject.Hits(faultinject.ParallelBFS)
+		faultinject.Clear()
+		if err != nil {
+			t.Fatalf("%s: faulted eval errored: %v", sc.name, err)
+		}
+		if hits == 0 {
+			t.Fatalf("%s: ParallelBFS point never fired", sc.name)
+		}
+		if res.Fingerprint() != want.Fingerprint() {
+			t.Fatalf("%s: faulted fingerprint %016x, unfaulted %016x",
+				sc.name, res.Fingerprint(), want.Fingerprint())
+		}
+		if _, _, fb1, _ := BFSParallelStats(); fb1 == fb0 {
+			t.Fatalf("%s: fallback counter did not advance", sc.name)
+		}
+	}
+}
+
+// TestEffectiveBFSWorkers pins the option resolution: zero means
+// GOMAXPROCS, negatives clamp to sequential, huge values clamp to the
+// lane cap, and the cache key canonicalizes through the same function.
+func TestEffectiveBFSWorkers(t *testing.T) {
+	if got := effectiveBFSWorkers(1); got != 1 {
+		t.Fatalf("effectiveBFSWorkers(1) = %d", got)
+	}
+	if got := effectiveBFSWorkers(-3); got != 1 {
+		t.Fatalf("effectiveBFSWorkers(-3) = %d", got)
+	}
+	if got := effectiveBFSWorkers(10_000); got != maxBFSWorkers {
+		t.Fatalf("effectiveBFSWorkers(10000) = %d, want %d", got, maxBFSWorkers)
+	}
+	if got := effectiveBFSWorkers(0); got < 1 || got > maxBFSWorkers {
+		t.Fatalf("effectiveBFSWorkers(0) = %d out of range", got)
+	}
+	a := Options{BFSWorkers: 0}.CacheKey()
+	b := Options{BFSWorkers: effectiveBFSWorkers(0)}.CacheKey()
+	if a != b {
+		t.Fatalf("cache keys differ for default and resolved worker counts:\n%s\n%s", a, b)
+	}
+	if (Options{BFSWorkers: 1}).CacheKey() == (Options{BFSWorkers: 2}).CacheKey() {
+		t.Fatalf("cache key ignores the worker count")
+	}
+}

@@ -82,10 +82,16 @@ func newProdCore(snap *graph.Snapshot, c *component) prodCore {
 // with the joint runner on first sight. symTab and the runner assign
 // dense ids in the same insertion order, so the returned id is valid
 // for runner.Step/SymRunes/SymString.
-func (pc *prodCore) symID() int {
-	id, fresh := pc.symTab.Intern(pc.symInts)
+func (pc *prodCore) symID() int { return pc.symIDOf(pc.symInts) }
+
+// symIDOf is symID over an explicit tuple — the form the parallel BFS
+// lanes call (under the runner-group lock) to register symbols they
+// discover, keeping the master table and the runner the single id
+// authority for sequential and parallel phases alike.
+func (pc *prodCore) symIDOf(tup []int) int {
+	id, fresh := pc.symTab.Intern(tup)
 	if fresh {
-		for k, x := range pc.symInts {
+		for k, x := range tup {
 			pc.symRunes[k] = rune(x)
 		}
 		pc.runner.AddSym(pc.symRunes)
@@ -124,8 +130,16 @@ func (pc *prodCore) liveFor(jointID int) []relations.LiveSet {
 	if eff := pc.effLive[jointID]; eff != nil {
 		return eff
 	}
-	src := pc.runner.Live(jointID)
-	alpha := pc.snap.Alphabet()
+	eff := effectiveLive(pc.runner.Live(jointID), pc.snap.Alphabet())
+	pc.effLive[jointID] = eff
+	return eff
+}
+
+// effectiveLive intersects the runner's live sets with the snapshot's
+// alphabet, collapsing to the All fast path when a set covers it — the
+// transform behind liveFor, shared with the parallel BFS lanes (which
+// keep their own memo over their runner view).
+func effectiveLive(src []relations.LiveSet, alpha []rune) []relations.LiveSet {
 	eff := make([]relations.LiveSet, len(src))
 	for i, ls := range src {
 		if ls.All || len(ls.Labels) == 0 {
@@ -135,7 +149,6 @@ func (pc *prodCore) liveFor(jointID int) []relations.LiveSet {
 		inter := intersectSortedRunes(ls.Labels, alpha)
 		eff[i] = relations.LiveSet{All: len(inter) == len(alpha), Bot: ls.Bot, Labels: inter}
 	}
-	pc.effLive[jointID] = eff
 	return eff
 }
 
@@ -217,48 +230,7 @@ func (pc *prodCore) prepareMoves(jointID int, cur []graph.Node) bool {
 	live := pc.liveFor(jointID)
 	for i, v := range cur {
 		ls := live[i]
-		rr := pc.moveRuns[i][:0]
-		switch {
-		case ls.All:
-			rr = pc.snap.AppendOutRanges(v, rr)
-		case len(ls.Labels) > 0:
-			// Base segment, selected inline (the compacted common case
-			// pays nothing beyond the PR 3 loop): for each of the node's
-			// label runs (few — one per distinct out-label), binary-search
-			// the shrinking tail of the sorted live set, coalescing
-			// adjacent selected runs (they abut in the edge array).
-			lab := ls.Labels
-			li := 0
-			for _, run := range pc.snap.BaseRuns(v) {
-				lo, hi := li, len(lab)
-				for lo < hi {
-					mid := int(uint(lo+hi) >> 1)
-					if lab[mid] < run.Label {
-						lo = mid + 1
-					} else {
-						hi = mid
-					}
-				}
-				li = lo
-				if li == len(lab) {
-					break
-				}
-				if lab[li] == run.Label {
-					if n := len(rr); n > 0 && rr[n-1] == run.Start {
-						rr[n-1] = run.End
-					} else {
-						rr = append(rr, run.Start, run.End)
-					}
-					li++
-					if li == len(lab) {
-						break
-					}
-				}
-			}
-			if dr := pc.snap.DeltaRuns(v); len(dr) != 0 {
-				rr = appendLiveRuns(rr, dr, lab)
-			}
-		}
+		rr := planCoordMoves(pc.snap, ls, v, pc.moveRuns[i][:0])
 		pc.moveRuns[i] = rr
 		pc.botOK[i] = ls.Bot
 		if len(rr) == 0 && !ls.Bot {
@@ -266,6 +238,56 @@ func (pc *prodCore) prepareMoves(jointID int, cur []graph.Node) bool {
 		}
 	}
 	return true
+}
+
+// planCoordMoves selects one coordinate's admissible edge runs: the
+// node's label runs intersected with the live set ls, appended to rr as
+// virtual (start,end) pairs. Shared by the sequential engine and the
+// parallel BFS lanes (pure over the snapshot; rr is the caller's
+// scratch).
+func planCoordMoves(snap *graph.Snapshot, ls relations.LiveSet, v graph.Node, rr []int32) []int32 {
+	switch {
+	case ls.All:
+		rr = snap.AppendOutRanges(v, rr)
+	case len(ls.Labels) > 0:
+		// Base segment, selected inline (the compacted common case
+		// pays nothing beyond the PR 3 loop): for each of the node's
+		// label runs (few — one per distinct out-label), binary-search
+		// the shrinking tail of the sorted live set, coalescing
+		// adjacent selected runs (they abut in the edge array).
+		lab := ls.Labels
+		li := 0
+		for _, run := range snap.BaseRuns(v) {
+			lo, hi := li, len(lab)
+			for lo < hi {
+				mid := int(uint(lo+hi) >> 1)
+				if lab[mid] < run.Label {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			li = lo
+			if li == len(lab) {
+				break
+			}
+			if lab[li] == run.Label {
+				if n := len(rr); n > 0 && rr[n-1] == run.Start {
+					rr[n-1] = run.End
+				} else {
+					rr = append(rr, run.Start, run.End)
+				}
+				li++
+				if li == len(lab) {
+					break
+				}
+			}
+		}
+		if dr := snap.DeltaRuns(v); len(dr) != 0 {
+			rr = appendLiveRuns(rr, dr, lab)
+		}
+	}
+	return rr
 }
 
 // forEachMove enumerates the move combinations planned by the last

@@ -205,19 +205,25 @@ func (p *Program) Components() []ComponentInfo {
 	return out
 }
 
-// take borrows an engine for component i.
+// take borrows an engine for component i. The fan-out hooks let the
+// engine's start-assignment fan-out borrow sibling engines of the same
+// component pool (parallel.go); they are cleared again by put.
 func (p *Program) take(i int) *componentEngine {
 	pool := &p.pools[i]
 	pool.mu.Lock()
+	var e *componentEngine
 	if n := len(pool.free); n > 0 {
-		e := pool.free[n-1]
+		e = pool.free[n-1]
 		pool.free[n-1] = nil
 		pool.free = pool.free[:n-1]
 		pool.mu.Unlock()
-		return e
+	} else {
+		pool.mu.Unlock()
+		e = newComponentEngine(p.comps[i], p.keepPaths)
 	}
-	pool.mu.Unlock()
-	return newComponentEngine(p.comps[i], p.keepPaths)
+	e.fanTake = func() *componentEngine { return p.take(i) }
+	e.fanPut = func(sib *componentEngine) { p.put(i, sib) }
+	return e
 }
 
 // maxPooledScratch bounds the per-state scratch (in elements) a pooled
@@ -241,6 +247,15 @@ func (p *Program) put(i int, e *componentEngine) {
 	e.sink = nil
 	e.memoCap = nil
 	e.memoFailed = false
+	e.fanTake = nil
+	e.fanPut = nil
+	e.opts = Options{}
+	if e.par != nil && e.par.oversized() {
+		e.par = nil
+	}
+	if cap(e.allNodes) > maxPooledScratch {
+		e.allNodes = nil
+	}
 	if e.capRowTab != nil && e.capRowTab.Cap() > maxPooledScratch {
 		e.capRowTab = intern.NewTable(0)
 	}

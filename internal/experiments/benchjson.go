@@ -159,6 +159,55 @@ func BenchScaleLabelRich(noPrune bool) BenchReport {
 	return rep
 }
 
+// BenchScaleBigComponent runs the Scale_BigComponent suite — the
+// single-component product-BFS hot loop of BenchmarkScale_BigComponent
+// (identical seeds, sizes and query). The bfs cases bind the source, so
+// each run is one large product traversal and measures the
+// frontier-sharding axis; the fanout case leaves the endpoints unbound
+// and measures the start-assignment axis. The non-baseline run uses
+// BFSWorkers 0 (all cores); baseline reruns the identical cases with
+// BFSWorkers 1, the exact sequential engine — the ablation half of the
+// BENCH_8 vs BENCH_8_baseline comparison. Both halves compute
+// byte-identical answers (the determinism contract pinned by
+// internal/ecrpq/parallel_test.go), so `-compare` isolates pure
+// scheduling cost/win. On a single-core host the two halves should be
+// within noise of each other; the speedup appears with GOMAXPROCS > 1.
+func BenchScaleBigComponent(baseline bool) BenchReport {
+	rep := BenchReport{Suite: "Scale_BigComponent"}
+	workers := 0
+	if baseline {
+		workers = 1
+	}
+	q := ecrpq.MustParse("Ans(x,y) <- (x,p1,z), (z,p2,y), (a|b)*a(p1), (a|b)*b(p2), el(p1,p2)", env())
+	for _, n := range []int{64, 128} {
+		n := n
+		g := workload.Random(rand.New(rand.NewSource(8)), n, 3.0, sigmaAB)
+		bind := map[ecrpq.NodeVar]graph.Node{"x": 0}
+		rep.Benchmarks = append(rep.Benchmarks, runBench(
+			fmt.Sprintf("Scale_BigComponent/bfs/n=%d", n),
+			func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := ecrpq.Eval(q, g, ecrpq.Options{Bind: bind, BFSWorkers: workers, MaxProductStates: 50_000_000}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}))
+	}
+	g := workload.Random(rand.New(rand.NewSource(8)), 32, 3.0, sigmaAB)
+	rep.Benchmarks = append(rep.Benchmarks, runBench(
+		"Scale_BigComponent/fanout/n=32",
+		func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := ecrpq.Eval(q, g, ecrpq.Options{BFSWorkers: workers, MaxProductStates: 50_000_000}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+	return rep
+}
+
 // BenchScaleMixedReadWrite runs the Scale_MixedReadWrite suite — the
 // mixed read/write serving path of the epoch-versioned snapshot store,
 // mirroring BenchmarkScale_MixedReadWrite. The two snapshot_after_write
@@ -314,13 +363,14 @@ func BenchScaleRepeatedServe(baseline, noAdvance bool) BenchReport {
 }
 
 // WriteBenchJSON runs the benchmark suites selected by suite — "" or
-// "all" for everything, "engine" for Fig1a + Scale_LabelRich, "mixed"
-// for Scale_MixedReadWrite, "serve" for Scale_RepeatedServe, "daemon"
-// for the end-to-end Daemon_Serve HTTP latency suite — and
-// writes the combined report as indented JSON, plus a short
-// human-readable table to table (if non-nil). baseline runs the
+// "all" for everything, "engine" for Fig1a + Scale_LabelRich, "bigcomp"
+// for Scale_BigComponent, "mixed" for Scale_MixedReadWrite, "serve" for
+// Scale_RepeatedServe, "daemon" for the end-to-end Daemon_Serve HTTP
+// latency suite — and writes the combined report as indented JSON, plus
+// a short human-readable table to table (if non-nil). baseline runs the
 // ablation of each selected suite: the exhaustive-enumeration NoPrune
-// baseline for the engine suites, the delta-overlay-disabled
+// baseline for the engine suites, the sequential-BFS (BFSWorkers 1)
+// baseline for the big-component suite, the delta-overlay-disabled
 // full-rebuild baseline for the mixed suite, and the cache-disabled
 // baseline for the repeated-serve suite — producing the old file of a
 // `benchtables -compare` pair. noAdvance is the finer serve-only
@@ -330,11 +380,12 @@ func BenchScaleRepeatedServe(baseline, noAdvance bool) BenchReport {
 func WriteBenchJSON(jsonOut io.Writer, table io.Writer, baseline, noAdvance bool, suite string) error {
 	all := suite == "" || suite == "all"
 	engine := all || suite == "engine"
+	bigcomp := all || suite == "bigcomp"
 	mixed := all || suite == "mixed"
 	serve := all || suite == "serve"
 	daemon := all || suite == "daemon"
-	if !engine && !mixed && !serve && !daemon {
-		return fmt.Errorf("experiments: unknown bench suite %q (want all, engine, mixed, serve or daemon)", suite)
+	if !engine && !bigcomp && !mixed && !serve && !daemon {
+		return fmt.Errorf("experiments: unknown bench suite %q (want all, engine, bigcomp, mixed, serve or daemon)", suite)
 	}
 	if noAdvance && suite != "serve" {
 		return fmt.Errorf("experiments: -noadvance is a repeated-serve ablation; use it with -suite serve")
@@ -345,9 +396,11 @@ func WriteBenchJSON(jsonOut io.Writer, table io.Writer, baseline, noAdvance bool
 	rep := BenchReport{}
 	switch {
 	case all:
-		rep.Suite = "ECRPQ_Engine+MixedReadWrite+RepeatedServe+Daemon"
+		rep.Suite = "ECRPQ_Engine+BigComponent+MixedReadWrite+RepeatedServe+Daemon"
 	case engine:
 		rep.Suite = "ECRPQ_Engine"
+	case bigcomp:
+		rep.Suite = "Scale_BigComponent"
 	case mixed:
 		rep.Suite = "Scale_MixedReadWrite"
 	case serve:
@@ -358,6 +411,9 @@ func WriteBenchJSON(jsonOut io.Writer, table io.Writer, baseline, noAdvance bool
 	if engine {
 		rep.Benchmarks = append(rep.Benchmarks, BenchFig1aECRPQ(baseline).Benchmarks...)
 		rep.Benchmarks = append(rep.Benchmarks, BenchScaleLabelRich(baseline).Benchmarks...)
+	}
+	if bigcomp {
+		rep.Benchmarks = append(rep.Benchmarks, BenchScaleBigComponent(baseline).Benchmarks...)
 	}
 	if mixed {
 		rep.Benchmarks = append(rep.Benchmarks, BenchScaleMixedReadWrite(baseline).Benchmarks...)

@@ -53,6 +53,13 @@ const (
 	// full evaluation with an identical answer set — and a hook that
 	// panics models a crash inside the delta machinery.
 	DeltaBFS
+	// ParallelBFS fires inside the parallel product BFS — once per
+	// frontier level on the coordinator, and periodically in each
+	// expansion worker. A hook returning an error models a worker
+	// failure: the engine abandons the parallel traversal, refunds its
+	// budget, and degrades to the sequential BFS with an identical
+	// answer set (never an error, never a hang).
+	ParallelBFS
 	numPoints
 )
 
@@ -69,6 +76,8 @@ func (p Point) String() string {
 		return "qcache.leader"
 	case DeltaBFS:
 		return "ecrpq.delta-bfs"
+	case ParallelBFS:
+		return "ecrpq.parallel-bfs"
 	}
 	return "unknown"
 }

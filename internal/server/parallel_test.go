@@ -1,0 +1,115 @@
+package server
+
+import (
+	"errors"
+	"net/http"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+// TestWorkersParam pins the request-level worker override: any worker
+// count returns the same fingerprint (the parallel BFS is
+// deterministic), a malformed count is a client error, and results
+// computed at different worker counts occupy distinct cache entries
+// (the option is part of the cache key).
+func TestWorkersParam(t *testing.T) {
+	_, ts := newTestServer(t, "ababab", Config{})
+
+	var seq queryResponse
+	if code := getJSON(t, ts.URL+"/query/aplus?workers=1", &seq); code != 200 {
+		t.Fatalf("workers=1 status = %d", code)
+	}
+	for _, w := range []string{"2", "8", "0"} {
+		var qr queryResponse
+		if code := getJSON(t, ts.URL+"/query/aplus?workers="+w, &qr); code != 200 {
+			t.Fatalf("workers=%s status = %d", w, code)
+		}
+		if qr.Fingerprint != seq.Fingerprint {
+			t.Fatalf("workers=%s fingerprint %s, sequential %s", w, qr.Fingerprint, seq.Fingerprint)
+		}
+		if qr.Count != seq.Count {
+			t.Fatalf("workers=%s count %d, sequential %d", w, qr.Count, seq.Count)
+		}
+	}
+
+	// Worker counts key the cache separately: the first workers=8 read
+	// above computed fresh, a repeat is a hit, and neither touches the
+	// workers=1 entry.
+	var again queryResponse
+	if code := getJSON(t, ts.URL+"/query/aplus?workers=8", &again); code != 200 || !again.Cached {
+		t.Fatalf("repeat workers=8: status %d cached=%v, want a cache hit", 200, again.Cached)
+	}
+
+	resp, err := http.Get(ts.URL + "/query/aplus?workers=banana")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("workers=banana status = %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Get(ts.URL + "/query/aplus?workers=-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("workers=-2 status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestFaultParallelBFSDegrades pins the serving invariant for parallel
+// worker failure: with the ParallelBFS point forced to fail, a
+// workers=8 request must still serve 200 with a fingerprint identical
+// to an unfaulted twin evaluation, and /statz must show the engine
+// degraded to the sequential BFS rather than erroring.
+func TestFaultParallelBFSDegrades(t *testing.T) {
+	word := "abababab"
+	g := lineGraph(word)
+	twin := lineGraph(word)
+	_, ts := newTestServer(t, "", Config{DB: g})
+
+	var before struct {
+		ParFallbacks uint64 `json:"par_bfs_fallbacks"`
+	}
+	getJSON(t, ts.URL+"/statz", &before)
+
+	faultinject.Set(func(p faultinject.Point, n uint64) error {
+		if p == faultinject.ParallelBFS {
+			return errors.New("injected worker fault")
+		}
+		return nil
+	})
+	t.Cleanup(faultinject.Clear)
+
+	var qr queryResponse
+	if code := getJSON(t, ts.URL+"/query/aplus?workers=8&fresh=1", &qr); code != 200 {
+		t.Fatalf("faulted parallel serve status = %d", code)
+	}
+	if faultinject.Hits(faultinject.ParallelBFS) == 0 {
+		t.Fatal("ParallelBFS fault point never reached")
+	}
+	if want := unfaultedFingerprint(t, "Ans(x,y) <- (x,p,y), a+(p)", twin); qr.Fingerprint != want {
+		t.Fatalf("degraded run changed answers: %s != %s", qr.Fingerprint, want)
+	}
+	faultinject.Clear()
+
+	var after struct {
+		ParFallbacks uint64 `json:"par_bfs_fallbacks"`
+	}
+	getJSON(t, ts.URL+"/statz", &after)
+	if after.ParFallbacks <= before.ParFallbacks {
+		t.Fatalf("par_bfs_fallbacks did not advance: %d -> %d", before.ParFallbacks, after.ParFallbacks)
+	}
+
+	// Fault cleared: the same request serves the identical answer set
+	// through the healthy parallel path.
+	var qr2 queryResponse
+	if code := getJSON(t, ts.URL+"/query/aplus?workers=8&fresh=1", &qr2); code != 200 {
+		t.Fatalf("healthy parallel serve status = %d", code)
+	}
+	if qr2.Fingerprint != qr.Fingerprint {
+		t.Fatalf("healthy parallel run disagrees with degraded run: %s != %s", qr2.Fingerprint, qr.Fingerprint)
+	}
+}

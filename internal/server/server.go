@@ -82,6 +82,11 @@ type Config struct {
 	// Default: 8. Requests choose their own (smaller) per-request lag
 	// budget with maxstale=N.
 	MaxStaleLag uint64
+	// BFSWorkers is the default worker count of the frontier-synchronous
+	// parallel product BFS (ecrpq.Options.BFSWorkers): 0 uses GOMAXPROCS,
+	// 1 forces the sequential engine. Requests override it per call with
+	// workers=N. Answers and fingerprints are identical at every setting.
+	BFSWorkers int
 }
 
 func (c *Config) fill() {
@@ -138,6 +143,15 @@ type Stats struct {
 	QueueHighW int64  `json:"queue_high_water"`
 	EvalNs     uint64 `json:"eval_ns_total"`
 	Evals      uint64 `json:"evals"`
+
+	// Parallel product-BFS activity (process-wide engine counters, see
+	// ecrpq.BFSParallelStats): runs that used multi-lane expansion,
+	// multi-lane levels processed, fault-degraded runs, and component
+	// evaluations that fanned start assignments over the worker pool.
+	ParRuns      uint64 `json:"par_bfs_runs"`
+	ParLevels    uint64 `json:"par_bfs_levels"`
+	ParFallbacks uint64 `json:"par_bfs_fallbacks"`
+	ParFanouts   uint64 `json:"par_bfs_fanouts"`
 
 	Cache qcache.Stats `json:"cache"`
 	Epoch uint64       `json:"epoch"`
@@ -247,7 +261,12 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Stats returns a point-in-time snapshot of the serving counters.
 func (s *Server) Stats() Stats {
+	parRuns, parLevels, parFallbacks, parFanouts := ecrpq.BFSParallelStats()
 	return Stats{
+		ParRuns:      parRuns,
+		ParLevels:    parLevels,
+		ParFallbacks: parFallbacks,
+		ParFanouts:   parFanouts,
 		Requests:   s.requests.Load(),
 		OK:         s.ok.Load(),
 		Degraded:   s.degraded.Load(),
@@ -458,7 +477,17 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		limit = n
 	}
-	opts := ecrpq.Options{MaxProductStates: budget}
+	workers := s.cfg.BFSWorkers
+	if v := qp.Get("workers"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			s.badRequest.Add(1)
+			writeErrJSON(w, http.StatusBadRequest, fmt.Sprintf("bad workers %q", v))
+			return
+		}
+		workers = n
+	}
+	opts := ecrpq.Options{MaxProductStates: budget, BFSWorkers: workers}
 	for _, b := range qp["bind"] {
 		k, val, ok := strings.Cut(b, "=")
 		if !ok {
