@@ -413,6 +413,49 @@ func BenchmarkScale_LabelRich(b *testing.B) {
 	}
 }
 
+// E23 — scale: RDF/Wikidata-scale label spaces (|Σ| = 10⁴, Zipf
+// predicate frequencies, range-class queries over ~2500-label bands).
+// Each iteration serves one cold query: compile the program from a
+// fresh Query value and evaluate it once, bypassing the shared program
+// cache — the ad-hoc regime where alphabet size bites. The classes arms
+// run the label-class compilation (the per-query partition collapses
+// each band to one class id, so both the automaton and the joint
+// runner's memo stay |Σ|-independent); the noclasses arms run the
+// Options.NoClasses ablation, which expands each band into a per-symbol
+// alternation — Θ(|Σ|) automaton construction plus one interned tuple
+// symbol per distinct traversed label, every time the query arrives.
+// Same answers, same witnesses (see internal/ecrpq/classes_test.go);
+// the gap is pure alphabet handling. benchtables records the classes
+// arms with `-suite bigalpha` and the ablation with `-suite bigalpha
+// -baseline` (BENCH_9 vs BENCH_9_baseline).
+func BenchmarkScale_BigAlphabet(b *testing.B) {
+	g := workload.BigAlphabetGraph()
+	bind := map[ecrpq.NodeVar]graph.Node{"x": 0}
+	nQueries := len(workload.BigAlphabetQueries())
+	for _, noClasses := range []bool{false, true} {
+		mode := "classes"
+		if noClasses {
+			mode = "noclasses"
+		}
+		opts := ecrpq.Options{Bind: bind, NoClasses: noClasses, MaxProductStates: 50_000_000}
+		for qi := 0; qi < nQueries; qi++ {
+			name := workload.BigAlphabetQueries()[qi].Name
+			b.Run(fmt.Sprintf("%s/%s", mode, name), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					q := workload.BigAlphabetQueries()[qi].Query
+					p, err := ecrpq.CompileProgramOptions(q, false, noClasses)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := p.Eval(context.Background(), g, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // E21 — scale: repeated-query serving through the epoch-keyed result
 // cache. unchanged_epoch rotates a fixed query mix against a quiet
 // ~100k-edge store: with the cache every post-warmup evaluation is a

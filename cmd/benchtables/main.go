@@ -26,6 +26,15 @@
 //	                                           # cores); with -baseline the
 //	                                           # sequential ablation — the
 //	                                           # BENCH_8 comparison pair
+//	go run ./cmd/benchtables -json B.json -suite bigalpha
+//	                                           # RDF/Wikidata-scale label
+//	                                           # spaces (|Σ| = 10⁴): cold
+//	                                           # query service with the
+//	                                           # label-class partition;
+//	                                           # with -baseline the
+//	                                           # per-symbol NoClasses
+//	                                           # ablation — the BENCH_9
+//	                                           # comparison pair
 //	go run ./cmd/benchtables -json B.json -suite serve -noadvance
 //	                                           # serve suite with the cache
 //	                                           # but without the incremental
@@ -35,8 +44,8 @@
 //	                                           # baseline
 //	go run ./cmd/benchtables -json M.json -suite mixed
 //	                                           # one suite only (all,
-//	                                           # engine, bigcomp, mixed,
-//	                                           # serve, daemon) — e.g.
+//	                                           # engine, bigcomp, bigalpha,
+//	                                           # mixed, serve, daemon) — e.g.
 //	                                           # Scale_MixedReadWrite, the
 //	                                           # Scale_RepeatedServe cached
 //	                                           # serving suite, or the
@@ -61,9 +70,9 @@ import (
 func main() {
 	only := flag.String("only", "", "run a single experiment (E1..E16)")
 	jsonPath := flag.String("json", "", "run the ECRPQ engine benchmarks and write machine-readable results to this file")
-	baseline := flag.Bool("baseline", false, "with -json: run the ablation baselines (engine suites without pruning, bigcomp suite with the sequential BFS, mixed suite without delta overlays)")
+	baseline := flag.Bool("baseline", false, "with -json: run the ablation baselines (engine suites without pruning, bigcomp suite with the sequential BFS, bigalpha suite with the per-symbol NoClasses expansion, mixed suite without delta overlays)")
 	noAdvance := flag.Bool("noadvance", false, "with -json -suite serve: keep the result cache but disable incremental re-evaluation (revalidation + delta BFS)")
-	suite := flag.String("suite", "all", "with -json: benchmark suite to run (all, engine, bigcomp, mixed, serve, daemon)")
+	suite := flag.String("suite", "all", "with -json: benchmark suite to run (all, engine, bigcomp, bigalpha, mixed, serve, daemon)")
 	compare := flag.Bool("compare", false, "compare two bench JSON files (old new) and print a speedup table")
 	flag.Parse()
 	if *compare {

@@ -59,6 +59,18 @@ type Options struct {
 	// changes. It exists as the ablation baseline for benchmarks and
 	// the pruned==unpruned property tests.
 	NoPrune bool
+	// NoClasses disables the label-class compilation of components whose
+	// relation atoms carry character classes ([a-z], [^x], .): every
+	// positive class is expanded into an explicit per-label alternation
+	// and the product BFS transitions on raw labels, the pre-partition
+	// behavior. Negated classes and wildcards denote cofinite label sets
+	// and cannot be expanded, so they error under NoClasses. Queries
+	// without class atoms are unaffected. Answers and witnesses are
+	// identical either way; it exists as the ablation baseline of the
+	// big-alphabet benchmarks. For a compiled Program the mode is fixed
+	// at compile time and this field is ignored; the Eval shim selects
+	// the matching program.
+	NoClasses bool
 	// NoAdvance disables the incremental serving layer above the
 	// evaluator: epoch-stale cache lookups recompute from scratch
 	// instead of revalidating against the delta or running the
@@ -93,8 +105,8 @@ func (o Options) CacheKey() string {
 	for _, v := range vars {
 		fmt.Fprintf(&b, "%s=%d,", v, o.Bind[NodeVar(v)])
 	}
-	fmt.Fprintf(&b, ";max=%d;join=%d;nodecomp=%t;noprune=%t;noadv=%t;bfsw=%d",
-		o.MaxProductStates, o.Join, o.NoDecompose, o.NoPrune, o.NoAdvance,
+	fmt.Fprintf(&b, ";max=%d;join=%d;nodecomp=%t;noprune=%t;nocls=%t;noadv=%t;bfsw=%d",
+		o.MaxProductStates, o.Join, o.NoDecompose, o.NoPrune, o.NoClasses, o.NoAdvance,
 		effectiveBFSWorkers(o.BFSWorkers))
 	return b.String()
 }
@@ -246,7 +258,7 @@ func (r *Result) SizeBytes() int64 {
 // compiles once explicitly and adds context cancellation, streaming,
 // snapshot pinning and concurrent reuse.
 func Eval(q *Query, g *graph.DB, opts Options) (*Result, error) {
-	prog, err := sharedProgram(q, opts.NoDecompose)
+	prog, err := sharedProgram(q, opts.NoDecompose, opts.NoClasses)
 	if err != nil {
 		return nil, err
 	}
@@ -268,23 +280,23 @@ var (
 // SharedProgram is the exported face of the cache for the extension
 // packages (via plan.Cached): repeated per-call evaluation of the same
 // query object reuses one compiled program, as ecrpq.Eval does.
-func SharedProgram(q *Query) (*Program, error) { return sharedProgram(q, false) }
+func SharedProgram(q *Query) (*Program, error) { return sharedProgram(q, false, false) }
 
-func sharedProgram(q *Query, monolithic bool) (*Program, error) {
+func sharedProgram(q *Query, monolithic, noClasses bool) (*Program, error) {
 	if v, ok := progCache.Load(q); ok {
 		p := v.(*Program)
-		if p.valid(q, monolithic) {
+		if p.valid(q, monolithic, noClasses) {
 			return p, nil
 		}
-		// The caller mutated the query in place (or flipped NoDecompose):
-		// drop the stale entry — but only that exact entry, so a fresh
-		// program stored by a concurrent caller is neither deleted nor
-		// double-counted.
+		// The caller mutated the query in place (or flipped NoDecompose /
+		// NoClasses): drop the stale entry — but only that exact entry, so
+		// a fresh program stored by a concurrent caller is neither deleted
+		// nor double-counted.
 		if progCache.CompareAndDelete(q, v) {
 			progCacheCount.Add(-1)
 		}
 	}
-	p, err := CompileProgram(q, monolithic)
+	p, err := compileProgram(q, monolithic, noClasses)
 	if err != nil {
 		return nil, err
 	}
@@ -329,18 +341,25 @@ type component struct {
 	atomsOf [][]PathAtom
 	joint   *relations.Joint
 
-	// liveLabels over-approximates the edge labels any product BFS of
-	// this component can ever traverse: per tape, the intersection over
-	// the covering relation atoms of the runes their automata use at the
-	// tape's coordinate, unioned across tapes (sorted, distinct). A tape
-	// no automaton constrains makes the component liveUniversal — every
-	// label is potentially relevant. Program.Advance proves a cached
-	// result unaffected when a delta's labels miss this set entirely.
-	liveLabels    []rune
+	// part is the component's label-space partition when its atoms carry
+	// character classes and class compilation is on (nil otherwise): the
+	// joint's atoms then transition on class runes and the product BFS
+	// translates label runs to classes (see prodCore).
+	part *regex.Partition
+
+	// liveRanges over-approximates the edge labels any product BFS of
+	// this component can ever traverse, as sorted disjoint rune ranges:
+	// per tape, the intersection over the covering relation atoms of the
+	// labels they admit at the tape's coordinate, unioned across tapes.
+	// A tape no atom constrains (or a cofinite class constraint) makes
+	// the component liveUniversal — every label is potentially relevant.
+	// Program.Advance proves a cached result unaffected when a delta's
+	// labels miss these ranges entirely.
+	liveRanges    []regex.Range
 	liveUniversal bool
 }
 
-func decompose(q *Query, monolithic bool) ([]*component, error) {
+func decompose(q *Query, monolithic, noClasses bool) ([]*component, error) {
 	pathVars := []PathVar{}
 	seen := map[PathVar]bool{}
 	for _, a := range q.PathAtoms {
@@ -406,12 +425,30 @@ func decompose(q *Query, monolithic bool) ([]*component, error) {
 			}
 			atoms = append(atoms, relations.Atom{Rel: ra.Rel, Pos: pos})
 		}
+		// Live-label analysis runs over the ORIGINAL atoms (class-bearing
+		// ASTs included, via their label ranges) — the class-compiled
+		// atoms below transition on class runes, not labels.
+		c.liveRanges, c.liveUniversal = componentLiveRanges(atoms, len(vars))
+		if relations.HasClassAtoms(atoms) {
+			if noClasses {
+				expanded, err := relations.ExpandClassAtoms(atoms)
+				if err != nil {
+					return nil, err
+				}
+				atoms = expanded
+			} else {
+				part, compiled, err := relations.CompileClassAtoms(atoms)
+				if err != nil {
+					return nil, err
+				}
+				c.part, atoms = part, compiled
+			}
+		}
 		j, err := relations.NewJoint(len(vars), atoms)
 		if err != nil {
 			return nil, err
 		}
 		c.joint = j
-		c.liveLabels, c.liveUniversal = componentLive(atoms, len(vars))
 		comps = append(comps, c)
 	}
 	return comps, nil
@@ -495,12 +532,17 @@ type componentEngine struct {
 
 	// Product-state storage, reset per start assignment. State id i has
 	// node tuple curs[i*cnt:(i+1)*cnt] and joint state joints[i];
-	// parentState/parentSym record the BFS tree for witness extraction.
+	// parentState/parentSym record the BFS tree for witness extraction,
+	// and parentLabs (stride cnt, recorded only when the query outputs
+	// witnesses) the raw edge labels of the move that discovered the
+	// state — in class mode parentSym is a class tuple and cannot name
+	// the traversed labels.
 	prodTab     *intern.Table
 	curs        []graph.Node
 	joints      []int32
 	parentState []int32
 	parentSym   []int32
+	parentLabs  []rune
 
 	// Scratch buffers.
 	tupBuf   []int
@@ -670,6 +712,7 @@ func (e *componentEngine) bfsSeq(ctx context.Context, assign map[NodeVar]graph.N
 	e.joints = e.joints[:0]
 	e.parentState = e.parentState[:0]
 	e.parentSym = e.parentSym[:0]
+	e.parentLabs = e.parentLabs[:0]
 
 	start, ok := e.startTuple(assign)
 	if !ok {
@@ -701,6 +744,11 @@ func (e *componentEngine) bfsSeq(ctx context.Context, assign map[NodeVar]graph.N
 		return id, true
 	}
 	addState(e.runner.StartID(), start, -1, -1)
+	if len(e.keptCoords) > 0 {
+		for i := 0; i < cnt; i++ {
+			e.parentLabs = append(e.parentLabs, regex.Bot)
+		}
+	}
 
 	var head int
 	var cur []graph.Node
@@ -716,25 +764,37 @@ func (e *componentEngine) bfsSeq(ctx context.Context, assign map[NodeVar]graph.N
 			if _, added := addState(js, e.next, int32(head), int32(symID)); !added {
 				return nil
 			}
+			if len(e.keptCoords) > 0 {
+				e.parentLabs = append(e.parentLabs, e.symLabs[:cnt]...)
+			}
 			if !bud.spend() {
 				return ErrBudget
 			}
 			return nil
 		}
 		// Per-coordinate moves planned by prepareMoves: the ⊥ stay-move
-		// when the runner admits it, then the live-label edge runs (each
-		// virtual pair resolves to one contiguous base or delta slice).
+		// when the runner admits it, then the admissible edge runs (each
+		// (start, end, sym) triple resolves to one contiguous base or
+		// delta slice; sym ≥ 0 is the run's fixed class rune, -1 means
+		// step by each edge's own label).
 		if e.botOK[i] {
 			e.symInts[i] = int(regex.Bot)
+			e.symLabs[i] = regex.Bot
 			e.next[i] = cur[i]
 			if err := rec(i + 1); err != nil {
 				return err
 			}
 		}
 		rr := e.moveRuns[i]
-		for k := 0; k+1 < len(rr); k += 2 {
+		for k := 0; k+2 < len(rr); k += 3 {
+			fixed := rr[k+2]
 			for _, ed := range snap.EdgeRange(rr[k], rr[k+1]) {
-				e.symInts[i] = int(ed.Label)
+				if fixed >= 0 {
+					e.symInts[i] = int(fixed)
+				} else {
+					e.symInts[i] = int(ed.Label)
+				}
+				e.symLabs[i] = ed.Label
 				e.next[i] = ed.To
 				if err := rec(i + 1); err != nil {
 					return err
@@ -871,7 +931,7 @@ func (e *componentEngine) reconstruct(state int) map[PathVar]graph.Path {
 		p := graph.Path{Nodes: []graph.Node{e.curs[int(chain[0])*cnt+i]}}
 		for step := 1; step < len(chain); step++ {
 			id := int(chain[step])
-			a := e.runner.SymRunes(int(e.parentSym[id]))[i]
+			a := e.parentLabs[id*cnt+i]
 			if a == regex.Bot {
 				continue
 			}

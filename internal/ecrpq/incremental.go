@@ -9,6 +9,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/intern"
 	"repro/internal/qerr"
+	"repro/internal/regex"
 	"repro/internal/relations"
 )
 
@@ -39,21 +40,27 @@ import (
 // at all (ε-accepting relations range over every node), so any change
 // in node count forces the full fallback.
 
-// componentLive computes the live-label over-approximation of one
-// component: per tape, the intersection over the covering (atom,
-// coordinate) pairs of the runes their automata use at that coordinate
-// (any transition consuming a graph edge on the tape must project to
-// one of them); the component set is the union across tapes. A tape no
-// automaton constrains can traverse any label, making the component
-// universal. ⊥ is kept in the sets — it never appears as a stored edge
-// label, so it costs nothing and keeps the approximation conservative.
-func componentLive(atoms []relations.Atom, cnt int) (labels []rune, universal bool) {
-	var scratch []rune
+// componentLiveRanges computes the live-label over-approximation of one
+// component as sorted disjoint rune ranges: per tape, the intersection
+// over the covering (atom, coordinate) pairs of the labels they admit
+// at that coordinate (any transition consuming a graph edge on the tape
+// must fall in them); the component set is the union across tapes. It
+// runs over the ORIGINAL atoms — automaton-backed atoms contribute
+// their alphabet's coordinate projections as singleton ranges, and
+// class-bearing language atoms (no automaton) contribute the label
+// ranges of their AST, so a [ia-iz]-style constraint over a huge label
+// space stays two ints instead of 26 explicit runes. A tape no atom
+// constrains — or one constrained only by a cofinite (negated/wild)
+// class — makes the component universal. ⊥ is kept in the sets: it
+// never appears as a stored edge label, so it costs nothing and keeps
+// the approximation conservative.
+func componentLiveRanges(atoms []relations.Atom, cnt int) (live []regex.Range, universal bool) {
+	var scratch []regex.Range
 	for t := 0; t < cnt; t++ {
-		var inter []rune
+		var inter []regex.Range
 		constrained := false
 		for _, at := range atoms {
-			if at.Rel == nil || at.Rel.A == nil {
+			if at.Rel == nil {
 				continue
 			}
 			for i, p := range at.Pos {
@@ -61,69 +68,35 @@ func componentLive(atoms []relations.Atom, cnt int) (labels []rune, universal bo
 					continue
 				}
 				scratch = scratch[:0]
-				for _, sym := range at.Rel.A.Alphabet() {
-					rs := []rune(sym)
-					if i < len(rs) {
-						scratch = append(scratch, rs[i])
+				if at.Rel.A == nil {
+					rs, uni := regex.LabelRanges(at.Rel.Lang)
+					if uni {
+						continue // cofinite class: does not constrain the tape
 					}
+					scratch = append(scratch, rs...)
+				} else {
+					for _, sym := range at.Rel.A.Alphabet() {
+						rs := []rune(sym)
+						if i < len(rs) {
+							scratch = append(scratch, regex.Range{Lo: rs[i], Hi: rs[i]})
+						}
+					}
+					scratch = regex.NormalizeRanges(scratch)
 				}
-				sort.Slice(scratch, func(a, b int) bool { return scratch[a] < scratch[b] })
-				scratch = dedupSortedRunes(scratch)
 				if !constrained {
-					inter = append([]rune(nil), scratch...)
+					inter = append(inter[:0], scratch...)
 					constrained = true
 				} else {
-					inter = intersectSortedRunes(inter, scratch)
+					inter = regex.IntersectRanges(inter, scratch)
 				}
 			}
 		}
 		if !constrained {
 			return nil, true
 		}
-		labels = unionSortedRunes(labels, inter)
+		live = regex.UnionRanges(live, inter)
 	}
-	return labels, false
-}
-
-// dedupSortedRunes removes adjacent duplicates in place.
-func dedupSortedRunes(rs []rune) []rune {
-	w := 0
-	for i, r := range rs {
-		if i == 0 || r != rs[w-1] {
-			rs[w] = r
-			w++
-		}
-	}
-	return rs[:w]
-}
-
-// unionSortedRunes merges two sorted distinct rune slices.
-func unionSortedRunes(a, b []rune) []rune {
-	if len(b) == 0 {
-		return a
-	}
-	if len(a) == 0 {
-		return append([]rune(nil), b...)
-	}
-	out := make([]rune, 0, len(a)+len(b))
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] < b[j]:
-			out = append(out, a[i])
-			i++
-		case a[i] > b[j]:
-			out = append(out, b[j])
-			j++
-		default:
-			out = append(out, a[i])
-			i++
-			j++
-		}
-	}
-	out = append(out, a[i:]...)
-	out = append(out, b[j:]...)
-	return out
+	return live, false
 }
 
 // runeInSorted reports whether r is in the sorted slice rs.
@@ -293,7 +266,7 @@ func (e *componentEngine) forEachAssignment(bind map[NodeVar]graph.Node, f func(
 func deltaSources(since []graph.DeltaEdge, c *component, numNodes int) []uint64 {
 	var bits []uint64
 	for _, de := range since {
-		if !c.liveUniversal && !runeInSorted(c.liveLabels, de.Label) {
+		if !c.liveUniversal && !regex.RangesContain(c.liveRanges, de.Label) {
 			continue
 		}
 		if bits == nil {
@@ -446,8 +419,14 @@ func (p *Program) Advance(ctx context.Context, prev *Result, s *graph.Snapshot, 
 	if !ok {
 		return nil, AdvanceNone, nil
 	}
-	if !p.liveUniversal && !edgesIntersectLive(since, p.liveLabels) {
-		return restamp(prev, s), AdvanceRevalidated, nil
+	if !p.liveUniversal {
+		// Range-over-range disjointness: the delta's distinct labels
+		// coalesce into a few ranges (adjacent interned labels usually
+		// merge), so one merge-scan against the program's live ranges
+		// settles revalidation even for label-rich write storms.
+		if lr, lok := s.LabelRangesSince(ps.Epoch()); lok && !labelRangesIntersectLive(lr, p.liveRanges) {
+			return restamp(prev, s), AdvanceRevalidated, nil
+		}
 	}
 	m := prev.inc
 	if !p.incCapable || m == nil || m.optsKey != opts.CacheKey() ||
@@ -483,11 +462,18 @@ func restamp(prev *Result, s *graph.Snapshot) *Result {
 	return &Result{Query: prev.Query, Snap: s, Answers: prev.Answers, inc: prev.inc}
 }
 
-// edgesIntersectLive reports whether any since-edge's label is in the
-// sorted live set.
-func edgesIntersectLive(since []graph.DeltaEdge, live []rune) bool {
-	for _, de := range since {
-		if runeInSorted(live, de.Label) {
+// labelRangesIntersectLive merge-scans the delta's label ranges against
+// the program's live ranges; both are sorted and disjoint, so one pass
+// decides overlap.
+func labelRangesIntersectLive(lr []graph.LabelRange, live []regex.Range) bool {
+	i, j := 0, 0
+	for i < len(lr) && j < len(live) {
+		switch {
+		case lr[i].Hi < live[j].Lo:
+			i++
+		case live[j].Hi < lr[i].Lo:
+			j++
+		default:
 			return true
 		}
 	}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/faultinject"
 	"repro/internal/graph"
 	"repro/internal/qerr"
+	"repro/internal/regex"
 )
 
 func envABCD() Env { return Env{Sigma: []rune{'a', 'b', 'c', 'd'}} }
@@ -23,11 +24,11 @@ func TestProgramLiveLabels(t *testing.T) {
 	if p.liveUniversal {
 		t.Fatal("a+ program claims a universal live set")
 	}
-	if !runeInSorted(p.liveLabels, 'a') {
-		t.Fatalf("live set %q misses 'a'", string(p.liveLabels))
+	if !regex.RangesContain(p.liveRanges, 'a') {
+		t.Fatalf("live ranges %v miss 'a'", p.liveRanges)
 	}
-	if runeInSorted(p.liveLabels, 'b') {
-		t.Fatalf("live set %q includes the never-traversable 'b'", string(p.liveLabels))
+	if regex.RangesContain(p.liveRanges, 'b') {
+		t.Fatalf("live ranges %v include the never-traversable 'b'", p.liveRanges)
 	}
 
 	// An unconstrained path variable can traverse anything.
@@ -48,8 +49,8 @@ func TestProgramLiveLabels(t *testing.T) {
 		t.Fatal("eq program claims a universal live set")
 	}
 	for _, r := range "abcd" {
-		if !runeInSorted(e.liveLabels, r) {
-			t.Fatalf("eq live set %q misses %q", string(e.liveLabels), r)
+		if !regex.RangesContain(e.liveRanges, r) {
+			t.Fatalf("eq live ranges %v miss %q", e.liveRanges, r)
 		}
 	}
 }

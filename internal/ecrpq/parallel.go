@@ -222,6 +222,7 @@ func (p *parState) ensureLanes(e *componentEngine, n int) {
 			botOK:    make([]bool, cnt),
 			symInts:  make([]int, cnt),
 			symRunes: make([]rune, cnt),
+			symLabs:  make([]rune, cnt),
 			next:     make([]graph.Node, cnt),
 			symTab:   intern.NewTable(0),
 			nodesBuf: make([]graph.Node, len(e.allVars)),
@@ -239,6 +240,7 @@ type laneBox struct {
 	joints  []int32
 	parents []int32 // global id of the generating state
 	syms    []int32 // shared symbol id of the generating move
+	labs    []rune  // raw label tuple of the generating move (stride cnt; only when witnesses kept)
 	fresh   []bool
 }
 
@@ -261,6 +263,7 @@ type bfsLane struct {
 	botOK    []bool
 	symInts  []int
 	symRunes []rune
+	symLabs  []rune
 	next     []graph.Node
 	moveCur  []graph.Node
 	curGID   int32
@@ -297,6 +300,7 @@ func (ln *bfsLane) beginLevel() {
 		b.joints = b.joints[:0]
 		b.parents = b.parents[:0]
 		b.syms = b.syms[:0]
+		b.labs = b.labs[:0]
 		b.fresh = b.fresh[:0]
 	}
 	ln.where = ln.where[:0]
@@ -333,7 +337,14 @@ func (ln *bfsLane) liveFor(jointID int) []relations.LiveSet {
 	if eff := ln.effLive[jointID]; eff != nil {
 		return eff
 	}
-	eff := effectiveLive(ln.view.Live(jointID), ln.e.snap.Alphabet())
+	var eff []relations.LiveSet
+	if ln.e.part != nil {
+		// Class mode: live sets hold class runes, not snapshot labels —
+		// intersecting with the snapshot alphabet would be wrong.
+		eff = ln.view.Live(jointID)
+	} else {
+		eff = effectiveLive(ln.view.Live(jointID), ln.e.snap.Alphabet())
+	}
 	ln.effLive[jointID] = eff
 	return eff
 }
@@ -343,7 +354,11 @@ func (ln *bfsLane) prepareMoves(jointID int, cur []graph.Node) bool {
 	e := ln.e
 	if e.noPrune {
 		for i, v := range cur {
-			ln.moveRuns[i] = e.snap.AppendOutRanges(v, ln.moveRuns[i][:0])
+			if e.part != nil {
+				ln.moveRuns[i] = appendClassRuns(e.snap, e.part, v, nil, ln.moveRuns[i][:0])
+			} else {
+				ln.moveRuns[i] = appendAllRuns(e.snap, v, ln.moveRuns[i][:0])
+			}
 			ln.botOK[i] = true
 		}
 		return true
@@ -351,7 +366,12 @@ func (ln *bfsLane) prepareMoves(jointID int, cur []graph.Node) bool {
 	live := ln.liveFor(jointID)
 	for i, v := range cur {
 		ls := live[i]
-		rr := planCoordMoves(e.snap, ls, v, ln.moveRuns[i][:0])
+		var rr []int32
+		if e.part != nil {
+			rr = planClassCoordMoves(e.snap, e.part, ls, v, ln.moveRuns[i][:0])
+		} else {
+			rr = planCoordMoves(e.snap, ls, v, ln.moveRuns[i][:0])
+		}
 		ln.moveRuns[i] = rr
 		ln.botOK[i] = ls.Bot
 		if len(rr) == 0 && !ls.Bot {
@@ -421,19 +441,29 @@ func (ln *bfsLane) enumMoves(i, joint int) {
 		box.joints = append(box.joints, int32(js))
 		box.parents = append(box.parents, ln.curGID)
 		box.syms = append(box.syms, int32(symID))
+		if len(e.keptCoords) > 0 {
+			box.labs = append(box.labs, ln.symLabs[:e.cnt]...)
+		}
 		box.fresh = append(box.fresh, false)
 		ln.where = append(ln.where, int64(s)<<32|int64(len(box.joints)-1))
 		return
 	}
 	if ln.botOK[i] {
 		ln.symInts[i] = int(regex.Bot)
+		ln.symLabs[i] = regex.Bot
 		ln.next[i] = ln.moveCur[i]
 		ln.enumMoves(i+1, joint)
 	}
 	rr := ln.moveRuns[i]
-	for k := 0; k+1 < len(rr); k += 2 {
+	for k := 0; k+2 < len(rr); k += 3 {
+		fixed := rr[k+2]
 		for _, ed := range ln.e.snap.EdgeRange(rr[k], rr[k+1]) {
-			ln.symInts[i] = int(ed.Label)
+			if fixed >= 0 {
+				ln.symInts[i] = int(fixed)
+			} else {
+				ln.symInts[i] = int(ed.Label)
+			}
+			ln.symLabs[i] = ed.Label
 			ln.next[i] = ed.To
 			ln.enumMoves(i+1, joint)
 		}
@@ -458,7 +488,7 @@ func (ln *bfsLane) reconstruct(state int) map[PathVar]graph.Path {
 		p := graph.Path{Nodes: []graph.Node{e.curs[int(chain[0])*cnt+i]}}
 		for step := 1; step < len(chain); step++ {
 			id := int(chain[step])
-			a := ln.view.SymRunes(int(e.parentSym[id]))[i]
+			a := e.parentLabs[id*cnt+i]
 			if a == regex.Bot {
 				continue
 			}
@@ -483,6 +513,7 @@ func (e *componentEngine) bfsParallel(ctx context.Context, assign map[NodeVar]gr
 	e.joints = e.joints[:0]
 	e.parentState = e.parentState[:0]
 	e.parentSym = e.parentSym[:0]
+	e.parentLabs = e.parentLabs[:0]
 
 	start, ok := e.startTuple(assign)
 	if !ok {
@@ -505,6 +536,11 @@ func (e *componentEngine) bfsParallel(ctx context.Context, assign map[NodeVar]gr
 	e.joints = append(e.joints, int32(e.runner.StartID()))
 	e.parentState = append(e.parentState, -1)
 	e.parentSym = append(e.parentSym, -1)
+	if len(e.keptCoords) > 0 {
+		for i := 0; i < e.cnt; i++ {
+			e.parentLabs = append(e.parentLabs, regex.Bot)
+		}
+	}
 
 	spent := 0
 	counted := false
@@ -638,6 +674,9 @@ func (e *componentEngine) expandInline(i, head, joint int, snap *graph.Snapshot,
 		e.joints = append(e.joints, int32(js))
 		e.parentState = append(e.parentState, int32(head))
 		e.parentSym = append(e.parentSym, int32(symID))
+		if len(e.keptCoords) > 0 {
+			e.parentLabs = append(e.parentLabs, e.symLabs[:cnt]...)
+		}
 		if !bud.spend() {
 			return ErrBudget
 		}
@@ -646,15 +685,22 @@ func (e *componentEngine) expandInline(i, head, joint int, snap *graph.Snapshot,
 	}
 	if e.botOK[i] {
 		e.symInts[i] = int(regex.Bot)
+		e.symLabs[i] = regex.Bot
 		e.next[i] = e.moveCur[i]
 		if err := e.expandInline(i+1, head, joint, snap, par, bud, spent); err != nil {
 			return err
 		}
 	}
 	rr := e.moveRuns[i]
-	for k := 0; k+1 < len(rr); k += 2 {
+	for k := 0; k+2 < len(rr); k += 3 {
+		fixed := rr[k+2]
 		for _, ed := range snap.EdgeRange(rr[k], rr[k+1]) {
-			e.symInts[i] = int(ed.Label)
+			if fixed >= 0 {
+				e.symInts[i] = int(fixed)
+			} else {
+				e.symInts[i] = int(ed.Label)
+			}
+			e.symLabs[i] = ed.Label
 			e.next[i] = ed.To
 			if err := e.expandInline(i+1, head, joint, snap, par, bud, spent); err != nil {
 				return err
@@ -794,6 +840,9 @@ func (e *componentEngine) levelParallel(ctx context.Context, lo, hi int, bud *st
 			e.joints = append(e.joints, box.joints[i])
 			e.parentState = append(e.parentState, box.parents[i])
 			e.parentSym = append(e.parentSym, box.syms[i])
+			if len(e.keptCoords) > 0 {
+				e.parentLabs = append(e.parentLabs, box.labs[i*cnt:i*cnt+cnt]...)
+			}
 			if !bud.spend() {
 				return ErrBudget
 			}

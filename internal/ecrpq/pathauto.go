@@ -90,7 +90,7 @@ func BuildPathAutomatonSnapshot(q *Query, s *graph.Snapshot, headNodes []graph.N
 		}
 		bind[z] = headNodes[i]
 	}
-	comps, err := decompose(q, true) // monolithic: all m tapes at once
+	comps, err := decompose(q, true, opts.NoClasses) // monolithic: all m tapes at once
 	if err != nil {
 		return nil, err
 	}
@@ -178,7 +178,7 @@ func (pb *productBuilder) buildRepBFS(full *automata.NFA[string], globalStart in
 			return err
 		}
 		mid := full.AddState()
-		full.AddTransition(from, "L:"+pb.runner.SymString(sid), mid)
+		full.AddTransition(from, "L:"+string(pb.symLabs[:cnt]), mid)
 		full.AddTransition(mid, NodeSym(pb.next), int(pb.nfaIDs[to]))
 		return nil
 	}

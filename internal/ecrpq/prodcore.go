@@ -26,6 +26,13 @@ type prodCore struct {
 	runner *relations.JointRunner
 	symTab *intern.Table // label tuples → dense symbol ids (== runner ids)
 
+	// part is the component's label-space partition when its atoms carry
+	// character classes (nil otherwise — the legacy per-label mode). In
+	// class mode the runner transitions on class runes and the move plan
+	// translates the snapshot's label runs to classes; witnesses still
+	// record raw labels (symLabs).
+	part *regex.Partition
+
 	// noPrune disables the label-directed move planning: prepareMoves
 	// then plans the exhaustive enumeration (every out-edge plus ⊥ at
 	// every coordinate). The joint runner's dead-subset elimination
@@ -34,9 +41,12 @@ type prodCore struct {
 	noPrune bool
 
 	// Move plan for the product state currently being expanded, filled
-	// by prepareMoves: per coordinate, virtual (start,end) pairs into
-	// the snapshot's edge segments (resolved by Snapshot.EdgeRange) of
-	// the admissible edge runs, plus whether the ⊥ stay-move is live.
+	// by prepareMoves: per coordinate, (start, end, sym) triples — a
+	// virtual edge range into the snapshot's segments (resolved by
+	// Snapshot.EdgeRange) plus the runner symbol of the whole run: -1
+	// means "read each edge's own label" (legacy mode), a non-negative
+	// value is the fixed class rune every edge of the run steps by
+	// (class mode) — plus whether the ⊥ stay-move is live.
 	moveRuns [][]int32
 	botOK    []bool
 
@@ -53,6 +63,7 @@ type prodCore struct {
 	// coordinate; moveCur and moveF hold the enumeration's inputs so the
 	// recursion is a method, not a per-state closure.
 	symInts  []int
+	symLabs  []rune // raw graph labels of the current move (class mode: ≠ symInts)
 	symRunes []rune
 	next     []graph.Node
 	moveCur  []graph.Node
@@ -70,9 +81,11 @@ func newProdCore(snap *graph.Snapshot, c *component) prodCore {
 		cnt:      cnt,
 		runner:   relations.NewJointRunner(c.joint),
 		symTab:   intern.NewTable(0),
+		part:     c.part,
 		moveRuns: make([][]int32, cnt),
 		botOK:    make([]bool, cnt),
 		symInts:  make([]int, cnt),
+		symLabs:  make([]rune, cnt),
 		symRunes: make([]rune, cnt),
 		next:     make([]graph.Node, cnt),
 	}
@@ -130,7 +143,15 @@ func (pc *prodCore) liveFor(jointID int) []relations.LiveSet {
 	if eff := pc.effLive[jointID]; eff != nil {
 		return eff
 	}
-	eff := effectiveLive(pc.runner.Live(jointID), pc.snap.Alphabet())
+	var eff []relations.LiveSet
+	if pc.part != nil {
+		// Class mode: the runner's live labels are class runes, not graph
+		// labels, so the snapshot-alphabet intersection does not apply —
+		// the move plan translates runs to classes instead.
+		eff = pc.runner.Live(jointID)
+	} else {
+		eff = effectiveLive(pc.runner.Live(jointID), pc.snap.Alphabet())
+	}
 	pc.effLive[jointID] = eff
 	return eff
 }
@@ -171,7 +192,7 @@ func intersectSortedRunes(a, b []rune) []rune {
 	return out
 }
 
-// appendLiveRuns appends to rr the virtual (start,end) pairs of the
+// appendLiveRuns appends to rr the (start, end, -1) triples of the
 // runs in runs whose label belongs to the sorted live set lab. For
 // each run (few — one per distinct label of the segment) it
 // binary-searches the shrinking tail of lab: O(runs·log|live|),
@@ -179,7 +200,7 @@ func intersectSortedRunes(a, b []rune) []rune {
 // selected runs coalesce into one contiguous range (they abut in the
 // segment's edge array) — but never across calls: coalescing stops at
 // the rr prefix that was already present, so base and delta segments
-// stay separate pairs.
+// stay separate triples.
 func appendLiveRuns(rr []int32, runs []graph.LabelRun, lab []rune) []int32 {
 	floor := len(rr)
 	li := 0
@@ -198,10 +219,10 @@ func appendLiveRuns(rr []int32, runs []graph.LabelRun, lab []rune) []int32 {
 			break
 		}
 		if lab[li] == run.Label {
-			if n := len(rr); n > floor && rr[n-1] == run.Start {
-				rr[n-1] = run.End
+			if n := len(rr); n > floor && rr[n-2] == run.Start {
+				rr[n-2] = run.End
 			} else {
-				rr = append(rr, run.Start, run.End)
+				rr = append(rr, run.Start, run.End, -1)
 			}
 			li++
 			if li == len(lab) {
@@ -222,7 +243,11 @@ func appendLiveRuns(rr []int32, runs []graph.LabelRun, lab []rune) []int32 {
 func (pc *prodCore) prepareMoves(jointID int, cur []graph.Node) bool {
 	if pc.noPrune {
 		for i, v := range cur {
-			pc.moveRuns[i] = pc.snap.AppendOutRanges(v, pc.moveRuns[i][:0])
+			if pc.part != nil {
+				pc.moveRuns[i] = appendClassRuns(pc.snap, pc.part, v, nil, pc.moveRuns[i][:0])
+			} else {
+				pc.moveRuns[i] = appendAllRuns(pc.snap, v, pc.moveRuns[i][:0])
+			}
 			pc.botOK[i] = true
 		}
 		return true
@@ -230,7 +255,12 @@ func (pc *prodCore) prepareMoves(jointID int, cur []graph.Node) bool {
 	live := pc.liveFor(jointID)
 	for i, v := range cur {
 		ls := live[i]
-		rr := planCoordMoves(pc.snap, ls, v, pc.moveRuns[i][:0])
+		var rr []int32
+		if pc.part != nil {
+			rr = planClassCoordMoves(pc.snap, pc.part, ls, v, pc.moveRuns[i][:0])
+		} else {
+			rr = planCoordMoves(pc.snap, ls, v, pc.moveRuns[i][:0])
+		}
 		pc.moveRuns[i] = rr
 		pc.botOK[i] = ls.Bot
 		if len(rr) == 0 && !ls.Bot {
@@ -240,15 +270,67 @@ func (pc *prodCore) prepareMoves(jointID int, cur []graph.Node) bool {
 	return true
 }
 
+// appendAllRuns appends the node's whole out-edge ranges — at most one
+// per segment — as (start, end, -1) triples: the legacy exhaustive and
+// All-live move plan.
+func appendAllRuns(snap *graph.Snapshot, v graph.Node, rr []int32) []int32 {
+	var tmp [4]int32
+	for t := snap.AppendOutRanges(v, tmp[:0]); len(t) >= 2; t = t[2:] {
+		rr = append(rr, t[0], t[1], -1)
+	}
+	return rr
+}
+
+// planClassCoordMoves is planCoordMoves for a class-compiled component:
+// the live set carries class runes, so the plan walks the node's label
+// runs in both segments, translating each run's label to its class and
+// keeping the runs whose class is live. Each kept run becomes a
+// (start, end, class) triple — the class is constant across the run, so
+// the enumeration steps the runner without touching per-edge labels.
+func planClassCoordMoves(snap *graph.Snapshot, part *regex.Partition, ls relations.LiveSet, v graph.Node, rr []int32) []int32 {
+	switch {
+	case ls.All:
+		rr = appendClassRuns(snap, part, v, nil, rr)
+	case len(ls.Labels) > 0:
+		rr = appendClassRuns(snap, part, v, ls.Labels, rr)
+	}
+	return rr
+}
+
+// appendClassRuns appends (start, end, class) triples for the node's
+// label runs across both segments, mapping each run's label to its
+// partition class. live (sorted class runes) filters the runs; nil
+// keeps every run, including dead-class ones — the runner then rejects
+// those symbols itself, matching the legacy exhaustive semantics.
+// Adjacent same-class runs coalesce within a segment, never across the
+// base/delta boundary (a triple must not span segments).
+func appendClassRuns(snap *graph.Snapshot, part *regex.Partition, v graph.Node, live []rune, rr []int32) []int32 {
+	for _, runs := range [2][]graph.LabelRun{snap.BaseRuns(v), snap.DeltaRuns(v)} {
+		floor := len(rr)
+		for _, run := range runs {
+			c := part.ClassOf(run.Label)
+			if live != nil && !runeInSorted(live, c) {
+				continue
+			}
+			if n := len(rr); n > floor && rr[n-1] == int32(c) && rr[n-2] == run.Start {
+				rr[n-2] = run.End
+			} else {
+				rr = append(rr, run.Start, run.End, int32(c))
+			}
+		}
+	}
+	return rr
+}
+
 // planCoordMoves selects one coordinate's admissible edge runs: the
 // node's label runs intersected with the live set ls, appended to rr as
-// virtual (start,end) pairs. Shared by the sequential engine and the
+// (start, end, -1) triples. Shared by the sequential engine and the
 // parallel BFS lanes (pure over the snapshot; rr is the caller's
 // scratch).
 func planCoordMoves(snap *graph.Snapshot, ls relations.LiveSet, v graph.Node, rr []int32) []int32 {
 	switch {
 	case ls.All:
-		rr = snap.AppendOutRanges(v, rr)
+		rr = appendAllRuns(snap, v, rr)
 	case len(ls.Labels) > 0:
 		// Base segment, selected inline (the compacted common case
 		// pays nothing beyond the PR 3 loop): for each of the node's
@@ -272,10 +354,10 @@ func planCoordMoves(snap *graph.Snapshot, ls relations.LiveSet, v graph.Node, rr
 				break
 			}
 			if lab[li] == run.Label {
-				if n := len(rr); n > 0 && rr[n-1] == run.Start {
-					rr[n-1] = run.End
+				if n := len(rr); n > 0 && rr[n-2] == run.Start {
+					rr[n-2] = run.End
 				} else {
-					rr = append(rr, run.Start, run.End)
+					rr = append(rr, run.Start, run.End, -1)
 				}
 				li++
 				if li == len(lab) {
@@ -308,15 +390,22 @@ func (pc *prodCore) enumMoves(i int) error {
 	}
 	if pc.botOK[i] {
 		pc.symInts[i] = int(regex.Bot)
+		pc.symLabs[i] = regex.Bot
 		pc.next[i] = pc.moveCur[i]
 		if err := pc.enumMoves(i + 1); err != nil {
 			return err
 		}
 	}
 	rr := pc.moveRuns[i]
-	for k := 0; k+1 < len(rr); k += 2 {
+	for k := 0; k+2 < len(rr); k += 3 {
+		fixed := rr[k+2]
 		for _, ed := range pc.snap.EdgeRange(rr[k], rr[k+1]) {
-			pc.symInts[i] = int(ed.Label)
+			if fixed >= 0 {
+				pc.symInts[i] = int(fixed)
+			} else {
+				pc.symInts[i] = int(ed.Label)
+			}
+			pc.symLabs[i] = ed.Label
 			pc.next[i] = ed.To
 			if err := pc.enumMoves(i + 1); err != nil {
 				return err

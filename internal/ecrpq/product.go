@@ -32,7 +32,7 @@ func ProductNFASnapshot(q *Query, s *graph.Snapshot, opts Options) (*automata.NF
 	if err := q.Validate(); err != nil {
 		return nil, nil, err
 	}
-	comps, err := decompose(q, true)
+	comps, err := decompose(q, true, opts.NoClasses)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -165,7 +165,7 @@ func (pb *productBuilder) addProductCopy(out *automata.NFA[string], assign, bind
 		if err != nil {
 			return err
 		}
-		out.AddTransition(from, pb.runner.SymString(sid), int(pb.nfaIDs[to]))
+		out.AddTransition(from, string(pb.symLabs[:cnt]), int(pb.nfaIDs[to]))
 		return nil
 	}
 	for head := 0; head < len(pb.joints); head++ {

@@ -4,11 +4,14 @@ import (
 	"context"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 
 	"repro/internal/graph"
 	"repro/internal/intern"
 	"repro/internal/qerr"
+	"repro/internal/regex"
+	"repro/internal/relations"
 )
 
 // Program is the compiled, executable form of a query — the "plan" half
@@ -35,6 +38,7 @@ import (
 type Program struct {
 	q          *Query
 	monolithic bool
+	noClasses  bool
 
 	// Structural fingerprint of the query at compile time; if the caller
 	// mutated the query in place since, the cached program is discarded
@@ -53,11 +57,12 @@ type Program struct {
 	jp        joinPlan
 
 	// Live-label over-approximation of the whole program (union of the
-	// component sets; see componentLive) and whether the query is
-	// eligible for the semi-naive delta pass: node-tuple answers are
-	// monotone in the edge relation, but kept shortest witnesses are
-	// not, so only queries without head path variables capture memos.
-	liveLabels    []rune
+	// component range sets; see componentLiveRanges) and whether the
+	// query is eligible for the semi-naive delta pass: node-tuple
+	// answers are monotone in the edge relation, but kept shortest
+	// witnesses are not, so only queries without head path variables
+	// capture memos.
+	liveRanges    []regex.Range
 	liveUniversal bool
 	incCapable    bool
 
@@ -76,12 +81,29 @@ const maxPooledEngines = 8
 
 // CompileProgram compiles q into an executable Program. With monolithic
 // set the component decomposition is disabled and the full m-tape
-// product is compiled (the Options.NoDecompose ablation).
+// product is compiled (the Options.NoDecompose ablation). Components
+// whose atoms carry character classes compile against a label-space
+// partition (the class-ID product BFS); the Options.NoClasses ablation
+// compiles through the internal variant the Eval shim selects.
 func CompileProgram(q *Query, monolithic bool) (*Program, error) {
+	return compileProgram(q, monolithic, false)
+}
+
+// CompileProgramOptions compiles q with both ablation switches explicit
+// — monolithic (Options.NoDecompose) and noClasses (Options.NoClasses)
+// — and without consulting or populating the shared program cache.
+// Benchmarks use it to measure cold query service (compilation plus
+// first evaluation), where per-symbol automata pay their Θ(|Σ|)
+// construction cost on every arriving query.
+func CompileProgramOptions(q *Query, monolithic, noClasses bool) (*Program, error) {
+	return compileProgram(q, monolithic, noClasses)
+}
+
+func compileProgram(q *Query, monolithic, noClasses bool) (*Program, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
-	comps, err := decompose(q, monolithic)
+	comps, err := decompose(q, monolithic, noClasses)
 	if err != nil {
 		return nil, err
 	}
@@ -92,6 +114,7 @@ func CompileProgram(q *Query, monolithic bool) (*Program, error) {
 	p := &Program{
 		q:          q,
 		monolithic: monolithic,
+		noClasses:  noClasses,
 		pathAtoms:  append([]PathAtom(nil), q.PathAtoms...),
 		headNodes:  append([]NodeVar(nil), q.HeadNodes...),
 		headPaths:  append([]PathVar(nil), q.HeadPaths...),
@@ -119,15 +142,15 @@ func CompileProgram(q *Query, monolithic bool) (*Program, error) {
 		if c.liveUniversal {
 			p.liveUniversal = true
 		}
-		p.liveLabels = unionSortedRunes(p.liveLabels, c.liveLabels)
+		p.liveRanges = regex.UnionRanges(p.liveRanges, c.liveRanges)
 	}
 	return p, nil
 }
 
 // valid reports whether the compiled fingerprint still matches q — the
 // guard behind the Eval shim's per-query program cache.
-func (p *Program) valid(q *Query, monolithic bool) bool {
-	if p.monolithic != monolithic ||
+func (p *Program) valid(q *Query, monolithic, noClasses bool) bool {
+	if p.monolithic != monolithic || p.noClasses != noClasses ||
 		p.allowRep != q.AllowRepeatedPathVars ||
 		len(p.pathAtoms) != len(q.PathAtoms) ||
 		len(p.relAtoms) != len(q.RelAtoms) ||
@@ -193,7 +216,7 @@ func (p *Program) Components() []ComponentInfo {
 		live := e.runner.Live(e.runner.StartID())
 		starts := make([]string, len(live))
 		for t, ls := range live {
-			starts[t] = ls.String()
+			starts[t] = renderLiveSet(ls, c.part)
 		}
 		p.put(i, e)
 		out[i] = ComponentInfo{
@@ -203,6 +226,37 @@ func (p *Program) Components() []ComponentInfo {
 		}
 	}
 	return out
+}
+
+// renderLiveSet renders a live set for Explain output. In class mode
+// the set's labels are class runes, so they are translated back to
+// label ranges via the partition ("?" is the wild bucket — every label
+// outside the partition's cells); legacy sets render as before.
+func renderLiveSet(ls relations.LiveSet, part *regex.Partition) string {
+	if part == nil || ls.All || len(ls.Labels) == 0 {
+		return ls.String()
+	}
+	var b strings.Builder
+	for _, c := range ls.Labels {
+		if b.Len() > 0 {
+			b.WriteByte('|')
+		}
+		switch {
+		case c == part.WildClass():
+			b.WriteByte('?')
+		case int(c) >= 1 && int(c) <= part.NumCells():
+			b.WriteString(regex.FormatLabelRange(part.Cell(c)))
+		default:
+			b.WriteByte('?')
+		}
+	}
+	if ls.Bot {
+		if b.Len() > 0 {
+			b.WriteByte('|')
+		}
+		b.WriteRune('⊥')
+	}
+	return b.String()
 }
 
 // take borrows an engine for component i. The fan-out hooks let the
@@ -264,7 +318,7 @@ func (p *Program) put(i int, e *componentEngine) {
 		e.effLive = e.effLive[:0]
 	}
 	if cap(e.parentState) > maxPooledScratch {
-		e.curs, e.joints, e.parentState, e.parentSym = nil, nil, nil, nil
+		e.curs, e.joints, e.parentState, e.parentSym, e.parentLabs = nil, nil, nil, nil, nil
 	}
 	if e.prodTab.Cap() > maxPooledScratch {
 		e.prodTab = intern.NewTable(0)

@@ -362,16 +362,59 @@ func BenchScaleRepeatedServe(baseline, noAdvance bool) BenchReport {
 	return rep
 }
 
+// BenchScaleBigAlphabet runs the Scale_BigAlphabet suite — the
+// RDF/Wikidata-scale label-space cases of BenchmarkScale_BigAlphabet
+// (|Σ| = 10⁴, Zipf predicate frequencies, range-class band queries over
+// the same seeded graph). Each iteration serves one cold query: compile
+// from a fresh Query value, evaluate once, never touching the shared
+// program cache — the ad-hoc regime where alphabet size bites. The
+// non-baseline run compiles with the label-class partition (automaton
+// size independent of |Σ|); baseline reruns the identical cases through
+// the Options.NoClasses per-symbol ablation, which expands each band
+// into a Θ(|Σ|)-transition alternation on every arriving query — the
+// old file of the BENCH_9 vs BENCH_9_baseline comparison. Both halves
+// compute byte-identical answers and witnesses (the equivalence pinned
+// by internal/ecrpq/classes_test.go), and bench names match across the
+// halves so `-compare` lines up.
+func BenchScaleBigAlphabet(baseline bool) BenchReport {
+	rep := BenchReport{Suite: "Scale_BigAlphabet"}
+	g := workload.BigAlphabetGraph()
+	bind := map[ecrpq.NodeVar]graph.Node{"x": 0}
+	opts := ecrpq.Options{Bind: bind, NoClasses: baseline, MaxProductStates: 50_000_000}
+	for qi := range workload.BigAlphabetQueries() {
+		qi := qi
+		name := workload.BigAlphabetQueries()[qi].Name
+		rep.Benchmarks = append(rep.Benchmarks, runBench(
+			"Scale_BigAlphabet/"+name,
+			func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					q := workload.BigAlphabetQueries()[qi].Query
+					p, err := ecrpq.CompileProgramOptions(q, false, baseline)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if _, err := p.Eval(context.Background(), g, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}))
+	}
+	return rep
+}
+
 // WriteBenchJSON runs the benchmark suites selected by suite — "" or
 // "all" for everything, "engine" for Fig1a + Scale_LabelRich, "bigcomp"
-// for Scale_BigComponent, "mixed" for Scale_MixedReadWrite, "serve" for
-// Scale_RepeatedServe, "daemon" for the end-to-end Daemon_Serve HTTP
-// latency suite — and writes the combined report as indented JSON, plus
-// a short human-readable table to table (if non-nil). baseline runs the
-// ablation of each selected suite: the exhaustive-enumeration NoPrune
-// baseline for the engine suites, the sequential-BFS (BFSWorkers 1)
-// baseline for the big-component suite, the delta-overlay-disabled
-// full-rebuild baseline for the mixed suite, and the cache-disabled
+// for Scale_BigComponent, "bigalpha" for Scale_BigAlphabet, "mixed" for
+// Scale_MixedReadWrite, "serve" for Scale_RepeatedServe, "daemon" for
+// the end-to-end Daemon_Serve HTTP latency suite — and writes the
+// combined report as indented JSON, plus a short human-readable table
+// to table (if non-nil). baseline runs the ablation of each selected
+// suite: the exhaustive-enumeration NoPrune baseline for the engine
+// suites, the sequential-BFS (BFSWorkers 1) baseline for the
+// big-component suite, the per-symbol NoClasses baseline for the
+// big-alphabet suite, the delta-overlay-disabled full-rebuild baseline
+// for the mixed suite, and the cache-disabled
 // baseline for the repeated-serve suite — producing the old file of a
 // `benchtables -compare` pair. noAdvance is the finer serve-only
 // ablation: cache on, incremental serving layer off (Options.NoAdvance)
@@ -381,11 +424,12 @@ func WriteBenchJSON(jsonOut io.Writer, table io.Writer, baseline, noAdvance bool
 	all := suite == "" || suite == "all"
 	engine := all || suite == "engine"
 	bigcomp := all || suite == "bigcomp"
+	bigalpha := all || suite == "bigalpha"
 	mixed := all || suite == "mixed"
 	serve := all || suite == "serve"
 	daemon := all || suite == "daemon"
-	if !engine && !bigcomp && !mixed && !serve && !daemon {
-		return fmt.Errorf("experiments: unknown bench suite %q (want all, engine, bigcomp, mixed, serve or daemon)", suite)
+	if !engine && !bigcomp && !bigalpha && !mixed && !serve && !daemon {
+		return fmt.Errorf("experiments: unknown bench suite %q (want all, engine, bigcomp, bigalpha, mixed, serve or daemon)", suite)
 	}
 	if noAdvance && suite != "serve" {
 		return fmt.Errorf("experiments: -noadvance is a repeated-serve ablation; use it with -suite serve")
@@ -396,11 +440,13 @@ func WriteBenchJSON(jsonOut io.Writer, table io.Writer, baseline, noAdvance bool
 	rep := BenchReport{}
 	switch {
 	case all:
-		rep.Suite = "ECRPQ_Engine+BigComponent+MixedReadWrite+RepeatedServe+Daemon"
+		rep.Suite = "ECRPQ_Engine+BigComponent+BigAlphabet+MixedReadWrite+RepeatedServe+Daemon"
 	case engine:
 		rep.Suite = "ECRPQ_Engine"
 	case bigcomp:
 		rep.Suite = "Scale_BigComponent"
+	case bigalpha:
+		rep.Suite = "Scale_BigAlphabet"
 	case mixed:
 		rep.Suite = "Scale_MixedReadWrite"
 	case serve:
@@ -414,6 +460,9 @@ func WriteBenchJSON(jsonOut io.Writer, table io.Writer, baseline, noAdvance bool
 	}
 	if bigcomp {
 		rep.Benchmarks = append(rep.Benchmarks, BenchScaleBigComponent(baseline).Benchmarks...)
+	}
+	if bigalpha {
+		rep.Benchmarks = append(rep.Benchmarks, BenchScaleBigAlphabet(baseline).Benchmarks...)
 	}
 	if mixed {
 		rep.Benchmarks = append(rep.Benchmarks, BenchScaleMixedReadWrite(baseline).Benchmarks...)

@@ -243,6 +243,32 @@ func (s *Snapshot) LabelsSince(epoch uint64) ([]rune, bool) {
 	return labels, true
 }
 
+// LabelRange is an inclusive range of edge labels, the unit
+// LabelRangesSince reports deltas in: consecutive interned labels
+// coalesce, so a label-rich write burst usually collapses to a few
+// ranges regardless of how many distinct labels it touched.
+type LabelRange struct{ Lo, Hi rune }
+
+// LabelRangesSince returns the distinct labels carried by the edges
+// written strictly after epoch, coalesced into sorted disjoint
+// inclusive ranges; like EdgesSince it reports false when epoch
+// predates the retained history window.
+func (s *Snapshot) LabelRangesSince(epoch uint64) ([]LabelRange, bool) {
+	labels, ok := s.LabelsSince(epoch)
+	if !ok {
+		return nil, false
+	}
+	var out []LabelRange
+	for _, a := range labels {
+		if n := len(out); n > 0 && out[n-1].Hi+1 == a {
+			out[n-1].Hi = a
+		} else {
+			out = append(out, LabelRange{Lo: a, Hi: a})
+		}
+	}
+	return out, true
+}
+
 // HistoryFloor returns the oldest epoch EdgesSince can answer for:
 // calls with an epoch at or above the floor succeed, older ones report
 // an exhausted history window.

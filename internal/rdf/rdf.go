@@ -24,6 +24,12 @@ import (
 type Hierarchy struct {
 	sub   map[rune]map[rune]bool
 	runes map[rune]bool
+
+	// closure memoizes the transitive closure per source property,
+	// built lazily by Prec and invalidated by Sub. RhoIso probes Prec
+	// |Σ|² times; without the memo each probe walked the declaration
+	// graph afresh.
+	closure map[rune]map[rune]bool
 }
 
 // NewHierarchy returns an empty hierarchy.
@@ -39,6 +45,7 @@ func (h *Hierarchy) Sub(a, b rune) *Hierarchy {
 	h.sub[a][b] = true
 	h.runes[a] = true
 	h.runes[b] = true
+	h.closure = nil
 	return h
 }
 
@@ -50,25 +57,32 @@ func (h *Hierarchy) Reflexive() *Hierarchy {
 	return h
 }
 
-// Prec reports whether a ≺ b in the transitive closure.
+// Prec reports whether a ≺ b in the transitive closure. The closure of
+// each source is computed once (a DFS over the declaration graph) and
+// reused until the next Sub declaration.
 func (h *Hierarchy) Prec(a, b rune) bool {
-	seen := map[rune]bool{}
-	var walk func(x rune) bool
-	walk = func(x rune) bool {
-		if h.sub[x][b] {
-			return true
-		}
-		for y := range h.sub[x] {
-			if !seen[y] {
-				seen[y] = true
-				if walk(y) {
-					return true
+	if h.closure == nil {
+		h.closure = map[rune]map[rune]bool{}
+	}
+	reach, ok := h.closure[a]
+	if !ok {
+		reach = map[rune]bool{}
+		stack := []rune{a}
+		seen := map[rune]bool{a: true}
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for y := range h.sub[x] {
+				reach[y] = true
+				if !seen[y] {
+					seen[y] = true
+					stack = append(stack, y)
 				}
 			}
 		}
-		return false
+		h.closure[a] = reach
 	}
-	return walk(a)
+	return reach[b]
 }
 
 // Properties returns the declared properties, sorted.

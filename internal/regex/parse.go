@@ -13,12 +13,19 @@ import (
 //	expr   := branch ('|' branch)*
 //	branch := factor*
 //	factor := atom ('*' | '+' | '?')*
-//	atom   := '(' expr ')' | '[' sym* ']' | sym
+//	atom   := '(' expr ')' | '[' '^'? item* ']' | '.' | sym
+//	item   := sym ('-' sym)?     (a class member or inclusive range)
 //	sym    := '_'                (the padding symbol ⊥)
 //	        | '\' any-rune       (escaped literal)
-//	        | any rune except ()[]|*+?\<>,
+//	        | any rune except ()[]|*+?\<>,.
 //
 // "()" denotes ε and "[]" denotes ∅. "[abc]" is the class a|b|c.
+// "[a-f]" matches the inclusive rune range, "[^x]" matches every label
+// except x, and "." matches every label; ⊥ is never matched by ranges,
+// negations or the wildcard. A '-' first or last in a class is the
+// literal dash. Plain classes like "[abc]" stay explicit alternations;
+// ranges, negations and "." produce class nodes, which engage the
+// label-class compilation of package ecrpq (see regex.Partition).
 func Parse(src string) (*Node[rune], error) {
 	p := &parser{src: src}
 	n, err := p.parseExpr()
@@ -62,7 +69,7 @@ func (p *parser) errorf(format string, args ...any) error {
 	return fmt.Errorf("regex: parse error at offset %d of %q: %s", p.pos, p.src, fmt.Sprintf(format, args...))
 }
 
-const meta = `()[]|*+?\<>,`
+const meta = `()[]|*+?\<>,.`
 
 func (p *parser) parseExpr() (*Node[rune], error) {
 	n, err := p.parseBranch()
@@ -141,19 +148,10 @@ func (p *parser) parseAtom() (*Node[rune], error) {
 		return n, nil
 	case '[':
 		p.next()
-		var syms []rune
-		for !p.eof() && p.peek() != ']' {
-			s, err := p.parseSym()
-			if err != nil {
-				return nil, err
-			}
-			syms = append(syms, s)
-		}
-		if p.eof() {
-			return nil, p.errorf("missing ']'")
-		}
+		return p.parseClass()
+	case '.':
 		p.next()
-		return AnyOf(syms...), nil
+		return ClassNode(Wild()), nil
 	case ')', ']', '|', '*', '+', '?', ',', '<', '>':
 		return nil, p.errorf("unexpected %q", r)
 	default:
@@ -163,6 +161,64 @@ func (p *parser) parseAtom() (*Node[rune], error) {
 		}
 		return Lit(s), nil
 	}
+}
+
+// parseClass parses the body of a bracket class (the '[' is consumed):
+// an optional leading '^' negates, and 'a-b' between two symbols is the
+// inclusive range. Plain symbol lists stay an explicit alternation
+// (AnyOf); ranges and negations produce a ClassExpr node.
+func (p *parser) parseClass() (*Node[rune], error) {
+	negate := false
+	if !p.eof() && p.peek() == '^' {
+		p.next()
+		negate = true
+	}
+	var syms []rune
+	var ranges []Range
+	for !p.eof() && p.peek() != ']' {
+		s, err := p.parseSym()
+		if err != nil {
+			return nil, err
+		}
+		if !p.eof() && p.peek() == '-' {
+			p.next()
+			if p.eof() {
+				return nil, p.errorf("missing ']'")
+			}
+			if p.peek() == ']' {
+				// Trailing '-' is the literal dash.
+				syms = append(syms, s, '-')
+				continue
+			}
+			hi, err := p.parseSym()
+			if err != nil {
+				return nil, err
+			}
+			if s == Bot || hi == Bot {
+				return nil, p.errorf("range endpoints cannot be ⊥")
+			}
+			if hi < s {
+				return nil, p.errorf("inverted range %q-%q", s, hi)
+			}
+			ranges = append(ranges, Range{s, hi})
+			continue
+		}
+		syms = append(syms, s)
+	}
+	if p.eof() {
+		return nil, p.errorf("missing ']'")
+	}
+	p.next()
+	if !negate && len(ranges) == 0 {
+		return AnyOf(syms...), nil
+	}
+	for _, s := range syms {
+		if s == Bot {
+			return nil, p.errorf("⊥ cannot appear in a range or negated class")
+		}
+		ranges = append(ranges, Range{s, s})
+	}
+	return ClassNode(NewClass(negate, ranges...)), nil
 }
 
 func (p *parser) parseSym() (rune, error) {

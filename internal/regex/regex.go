@@ -35,15 +35,22 @@ const (
 	OpConcat           // Left·Right
 	OpAlt              // Left|Right
 	OpStar             // Left*
+	OpClass            // a character class over rune ranges (rune ASTs only)
 )
 
 // Node is a regular-expression AST node over symbols of type S. Nodes are
 // immutable after construction; always build them with the constructors
 // (None, Eps, Lit, Seq, Or, Kleene, ...) which apply local simplifications.
+//
+// OpClass nodes carry a ClassExpr instead of an explicit symbol set and
+// are only meaningful for the rune instantiation (S = rune); see
+// classes.go for the class syntax, the partition compiler and the
+// per-symbol expansion.
 type Node[S comparable] struct {
 	Op          Op
-	Sym         S           // valid when Op == OpSym
-	Left, Right *Node[S]    // children; OpStar uses Left only
+	Sym         S          // valid when Op == OpSym
+	Left, Right *Node[S]   // children; OpStar uses Left only
+	Class       *ClassExpr // valid when Op == OpClass
 }
 
 // None returns ∅.
@@ -184,6 +191,11 @@ func Deriv[S comparable](n *Node[S], a S) *Node[S] {
 			return Eps[S]()
 		}
 		return None[S]()
+	case OpClass:
+		if r, ok := any(a).(rune); ok && n.Class.Contains(r) {
+			return Eps[S]()
+		}
+		return None[S]()
 	case OpConcat:
 		d := Seq(Deriv(n.Left, a), n.Right)
 		if n.Left.Nullable() {
@@ -249,6 +261,8 @@ func writeRune(b *strings.Builder, n *Node[rune], prec int) {
 	case OpStar:
 		writeRune(b, n.Left, 2)
 		b.WriteByte('*')
+	case OpClass:
+		b.WriteString(n.Class.String())
 	}
 }
 
@@ -257,7 +271,7 @@ func writeSym(b *strings.Builder, r rune) {
 		b.WriteByte('_')
 		return
 	}
-	if strings.ContainsRune(`()[]|*+?\<>,_`, r) {
+	if strings.ContainsRune(`()[]|*+?\<>,_.`, r) {
 		b.WriteByte('\\')
 	}
 	b.WriteRune(r)

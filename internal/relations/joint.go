@@ -39,6 +39,9 @@ func NewJoint(m int, atoms []Atom) (*Joint, error) {
 		return nil, fmt.Errorf("relations: joint over %d tapes exceeds the 64-tape limit (the ⊥-padding mask is 64-bit)", m)
 	}
 	for _, at := range atoms {
+		if at.Rel.A == nil {
+			return nil, fmt.Errorf("relations: atom %s carries character classes and no explicit automaton; compile it first (CompileClassAtoms or ExpandClassAtoms)", at.Rel.Name)
+		}
 		if len(at.Pos) != at.Rel.Arity {
 			return nil, fmt.Errorf("relations: atom %s has %d positions, arity %d",
 				at.Rel.Name, len(at.Pos), at.Rel.Arity)

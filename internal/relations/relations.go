@@ -116,10 +116,28 @@ func IsProperConvolution(word []TupleSym, arity int) bool {
 // Relation is an n-ary regular relation over Σ, represented by a
 // synchronous (letter-to-letter) automaton over tuple symbols. Name is a
 // human-readable description used in query printing and errors.
+//
+// Unary relations built from a regular language keep their rune AST in
+// Lang. When the AST contains character classes over a large label
+// space (regex.OpClass), A is nil: the explicit automaton would need
+// one transition per label, so class-bearing relations are compiled
+// per query component against a label-space partition instead (see
+// CompileClassAtoms) and membership is decided from the AST.
 type Relation struct {
 	Name  string
 	Arity int
 	A     *automata.NFA[TupleSym]
+
+	// Lang is the rune AST of a unary language relation (nil for
+	// relations built directly from tuple automata). It is the source
+	// of truth for class-bearing relations and for the live-label
+	// range analysis of the incremental layer.
+	Lang *regex.Node[rune]
+
+	// classSpace marks a relation recompiled over class runes by
+	// CompileClassAtoms: A transitions on class IDs, not labels, so
+	// Contains must go through Lang.
+	classSpace bool
 }
 
 // FromTupleRegex builds a relation from a regular expression over tuple
@@ -129,10 +147,16 @@ func FromTupleRegex(name string, node *regex.Node[TupleSym], arity int) *Relatio
 }
 
 // FromLanguage wraps a regular language (a unary relation) as a Relation:
-// the CRPQ case of single-path constraints L(ω).
+// the CRPQ case of single-path constraints L(ω). The rune AST is kept
+// in Lang; when it contains character classes no explicit automaton is
+// built (A stays nil) — the evaluator compiles the component's atoms
+// against a shared label-space partition instead.
 func FromLanguage(name string, node *regex.Node[rune]) *Relation {
+	if regex.HasClass(node) {
+		return &Relation{Name: name, Arity: 1, Lang: node}
+	}
 	lift := liftRegex(node)
-	return &Relation{Name: name, Arity: 1, A: automata.FromRegex(lift)}
+	return &Relation{Name: name, Arity: 1, A: automata.FromRegex(lift), Lang: node}
 }
 
 // liftRegex converts a rune regex to a 1-tuple-symbol regex.
@@ -148,6 +172,8 @@ func liftRegex(n *regex.Node[rune]) *regex.Node[TupleSym] {
 		return regex.Seq(liftRegex(n.Left), liftRegex(n.Right))
 	case regex.OpAlt:
 		return regex.Or(liftRegex(n.Left), liftRegex(n.Right))
+	case regex.OpClass:
+		panic("relations: class nodes cannot be lifted to an explicit tuple automaton (use CompileClassAtoms)")
 	default: // OpStar
 		return regex.Kleene(liftRegex(n.Left))
 	}
@@ -157,6 +183,12 @@ func liftRegex(n *regex.Node[rune]) *regex.Node[TupleSym] {
 func (r *Relation) Contains(ss ...[]rune) bool {
 	if len(ss) != r.Arity {
 		panic(fmt.Sprintf("relations: %s has arity %d, got %d strings", r.Name, r.Arity, len(ss)))
+	}
+	if r.A == nil || r.classSpace {
+		if r.Lang == nil || r.Arity != 1 {
+			panic(fmt.Sprintf("relations: %s has no automaton and no unary language", r.Name))
+		}
+		return regex.Match(r.Lang, ss[0])
 	}
 	return r.A.Accepts(Convolve(ss...))
 }

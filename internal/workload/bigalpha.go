@@ -1,0 +1,169 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"unicode/utf16"
+
+	"repro/internal/ecrpq"
+	"repro/internal/graph"
+	"repro/internal/regex"
+	"repro/internal/relations"
+)
+
+// This file is the RDF/Wikidata-scale workload: graphs whose edge
+// labels come from a huge sparse predicate vocabulary (|Σ| in the tens
+// of thousands) with a heavy-tailed frequency distribution — the regime
+// the N-Triples loader produces from real dumps and the label-class
+// partition (regex.Partition) exists for. Queries select predicate
+// bands with range classes, so a per-symbol automaton would carry
+// thousands of live labels per state while the class-compiled one
+// carries a handful of class ids.
+
+// BigAlphabetSigma returns k distinct labels assigned the way the
+// N-Triples loader interns predicates: densely from rune(1), skipping
+// '_' (the textual ⊥) and the surrogate block.
+func BigAlphabetSigma(k int) []rune {
+	out := make([]rune, 0, k)
+	for r := rune(1); len(out) < k; r++ {
+		if r == '_' {
+			continue
+		}
+		if utf16.IsSurrogate(r) {
+			r = 0xDFFF
+			continue
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// BigAlphabet builds a Wikidata-like labeled graph: n nodes, roughly
+// avgDeg·n edges with uniformly random endpoints, and edge labels drawn
+// from a mixture matching the predicate frequency profile of real RDF
+// datasets — half Zipf-skewed (a few head predicates dominate) and half
+// uniform over the whole vocabulary (the long tail where most
+// predicates occur at least once, so a graph of E edges carries
+// Θ(min(E, |Σ|)) distinct labels).
+func BigAlphabet(r *rand.Rand, n int, sigma []rune, avgDeg float64) *graph.DB {
+	g := graph.NewDB()
+	for i := 0; i < n; i++ {
+		g.AddNode("")
+	}
+	z := rand.NewZipf(r, 1.1, 8, uint64(len(sigma)-1))
+	edges := int(avgDeg * float64(n))
+	for e := 0; e < edges; e++ {
+		from := graph.Node(r.Intn(n))
+		to := graph.Node(r.Intn(n))
+		var lab rune
+		if r.Intn(2) == 0 {
+			lab = sigma[z.Uint64()]
+		} else {
+			lab = sigma[r.Intn(len(sigma))]
+		}
+		g.AddEdge(from, lab, to)
+	}
+	return g
+}
+
+// bigAlphaLabels is the vocabulary size of the Scale_BigAlphabet suite
+// and bigAlphaBand the width of the predicate bands its queries select
+// (~a quarter of the vocabulary's head).
+const (
+	bigAlphaLabels = 10000
+	bigAlphaBand   = 2500
+	bigAlphaNodes  = 2048
+)
+
+// rangePlus builds the single-tape relation C+ for the inclusive label
+// band [lo, hi] — a class node, so the ecrpq compiler partitions the
+// alphabet instead of expanding the band.
+func rangePlus(lo, hi rune) *relations.Relation {
+	node := regex.Repeat(regex.ClassNode(regex.NewClass(false, regex.Range{Lo: lo, Hi: hi})))
+	return relations.FromLanguage(fmt.Sprintf("[%U-%U]+", lo, hi), node)
+}
+
+// BigAlphaQuery is one query of the Scale_BigAlphabet suite without the
+// graph: benchmarks that measure cold query service rebuild the queries
+// every iteration while the (expensive to generate) graph stays fixed.
+type BigAlphaQuery struct {
+	Name  string
+	Query *ecrpq.Query
+}
+
+// BigAlphabetQueries builds fresh copies of the suite's three queries
+// over the |Σ| = 10⁴ vocabulary:
+//
+//   - band/head — C+(p) over the 2500 hottest predicates: most edges
+//     are live, so the run measures pure transition/interning cost —
+//     per-symbol evaluation steps the joint runner through thousands of
+//     distinct labels where class evaluation steps through one class;
+//   - band/tail — the same width starting at the vocabulary's midpoint:
+//     almost nothing is live and the range-based move pruning carries;
+//   - band/join — a star join at the bound node over two disjoint
+//     halves of the head band.
+//
+// Every call builds fresh Query values, so callers can hold the
+// class-compiled and the NoClasses (per-symbol ablation) programs side
+// by side without evicting each other from the per-query program cache
+// — or compile each copy cold, bypassing the cache entirely.
+func BigAlphabetQueries() []BigAlphaQuery {
+	sigma := BigAlphabetSigma(bigAlphaLabels)
+
+	headQ, err := ecrpq.NewBuilder().
+		Path("x", "p", "y").
+		Rel(rangePlus(sigma[0], sigma[bigAlphaBand-1]), "p").
+		HeadNodes("x", "y").
+		Build()
+	if err != nil {
+		panic(err)
+	}
+	tailQ, err := ecrpq.NewBuilder().
+		Path("x", "p", "y").
+		Rel(rangePlus(sigma[bigAlphaLabels/2], sigma[bigAlphaLabels/2+bigAlphaBand-1]), "p").
+		HeadNodes("x", "y").
+		Build()
+	if err != nil {
+		panic(err)
+	}
+	// A star join at the bound node: two single-tape components over
+	// disjoint halves of the head band, joined relationally on x. Both
+	// components stay start-bound, so the run measures two banded
+	// traversals plus the node join, not an unbound start enumeration.
+	joinQ, err := ecrpq.NewBuilder().
+		Path("x", "p1", "y").
+		Path("x", "p2", "z").
+		Rel(rangePlus(sigma[0], sigma[bigAlphaBand/2-1]), "p1").
+		Rel(rangePlus(sigma[bigAlphaBand/2], sigma[bigAlphaBand-1]), "p2").
+		HeadNodes("x", "y").
+		Build()
+	if err != nil {
+		panic(err)
+	}
+
+	return []BigAlphaQuery{
+		{Name: fmt.Sprintf("band=head/sigma=%d", bigAlphaLabels), Query: headQ},
+		{Name: fmt.Sprintf("band=tail/sigma=%d", bigAlphaLabels), Query: tailQ},
+		{Name: fmt.Sprintf("band=join/sigma=%d", bigAlphaLabels), Query: joinQ},
+	}
+}
+
+// BigAlphabetGraph builds the suite's fixed Wikidata-like graph
+// (deterministic: 2048 nodes, |Σ| = 10⁴, avg degree 4).
+func BigAlphabetGraph() *graph.DB {
+	sigma := BigAlphabetSigma(bigAlphaLabels)
+	return BigAlphabet(rand.New(rand.NewSource(97)), bigAlphaNodes, sigma, 4.0)
+}
+
+// ScaleBigAlphabetCases assembles the suite as ScaleCase values: the
+// shared graph, the three queries, and the start binding x = 0.
+func ScaleBigAlphabetCases() []ScaleCase {
+	g := BigAlphabetGraph()
+	bind := map[ecrpq.NodeVar]graph.Node{"x": 0}
+	qs := BigAlphabetQueries()
+	out := make([]ScaleCase, len(qs))
+	for i, bq := range qs {
+		out[i] = ScaleCase{Name: bq.Name, Graph: g, Query: bq.Query, Bind: bind}
+	}
+	return out
+}

@@ -1,0 +1,60 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ecrpq"
+)
+
+func TestBigAlphabetSigma(t *testing.T) {
+	sigma := BigAlphabetSigma(10000)
+	if len(sigma) != 10000 {
+		t.Fatalf("len = %d", len(sigma))
+	}
+	seen := map[rune]bool{}
+	for _, r := range sigma {
+		if r == 0 || r == '_' || (r >= 0xD800 && r <= 0xDFFF) {
+			t.Fatalf("forbidden label %U", r)
+		}
+		if seen[r] {
+			t.Fatalf("duplicate label %U", r)
+		}
+		seen[r] = true
+	}
+}
+
+func TestBigAlphabetDeterministic(t *testing.T) {
+	sigma := BigAlphabetSigma(500)
+	g1 := BigAlphabet(rand.New(rand.NewSource(7)), 64, sigma, 3.0)
+	g2 := BigAlphabet(rand.New(rand.NewSource(7)), 64, sigma, 3.0)
+	if g1.NumEdges() != g2.NumEdges() || g1.NumNodes() != g2.NumNodes() {
+		t.Fatal("generator not deterministic")
+	}
+	if g1.NumEdges() == 0 {
+		t.Fatal("no edges generated")
+	}
+}
+
+// TestScaleBigAlphabetCases evaluates each suite case once in class
+// mode — the full-scale cross-mode equivalence lives in the ecrpq
+// property suite; here we pin that the workload itself is well-formed
+// and answerable.
+func TestScaleBigAlphabetCases(t *testing.T) {
+	for _, c := range ScaleBigAlphabetCases() {
+		opts := ecrpq.Options{Bind: c.Bind}
+		res, err := ecrpq.Eval(c.Query, c.Graph, opts)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		if res == nil {
+			t.Fatalf("%s: nil result", c.Name)
+		}
+	}
+	// Fresh calls build fresh Query values (separate program-cache
+	// identities for the class and NoClasses arms).
+	a, b := ScaleBigAlphabetCases(), ScaleBigAlphabetCases()
+	if a[0].Query == b[0].Query {
+		t.Fatal("ScaleBigAlphabetCases shares Query pointers across calls")
+	}
+}
