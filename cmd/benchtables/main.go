@@ -42,10 +42,20 @@
 //	                                           # + delta BFS off) — the
 //	                                           # BENCH_7 revalidation-off
 //	                                           # baseline
+//	go run ./cmd/benchtables -json B.json -suite durable
+//	                                           # durable segment store:
+//	                                           # cold start from the mapped
+//	                                           # checkpoint, serve over the
+//	                                           # mapped CSR, WAL-logged
+//	                                           # writes; with -baseline the
+//	                                           # parse-from-text boot and
+//	                                           # memory-only writes — the
+//	                                           # BENCH_10 comparison pair
 //	go run ./cmd/benchtables -json M.json -suite mixed
 //	                                           # one suite only (all,
 //	                                           # engine, bigcomp, bigalpha,
-//	                                           # mixed, serve, daemon) — e.g.
+//	                                           # mixed, serve, daemon,
+//	                                           # durable) — e.g.
 //	                                           # Scale_MixedReadWrite, the
 //	                                           # Scale_RepeatedServe cached
 //	                                           # serving suite, or the
@@ -70,9 +80,9 @@ import (
 func main() {
 	only := flag.String("only", "", "run a single experiment (E1..E16)")
 	jsonPath := flag.String("json", "", "run the ECRPQ engine benchmarks and write machine-readable results to this file")
-	baseline := flag.Bool("baseline", false, "with -json: run the ablation baselines (engine suites without pruning, bigcomp suite with the sequential BFS, bigalpha suite with the per-symbol NoClasses expansion, mixed suite without delta overlays)")
+	baseline := flag.Bool("baseline", false, "with -json: run the ablation baselines (engine suites without pruning, bigcomp suite with the sequential BFS, bigalpha suite with the per-symbol NoClasses expansion, mixed suite without delta overlays, durable suite with parse-from-text boot and memory-only writes)")
 	noAdvance := flag.Bool("noadvance", false, "with -json -suite serve: keep the result cache but disable incremental re-evaluation (revalidation + delta BFS)")
-	suite := flag.String("suite", "all", "with -json: benchmark suite to run (all, engine, bigcomp, bigalpha, mixed, serve, daemon)")
+	suite := flag.String("suite", "all", "with -json: benchmark suite to run (all, engine, bigcomp, bigalpha, mixed, serve, daemon, durable)")
 	compare := flag.Bool("compare", false, "compare two bench JSON files (old new) and print a speedup table")
 	flag.Parse()
 	if *compare {

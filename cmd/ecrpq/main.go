@@ -7,6 +7,14 @@
 //
 //	-graph FILE   graph database (edge lines: `edge FROM LABEL TO` or
 //	              `FROM -LABEL-> TO`); defaults to stdin
+//	-data DIR     durable store directory (shared with ecrpqd): recover the
+//	              graph from DIR instead of parsing text. With -graph, the
+//	              file is bulk-imported once when the store is empty.
+//	              Mutations (replay mode) are write-ahead logged.
+//	-checkpoint   with -data: compact the WAL into a fresh segment file and
+//	              exit (offline compaction; -query becomes optional) — run
+//	              it while the daemon is stopped to make its next boot
+//	              replay-free
 //	-query Q      the query (required); built-in relations: eq, el,
 //	              prefix, lt, le, edit1..edit3; other names are parsed as
 //	              regular expressions over the graph's alphabet
@@ -60,15 +68,21 @@ import (
 // config carries the parsed flags; run executes the tool over the given
 // streams so tests can drive it without a process boundary.
 type config struct {
-	query   string
-	nPaths  int
-	maxLen  int
-	budget  int
-	limit   int
-	timeout time.Duration
-	explain bool
-	replay  string
-	cache   int64
+	query      string
+	nPaths     int
+	maxLen     int
+	budget     int
+	limit      int
+	timeout    time.Duration
+	explain    bool
+	replay     string
+	cache      int64
+	dataDir    string
+	checkpoint bool
+	// importIn: with -data, bulk-import the input reader into an empty
+	// store (set when -graph was given explicitly; stdin is never
+	// implicitly imported into a durable store).
+	importIn bool
 }
 
 func main() {
@@ -82,14 +96,21 @@ func main() {
 	explain := flag.Bool("explain", false, "print the compiled plan")
 	replay := flag.String("replay", "", "mutation/replay script: graph text lines mutate, `query` lines evaluate a snapshot")
 	cache := flag.Int64("cache", 0, "epoch-keyed result cache budget in bytes (0 = disabled)")
+	dataDir := flag.String("data", "", "durable store directory (shared with ecrpqd); empty = in-memory from graph text")
+	checkpoint := flag.Bool("checkpoint", false, "with -data: offline compaction — checkpoint the store and exit")
 	flag.Parse()
 
-	if *querySrc == "" {
+	if *checkpoint && *dataDir == "" {
+		fmt.Fprintln(os.Stderr, "ecrpq: -checkpoint requires -data")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *querySrc == "" && !*checkpoint {
 		fmt.Fprintln(os.Stderr, "ecrpq: -query is required")
 		flag.Usage()
 		os.Exit(2)
 	}
-	in := os.Stdin
+	in := io.Reader(os.Stdin)
 	if *graphFile != "" {
 		f, err := os.Open(*graphFile)
 		if err != nil {
@@ -97,11 +118,16 @@ func main() {
 		}
 		defer f.Close()
 		in = f
+	} else if *dataDir != "" {
+		// Durable store: the graph comes from the segment+WAL directory,
+		// never implicitly from stdin.
+		in = nil
 	}
 	cfg := config{
 		query: *querySrc, nPaths: *nPaths, maxLen: *maxLen, budget: *budget,
 		limit: *limit, timeout: *timeout, explain: *explain, replay: *replay,
-		cache: *cache,
+		cache: *cache, dataDir: *dataDir, checkpoint: *checkpoint,
+		importIn: *graphFile != "",
 	}
 	if err := run(cfg, in, os.Stdout, os.Stderr); err != nil {
 		fatal(err)
@@ -109,9 +135,21 @@ func main() {
 }
 
 func run(cfg config, in io.Reader, out, errw io.Writer) error {
-	g, err := graph.ParseText(in)
+	g, err := openGraph(cfg, in, errw)
 	if err != nil {
 		return err
+	}
+	defer g.Close()
+	if cfg.checkpoint {
+		if err := g.Checkpoint(); err != nil {
+			return err
+		}
+		d := g.DurableStats()
+		fmt.Fprintf(errw, "checkpoint: %s at epoch %d (%d checkpoints, wal %d bytes)\n",
+			d.Dir, d.LastCheckpoint, d.Checkpoints, d.WALBytes)
+		if cfg.query == "" {
+			return nil
+		}
 	}
 	env := ecrpq.Env{Sigma: g.Alphabet()}
 	q, err := ecrpq.Parse(cfg.query, env)
@@ -310,6 +348,36 @@ func runReplay(ctx context.Context, cfg config, p *plan.Plan, q *ecrpq.Query, g 
 		return fmt.Errorf("replay: %d line error(s): %w", lineErrs, firstErr)
 	}
 	return nil
+}
+
+// openGraph builds the store run evaluates against: with -data, the
+// durable segment+WAL directory is recovered (and seeded from -graph
+// via one bulk import iff the store is empty — the same rule ecrpqd
+// applies, so the CLI and the daemon can share a directory); otherwise
+// the graph is parsed from the input text into memory.
+func openGraph(cfg config, in io.Reader, errw io.Writer) (*graph.DB, error) {
+	if cfg.dataDir == "" {
+		return graph.ParseText(in)
+	}
+	g, err := graph.OpenDir(cfg.dataDir)
+	if err != nil {
+		return nil, err
+	}
+	rec := g.Recovery()
+	fmt.Fprintf(errw, "recovered %s: segment epoch %d, %d wal records replayed, epoch %d\n",
+		cfg.dataDir, rec.SegmentEpoch, rec.WALReplayed, g.Epoch())
+	if cfg.importIn && in != nil {
+		if g.Epoch() == 0 {
+			if err := g.Bulk(func() error { return graph.ParseTextInto(g, in) }); err != nil {
+				g.Close()
+				return nil, err
+			}
+			fmt.Fprintf(errw, "imported -graph into %s: epoch %d\n", cfg.dataDir, g.Epoch())
+		} else {
+			fmt.Fprintf(errw, "store is non-empty; ignoring -graph\n")
+		}
+	}
+	return g, nil
 }
 
 func fatal(err error) {

@@ -30,7 +30,15 @@
 // Flags:
 //
 //	-addr ADDR        listen address (default :8420)
-//	-graph FILE       initial graph in the text format (default: empty store)
+//	-data DIR         durable store directory: recover (mmap newest segment +
+//	                  replay WAL) on boot, write-ahead log every mutation,
+//	                  checkpoint on drain. Restarting over the same DIR serves
+//	                  identical answers with no re-ingest.
+//	-fsync            fsync the WAL on every write (power-loss durability;
+//	                  default: process-crash durability only)
+//	-graph FILE       initial graph in the text format (default: empty store).
+//	                  With -data, the file is bulk-imported only when the
+//	                  recovered store is empty; a recovered store wins.
 //	-sigma STR        alphabet when starting from an empty store
 //	-query NAME=TEXT  preload a registry entry (repeatable)
 //	-concurrency N    evaluation slots (default GOMAXPROCS)
@@ -76,6 +84,8 @@ import (
 
 type config struct {
 	addr         string
+	dataDir      string
+	fsync        bool
 	graphFile    string
 	sigma        string
 	queries      []string // NAME=TEXT
@@ -99,6 +109,8 @@ type config struct {
 func main() {
 	var cfg config
 	flag.StringVar(&cfg.addr, "addr", ":8420", "listen address")
+	flag.StringVar(&cfg.dataDir, "data", "", "durable store directory (recover on boot, WAL writes, checkpoint on drain)")
+	flag.BoolVar(&cfg.fsync, "fsync", false, "fsync the WAL on every write (with -data)")
 	flag.StringVar(&cfg.graphFile, "graph", "", "initial graph file (text format; default empty store)")
 	flag.StringVar(&cfg.sigma, "sigma", "", "alphabet for an empty store (runes)")
 	flag.Func("query", "preload a prepared query as NAME=TEXT (repeatable)", func(v string) error {
@@ -146,19 +158,11 @@ func main() {
 // the hook the daemon tests and the CI smoke script use to serve on
 // ":0" without a race.
 func run(ctx context.Context, cfg config, ready chan<- string, errw io.Writer) error {
-	g := graph.NewDB()
-	if cfg.graphFile != "" {
-		f, err := os.Open(cfg.graphFile)
-		if err != nil {
-			return err
-		}
-		parsed, err := graph.ParseText(f)
-		f.Close()
-		if err != nil {
-			return err
-		}
-		g = parsed
+	g, err := openStore(cfg, errw)
+	if err != nil {
+		return err
 	}
+	defer g.Close()
 	sigma := g.Alphabet()
 	for _, r := range cfg.sigma {
 		sigma = append(sigma, r)
@@ -211,8 +215,63 @@ func run(ctx context.Context, cfg config, ready chan<- string, errw io.Writer) e
 	if err := <-served; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
+	// With every in-flight request done (no snapshot can still be read
+	// from), persist the final state so the next boot replays nothing.
+	if g.Durable() {
+		if err := srv.Checkpoint(); err != nil {
+			fmt.Fprintf(errw, "ecrpqd: drain checkpoint failed: %v\n", err)
+		} else {
+			fmt.Fprintln(errw, "ecrpqd: checkpointed")
+		}
+	}
 	fmt.Fprintln(errw, "ecrpqd: drained")
 	return nil
+}
+
+// openStore builds the daemon's store: a durable OpenDir store when
+// -data is set (recovering any previous state), memory-only otherwise.
+// An initial -graph file seeds the store only when it is empty — a
+// recovered state wins over re-ingest, which is the whole point of the
+// durable mode — and the import runs as a bulk load (one checkpoint,
+// no per-line WAL records).
+func openStore(cfg config, errw io.Writer) (*graph.DB, error) {
+	if cfg.dataDir == "" {
+		g := graph.NewDB()
+		if cfg.graphFile != "" {
+			f, err := os.Open(cfg.graphFile)
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			return graph.ParseText(f)
+		}
+		return g, nil
+	}
+	g, err := graph.OpenDirOptions(cfg.dataDir, graph.Options{SyncEveryWrite: cfg.fsync})
+	if err != nil {
+		return nil, fmt.Errorf("open -data %s: %w", cfg.dataDir, err)
+	}
+	rs := g.Recovery()
+	fmt.Fprintf(errw, "ecrpqd: recovered %s: segment epoch %d (mapped=%v), %d wal records replayed, %d torn bytes dropped\n",
+		cfg.dataDir, rs.SegmentEpoch, rs.Mapped, rs.WALReplayed, rs.TornBytes)
+	if cfg.graphFile != "" && g.Epoch() == 0 {
+		f, err := os.Open(cfg.graphFile)
+		if err != nil {
+			g.Close()
+			return nil, err
+		}
+		err = g.Bulk(func() error { return graph.ParseTextInto(g, f) })
+		f.Close()
+		if err != nil {
+			g.Close()
+			return nil, fmt.Errorf("bulk import %s: %w", cfg.graphFile, err)
+		}
+		fmt.Fprintf(errw, "ecrpqd: bulk-imported %s (%d nodes, %d edges, one checkpoint)\n",
+			cfg.graphFile, g.NumNodes(), g.NumEdges())
+	} else if cfg.graphFile != "" {
+		fmt.Fprintf(errw, "ecrpqd: ignoring -graph %s: store already holds epoch %d\n", cfg.graphFile, g.Epoch())
+	}
+	return g, nil
 }
 
 // runLoad is the client half of the CI smoke job: discover the

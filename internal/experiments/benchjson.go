@@ -407,16 +407,19 @@ func BenchScaleBigAlphabet(baseline bool) BenchReport {
 // "all" for everything, "engine" for Fig1a + Scale_LabelRich, "bigcomp"
 // for Scale_BigComponent, "bigalpha" for Scale_BigAlphabet, "mixed" for
 // Scale_MixedReadWrite, "serve" for Scale_RepeatedServe, "daemon" for
-// the end-to-end Daemon_Serve HTTP latency suite — and writes the
+// the end-to-end Daemon_Serve HTTP latency suite, "durable" for the
+// Scale_Durable segment-store persistence suite — and writes the
 // combined report as indented JSON, plus a short human-readable table
 // to table (if non-nil). baseline runs the ablation of each selected
 // suite: the exhaustive-enumeration NoPrune baseline for the engine
 // suites, the sequential-BFS (BFSWorkers 1) baseline for the
 // big-component suite, the per-symbol NoClasses baseline for the
 // big-alphabet suite, the delta-overlay-disabled full-rebuild baseline
-// for the mixed suite, and the cache-disabled
-// baseline for the repeated-serve suite — producing the old file of a
-// `benchtables -compare` pair. noAdvance is the finer serve-only
+// for the mixed suite, the cache-disabled
+// baseline for the repeated-serve suite, and the
+// parse-the-text-from-scratch boot plus memory-only writes for the
+// durable suite — producing the old file of a `benchtables -compare`
+// pair. noAdvance is the finer serve-only
 // ablation: cache on, incremental serving layer off (Options.NoAdvance)
 // — the revalidation-off baseline of the BENCH_7 comparison. It is
 // only meaningful for the serve suite and rejected elsewhere.
@@ -428,8 +431,9 @@ func WriteBenchJSON(jsonOut io.Writer, table io.Writer, baseline, noAdvance bool
 	mixed := all || suite == "mixed"
 	serve := all || suite == "serve"
 	daemon := all || suite == "daemon"
-	if !engine && !bigcomp && !bigalpha && !mixed && !serve && !daemon {
-		return fmt.Errorf("experiments: unknown bench suite %q (want all, engine, bigcomp, bigalpha, mixed, serve or daemon)", suite)
+	durable := all || suite == "durable"
+	if !engine && !bigcomp && !bigalpha && !mixed && !serve && !daemon && !durable {
+		return fmt.Errorf("experiments: unknown bench suite %q (want all, engine, bigcomp, bigalpha, mixed, serve, daemon or durable)", suite)
 	}
 	if noAdvance && suite != "serve" {
 		return fmt.Errorf("experiments: -noadvance is a repeated-serve ablation; use it with -suite serve")
@@ -440,7 +444,7 @@ func WriteBenchJSON(jsonOut io.Writer, table io.Writer, baseline, noAdvance bool
 	rep := BenchReport{}
 	switch {
 	case all:
-		rep.Suite = "ECRPQ_Engine+BigComponent+BigAlphabet+MixedReadWrite+RepeatedServe+Daemon"
+		rep.Suite = "ECRPQ_Engine+BigComponent+BigAlphabet+MixedReadWrite+RepeatedServe+Daemon+Durable"
 	case engine:
 		rep.Suite = "ECRPQ_Engine"
 	case bigcomp:
@@ -451,8 +455,10 @@ func WriteBenchJSON(jsonOut io.Writer, table io.Writer, baseline, noAdvance bool
 		rep.Suite = "Scale_MixedReadWrite"
 	case serve:
 		rep.Suite = "Scale_RepeatedServe"
-	default:
+	case daemon:
 		rep.Suite = "Daemon_Serve"
+	default:
+		rep.Suite = "Scale_Durable"
 	}
 	if engine {
 		rep.Benchmarks = append(rep.Benchmarks, BenchFig1aECRPQ(baseline).Benchmarks...)
@@ -472,6 +478,13 @@ func WriteBenchJSON(jsonOut io.Writer, table io.Writer, baseline, noAdvance bool
 	}
 	if daemon {
 		dr, err := BenchDaemonServe(baseline)
+		if err != nil {
+			return err
+		}
+		rep.Benchmarks = append(rep.Benchmarks, dr.Benchmarks...)
+	}
+	if durable {
+		dr, err := BenchScaleDurable(baseline)
 		if err != nil {
 			return err
 		}

@@ -60,6 +60,23 @@ const (
 	// budget, and degrades to the sequential BFS with an identical
 	// answer set (never an error, never a hang).
 	ParallelBFS
+	// WALAppend fires in the durable store before a write-ahead-log
+	// record is appended. A hook returning an error models a failing log
+	// device: the mutation still commits in memory, but the store's
+	// sticky durability error trips (DurableErr) and the write is not
+	// crash-safe until the next clean checkpoint.
+	WALAppend
+	// CheckpointWrite fires at the start of segment checkpointing,
+	// before the temp file is created. A hook returning an error models
+	// a full or failing disk: the checkpoint is abandoned, the WAL is
+	// left untouched (still replayable), and the error surfaces as the
+	// typed checkpoint failure.
+	CheckpointWrite
+	// SegmentMap fires in OpenDir once per candidate segment file,
+	// before it is opened and mapped. A hook returning an error makes
+	// recovery treat that segment as corrupt and fall back to the next
+	// newer-to-older candidate (or to a WAL-only bootstrap).
+	SegmentMap
 	numPoints
 )
 
@@ -78,6 +95,12 @@ func (p Point) String() string {
 		return "ecrpq.delta-bfs"
 	case ParallelBFS:
 		return "ecrpq.parallel-bfs"
+	case WALAppend:
+		return "graph.wal-append"
+	case CheckpointWrite:
+		return "graph.checkpoint-write"
+	case SegmentMap:
+		return "graph.segment-map"
 	}
 	return "unknown"
 }

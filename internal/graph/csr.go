@@ -37,42 +37,88 @@ type CSR struct {
 	perNode  [][]Edge
 }
 
-// buildCSR constructs the full CSR of the adjacency maps out[0:n] — the
-// compaction step of the snapshot store. Cost is O(m log m) in the edge
-// count; Snapshot only pays it when the delta overlay has grown past
-// the compaction threshold.
-func buildCSR(out []map[rune][]Node, n, nEdges int) *CSR {
+// mergeCSR constructs the full CSR covering n nodes from the previous
+// base (covering baseN nodes; nil for the first compaction) and the
+// delta edges written since, already in CSR order (source, label,
+// target) and already deduplicated against the base. Both inputs are
+// sorted, so the merge is a single linear pass — compaction costs O(m)
+// in the total edge count, with no re-sort of the base segment.
+func mergeCSR(base *CSR, baseN int, delta []rawEdge, n int) *CSR {
+	baseEdges := 0
+	if base != nil {
+		baseEdges = len(base.Edges)
+	}
 	c := &CSR{
-		Edges:   make([]Edge, 0, nEdges),
+		Edges:   make([]Edge, 0, baseEdges+len(delta)),
 		nodeOff: make([]int32, n+1),
 		runOff:  make([]int32, n+1),
 		perNode: make([][]Edge, n),
 	}
-	labels := make([]rune, 0, 8)
 	seen := map[rune]bool{}
-	for v := 0; v < n; v++ {
-		labels = labels[:0]
-		for a := range out[v] {
-			labels = append(labels, a)
-			if !seen[a] {
-				seen[a] = true
-				c.alphabet = append(c.alphabet, a)
-			}
+	note := func(a rune) {
+		if !seen[a] {
+			seen[a] = true
+			c.alphabet = append(c.alphabet, a)
 		}
-		sort.Slice(labels, func(i, j int) bool { return labels[i] < labels[j] })
-		for _, a := range labels {
-			start := int32(len(c.Edges))
-			tos := append([]Node(nil), out[v][a]...)
-			sort.Slice(tos, func(i, j int) bool { return tos[i] < tos[j] })
-			for _, to := range tos {
-				c.Edges = append(c.Edges, Edge{Label: a, To: to})
+	}
+	di := 0
+	for v := 0; v < n; v++ {
+		var b []Edge
+		if base != nil && v < baseN {
+			b = base.Out(Node(v))
+		}
+		bi := 0
+		emit := func(e Edge) {
+			note(e.Label)
+			if k := len(c.runs); k == int(c.runOff[v]) || c.runs[k-1].Label != e.Label {
+				c.runs = append(c.runs, LabelRun{Label: e.Label, Start: int32(len(c.Edges))})
 			}
-			c.runs = append(c.runs, LabelRun{Label: a, Start: start, End: int32(len(c.Edges))})
+			c.Edges = append(c.Edges, e)
+			c.runs[len(c.runs)-1].End = int32(len(c.Edges))
+		}
+		for bi < len(b) || (di < len(delta) && int(delta[di].From) == v) {
+			takeBase := bi < len(b)
+			if takeBase && di < len(delta) && int(delta[di].From) == v {
+				d := delta[di]
+				if d.Label < b[bi].Label || (d.Label == b[bi].Label && d.To < b[bi].To) {
+					takeBase = false
+				}
+			}
+			if takeBase {
+				emit(b[bi])
+				bi++
+			} else {
+				emit(Edge{Label: delta[di].Label, To: delta[di].To})
+				di++
+			}
 		}
 		c.nodeOff[v+1] = int32(len(c.Edges))
 		c.runOff[v+1] = int32(len(c.runs))
 	}
 	sort.Slice(c.alphabet, func(i, j int) bool { return c.alphabet[i] < c.alphabet[j] })
+	for v := 0; v < n; v++ {
+		c.perNode[v] = c.Edges[c.nodeOff[v]:c.nodeOff[v+1]]
+	}
+	return c
+}
+
+// csrFromParts assembles a CSR over externally built arrays — the
+// segment-backed path, where Edges, runs and the offset tables are
+// views into a read-only file mapping and must not be modified. Only
+// the per-node slice headers and the alphabet scan are materialized on
+// the heap; the edge payload itself stays in the page cache. The caller
+// guarantees the arrays are structurally valid (segment.Open validates
+// offsets, monotonicity and checksums before handing them over).
+func csrFromParts(edges []Edge, nodeOff, runOff []int32, runs []LabelRun, alphabet []rune) *CSR {
+	n := len(nodeOff) - 1
+	c := &CSR{
+		Edges:    edges,
+		nodeOff:  nodeOff,
+		runOff:   runOff,
+		runs:     runs,
+		alphabet: alphabet,
+		perNode:  make([][]Edge, n),
+	}
 	for v := 0; v < n; v++ {
 		c.perNode[v] = c.Edges[c.nodeOff[v]:c.nodeOff[v+1]]
 	}

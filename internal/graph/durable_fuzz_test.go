@@ -1,0 +1,70 @@
+package graph
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/graph/segment"
+)
+
+// FuzzLoadSegment layers the graph's structural validation on top of
+// the container parser: arbitrary bytes that survive segment.Parse
+// (e.g. a re-checksummed hostile file) must either be rejected by
+// loadSegment or produce a store whose reads are panic-free — never an
+// out-of-bounds slice or a lying CSR.
+func FuzzLoadSegment(f *testing.F) {
+	dir := f.TempDir()
+	g, err := OpenDir(dir)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		g.AddEdge(g.AddNode(fmt.Sprintf("a%d", i)), rune('x'+i%2), g.AddNode(fmt.Sprintf("b%d", i)))
+	}
+	if err := g.Checkpoint(); err != nil {
+		f.Fatal(err)
+	}
+	paths := segmentPaths(dir)
+	g.Close()
+	seed, err := os.ReadFile(paths[0])
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	f.Add(seed[:len(seed)/2])
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p := filepath.Join(t.TempDir(), "seg-0000000000000001.seg")
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Skip()
+		}
+		sf, err := segment.Open(p)
+		if err != nil {
+			return
+		}
+		defer sf.Close()
+		h := NewDB()
+		if err := h.loadSegment(sf); err != nil {
+			return
+		}
+		// Accepted: exercise the read paths that trust the validation.
+		s := h.Snapshot()
+		edges := 0
+		s.EachEdge(func(from Node, a rune, to Node) {
+			edges++
+			if !s.HasEdge(from, a, to) {
+				t.Fatalf("edge (%d,%q,%d) enumerated but not found", from, string(a), to)
+			}
+		})
+		if edges != h.NumEdges() {
+			t.Fatalf("enumerated %d edges, store claims %d", edges, h.NumEdges())
+		}
+		for v := 0; v < h.NumNodes(); v++ {
+			if _, ok := h.NodeByName(h.Name(Node(v))); !ok {
+				t.Fatalf("node %d name not resolvable", v)
+			}
+		}
+	})
+}

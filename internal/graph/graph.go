@@ -8,9 +8,11 @@ package graph
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/graph/segment"
 	"repro/internal/regex"
 )
 
@@ -37,11 +39,18 @@ type DB struct {
 	mu     sync.Mutex
 	names  []string
 	byName map[string]Node
+	// out holds ONLY the edges written since the last compaction — the
+	// delta segment's mutable index. Edges older than that live solely
+	// in the base CSR (which may be a read-only file mapping, see
+	// durable.go); readers and the duplicate check consult both. Keeping
+	// the maps delta-only is what lets a segment-backed store open
+	// without materializing per-node maps for millions of base edges.
 	out    []map[rune][]Node
 	nEdges int
-	// dedup holds per-(node,label) membership sets for targets, built
-	// lazily once a (node,label) fan-out crosses dedupThreshold so bulk
-	// loads stay near-linear instead of paying an O(deg) scan per insert.
+	// dedup holds per-(node,label) membership sets for delta targets,
+	// built lazily once a (node,label) fan-out crosses dedupThreshold so
+	// bulk loads stay near-linear instead of paying an O(deg) scan per
+	// insert. Like out, it covers the delta only.
 	dedup []map[rune]map[Node]bool
 
 	// epoch counts successful mutations; it stamps snapshots and keys
@@ -77,6 +86,25 @@ type DB struct {
 	// move the tail to a fresh array.
 	hist      []DeltaEdge
 	histFloor uint64
+
+	// Durability (see durable.go; all zero for a memory-only store).
+	// dir is the store directory; wal the open write-ahead log; seg the
+	// file mapping backing the base CSR, kept alive until Close. bulk
+	// suspends per-record WAL appends during bulk ingest (the load is
+	// made durable by the checkpoint that ends it). walErr is the sticky
+	// first durability failure — mutations keep committing in memory,
+	// but the store is crash-vulnerable until the next clean checkpoint.
+	dir       string
+	wal       *segment.WAL
+	segs      []*segment.File
+	bulk      bool
+	walErr    error
+	walErrs   uint64
+	recovery  RecoveryStats
+	ckCount   uint64
+	ckErrs    uint64
+	lastCkpt  uint64
+	syncEvery bool
 }
 
 // histKeep bounds the retained delta-history tail. Trimming is
@@ -133,7 +161,8 @@ func (g *DB) addNodeLocked(name string) Node {
 	g.byName[name] = v
 	g.out = append(g.out, nil)
 	g.dedup = append(g.dedup, nil)
-	g.epoch.Add(1)
+	ep := g.epoch.Add(1)
+	g.walAppendNode(ep, name)
 	return v
 }
 
@@ -180,14 +209,18 @@ func (g *DB) NumNodes() int { return len(g.names) }
 func (g *DB) NumEdges() int { return g.nEdges }
 
 // AddEdge adds the labeled edge (from, label, to). Duplicate edges are
-// ignored (and do not advance the epoch); beyond dedupThreshold
-// parallel targets the duplicate check uses a membership set, keeping
-// bulk loads near-linear. A fresh edge is appended to the delta log, so
-// the next Snapshot pays only for the delta overlay instead of a full
-// CSR rebuild.
+// ignored (and do not advance the epoch); the duplicate check consults
+// the compacted base CSR by binary search and, beyond dedupThreshold
+// parallel delta targets, a membership set, keeping bulk loads
+// near-linear. A fresh edge is appended to the delta log (and, on a
+// durable store, to the write-ahead log) so the next Snapshot pays only
+// for the delta overlay instead of a full CSR rebuild.
 func (g *DB) AddEdge(from Node, label rune, to Node) {
 	g.mu.Lock()
 	defer g.mu.Unlock()
+	if g.baseHasEdgeLocked(from, label, to) {
+		return
+	}
 	if g.out[from] == nil {
 		g.out[from] = make(map[rune][]Node)
 	}
@@ -218,6 +251,7 @@ func (g *DB) AddEdge(from Node, label rune, to Node) {
 	g.out[from][label] = append(tos, to)
 	g.nEdges++
 	e := rawEdge{From: from, Label: label, To: to, Epoch: g.epoch.Add(1)}
+	g.walAppendEdge(e)
 	g.deltaNew = append(g.deltaNew, e)
 	g.hist = append(g.hist, e)
 	if len(g.hist) >= 2*histKeep {
@@ -244,8 +278,24 @@ func (g *DB) SetDeltaOverlay(enabled bool) {
 // cache and concurrency story.
 func (g *DB) Adjacency() [][]Edge { return g.Snapshot().Adjacency() }
 
-// HasEdge reports whether (from, label, to) ∈ E.
+// baseHasEdgeLocked reports whether the compacted base segment holds
+// (from, label, to): a binary search over from's label run. Callers
+// hold g.mu (the base pointer swaps at compaction).
+func (g *DB) baseHasEdgeLocked(from Node, label rune, to Node) bool {
+	if g.base == nil || int(from) >= g.baseN {
+		return false
+	}
+	es := g.base.WithLabel(from, label)
+	i := sort.Search(len(es), func(i int) bool { return es[i].To >= to })
+	return i < len(es) && es[i].To == to
+}
+
+// HasEdge reports whether (from, label, to) ∈ E, consulting the base
+// segment and the delta maps.
 func (g *DB) HasEdge(from Node, label rune, to Node) bool {
+	if g.baseHasEdgeLocked(from, label, to) {
+		return true
+	}
 	if set := g.dedup[from][label]; set != nil {
 		return set[to]
 	}
@@ -272,19 +322,21 @@ func (g *DB) Successors(from Node, label rune) []Node {
 	return out
 }
 
-// EachEdge calls f for every edge.
+// EachEdge calls f for every edge: for each node the base-segment edges
+// first (label/target order), then the delta edges in map order.
 func (g *DB) EachEdge(f func(from Node, label rune, to Node)) {
 	for v := range g.out {
-		for a, tos := range g.out[v] {
-			for _, to := range tos {
-				f(Node(v), a, to)
-			}
-		}
+		g.EdgesFrom(Node(v), func(a rune, to Node) { f(Node(v), a, to) })
 	}
 }
 
-// EdgesFrom calls f for every edge leaving v.
+// EdgesFrom calls f for every edge leaving v, base segment first.
 func (g *DB) EdgesFrom(v Node, f func(label rune, to Node)) {
+	if g.base != nil && int(v) < g.baseN {
+		for _, e := range g.base.Out(v) {
+			f(e.Label, e.To)
+		}
+	}
 	for a, tos := range g.out[v] {
 		for _, to := range tos {
 			f(a, to)
@@ -298,10 +350,13 @@ func (g *DB) EdgesFrom(v Node, f func(label rune, to Node)) {
 func (g *DB) Alphabet() []rune { return g.Snapshot().Alphabet() }
 
 // Clone returns a deep copy of the database. Instead of replaying
-// AddEdge m times through the dedup machinery, the adjacency and dedup
-// structures are copied directly and the immutable base CSR, delta log
-// and current snapshot are shared/carried over — the clone starts at
-// the source's epoch with the same compaction state.
+// AddEdge m times through the dedup machinery, the delta adjacency and
+// dedup structures are copied directly and the immutable base CSR,
+// delta log and current snapshot are shared/carried over — the clone
+// starts at the source's epoch with the same compaction state. A clone
+// of a durable store is memory-only (no directory, no WAL) and borrows
+// the source's base segment: if that base is a file mapping, the clone
+// must not outlive the source's Close.
 func (g *DB) Clone() *DB {
 	g.mu.Lock()
 	defer g.mu.Unlock()

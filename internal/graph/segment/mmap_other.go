@@ -1,0 +1,15 @@
+//go:build !unix
+
+package segment
+
+import "os"
+
+// mapFile on platforms without syscall.Mmap reads the file into an
+// aligned heap buffer; the store works identically, minus the shared
+// page-cache economics.
+func mapFile(f *os.File, size int) (data, mapped []byte, err error) {
+	b, err := readAligned(f, size)
+	return b, nil, err
+}
+
+func unmap(m []byte) error { return nil }

@@ -1,0 +1,32 @@
+//go:build unix
+
+package segment
+
+import (
+	"os"
+	"syscall"
+)
+
+// mapFile maps the first size bytes of f read-only and shared: the
+// kernel page cache backs the sections directly, so a re-opened store
+// warm from a previous run serves without any copy at all. The second
+// result is the mapping to hand back to unmap; it is nil when the
+// platform fell back to a heap read.
+func mapFile(f *os.File, size int) (data, mapped []byte, err error) {
+	m, err := syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		// Filesystems without mmap support (some network/overlay mounts)
+		// still get a working store via the heap fallback.
+		b, rerr := readAligned(f, size)
+		return b, nil, rerr
+	}
+	return m, m, nil
+}
+
+// unmap releases a mapping from mapFile; nil (heap fallback) is a no-op.
+func unmap(m []byte) error {
+	if m == nil {
+		return nil
+	}
+	return syscall.Munmap(m)
+}

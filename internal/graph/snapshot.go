@@ -530,6 +530,34 @@ const (
 	compactFracDen  = 4
 )
 
+// compactLocked merges the delta into a fresh full base CSR and clears
+// the delta: the sorted prefix and fresh suffix are folded together,
+// then linearly merged with the previous base (O(m), no re-sort of the
+// base), and the delta-only adjacency maps are emptied — after
+// compaction the base CSR is the sole owner of every edge. Callers
+// hold g.mu. The epoch-ordered history tail is NOT touched: EdgesSince
+// keeps answering across compactions.
+func (g *DB) compactLocked() {
+	n := len(g.names)
+	if len(g.deltaNew) > 0 {
+		sort.Slice(g.deltaNew, func(i, j int) bool { return rawEdgeLess(g.deltaNew[i], g.deltaNew[j]) })
+		g.deltaSorted = mergeDelta(g.deltaSorted, g.deltaNew)
+		g.deltaNew = nil
+	}
+	if g.base != nil && g.baseN == n && len(g.deltaSorted) == 0 {
+		return // already fully compacted
+	}
+	g.base = mergeCSR(g.base, g.baseN, g.deltaSorted, n)
+	g.baseN = n
+	g.deltaSorted = nil
+	for v := range g.out {
+		g.out[v] = nil
+	}
+	for v := range g.dedup {
+		g.dedup[v] = nil
+	}
+}
+
 // compactionDue reports whether the delta log has crossed the
 // compaction threshold (callers hold g.mu). The CompactionPolicy fault
 // point can force it, so a harness can drive compaction storms — every
@@ -569,9 +597,18 @@ func (g *DB) Snapshot() *Snapshot {
 	faultinject.Inject(faultinject.SnapshotBuild)
 	n := len(g.names)
 	if g.compactionDue() {
-		g.base = buildCSR(g.out, n, g.nEdges)
-		g.baseN = n
-		g.deltaSorted, g.deltaNew = nil, nil
+		g.compactLocked()
+		// On a durable store compaction IS checkpointing: the merged base
+		// is persisted sidecar-atomically and the WAL truncated, so the
+		// log stays bounded by the compaction threshold. A write failure
+		// is sticky (DurableErr) but never blocks serving — the in-memory
+		// compaction above already succeeded. The noDelta ablation skips
+		// persistence (it would checkpoint on every write).
+		if g.dir != "" && !g.noDelta {
+			if err := g.checkpointWriteLocked(); err != nil {
+				g.setWalErrLocked(err)
+			}
+		}
 	} else if len(g.deltaNew) > 0 {
 		// Fold the unsorted suffix (usually a handful of writes) into
 		// the sorted prefix: a tiny sort plus one linear merge into a

@@ -27,18 +27,26 @@ import (
 // runes). Nodes are created on first mention.
 func ParseText(r io.Reader) (*DB, error) {
 	g := NewDB()
+	if err := ParseTextInto(g, r); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// ParseTextInto streams the text format into an existing store — the
+// form the durable tools use to import a file into an OpenDir store
+// (typically inside DB.Bulk, so the load pays one checkpoint instead
+// of a WAL record per line).
+func ParseTextInto(g *DB, r io.Reader) error {
 	sc := bufio.NewScanner(r)
 	lineNo := 0
 	for sc.Scan() {
 		lineNo++
 		if err := ApplyTextLine(g, sc.Text()); err != nil {
-			return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
+			return fmt.Errorf("graph: line %d: %w", lineNo, err)
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	return g, nil
+	return sc.Err()
 }
 
 // ApplyTextLine applies one line of the text format to g: a node or

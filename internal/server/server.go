@@ -153,8 +153,17 @@ type Stats struct {
 	ParFallbacks uint64 `json:"par_bfs_fallbacks"`
 	ParFanouts   uint64 `json:"par_bfs_fanouts"`
 
+	// Checkpoints counts successful POST /admin/checkpoint calls (drain
+	// checkpoints included); CheckpointErrs the failed ones.
+	Checkpoints    uint64 `json:"checkpoints"`
+	CheckpointErrs uint64 `json:"checkpoint_errs"`
+
 	Cache qcache.Stats `json:"cache"`
 	Epoch uint64       `json:"epoch"`
+
+	// Durable is the store's durability/recovery introspection; absent
+	// when the daemon runs memory-only (no -data).
+	Durable *graph.DurableStats `json:"durable,omitempty"`
 }
 
 // Server is the HTTP serving core. Create with New, expose via
@@ -175,6 +184,7 @@ type Server struct {
 	budget, deadline, canceled, panics           atomic.Uint64
 	badRequest, notFound, writeLines, writeErrs  atomic.Uint64
 	evalNs, evals                                atomic.Uint64
+	checkpoints, checkpointErrs                  atomic.Uint64
 	active, queued, queueHighW                   atomic.Int64
 }
 
@@ -201,6 +211,7 @@ func New(cfg Config) *Server {
 	mux.HandleFunc("GET /queries/{name}", s.handleGetQuery)
 	mux.HandleFunc("GET /query/{name}", s.handleQuery)
 	mux.HandleFunc("POST /write", s.handleWrite)
+	mux.HandleFunc("POST /admin/checkpoint", s.handleCheckpoint)
 	s.mux = mux
 	return s
 }
@@ -285,9 +296,36 @@ func (s *Server) Stats() Stats {
 		QueueHighW: s.queueHighW.Load(),
 		EvalNs:     s.evalNs.Load(),
 		Evals:      s.evals.Load(),
-		Cache:      s.cfg.Cache.Stats(),
-		Epoch:      s.cfg.DB.Epoch(),
+		Checkpoints:    s.checkpoints.Load(),
+		CheckpointErrs: s.checkpointErrs.Load(),
+		Cache:          s.cfg.Cache.Stats(),
+		Epoch:          s.cfg.DB.Epoch(),
 	}
+}
+
+// statsWithDurable extends Stats with the store's durability snapshot
+// when the store has one.
+func (s *Server) statsWithDurable() Stats {
+	st := s.Stats()
+	if s.cfg.DB.Durable() {
+		d := s.cfg.DB.DurableStats()
+		st.Durable = &d
+	}
+	return st
+}
+
+// Checkpoint forces a durable checkpoint of the store — the drain path
+// of the daemon calls it before Close so a clean shutdown restarts
+// with an empty WAL. It returns graph.ErrNotDurable on a memory-only
+// store.
+func (s *Server) Checkpoint() error {
+	err := s.cfg.DB.Checkpoint()
+	if err == nil {
+		s.checkpoints.Add(1)
+	} else if !errors.Is(err, graph.ErrNotDurable) {
+		s.checkpointErrs.Add(1)
+	}
+	return err
 }
 
 // admit acquires an evaluation slot, waiting in the bounded queue when
@@ -339,7 +377,36 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.Stats())
+	writeJSON(w, http.StatusOK, s.statsWithDurable())
+}
+
+// handleCheckpoint is POST /admin/checkpoint: force a segment
+// checkpoint now (offline compaction of the WAL into the base). The
+// failure mapping follows the taxonomy's spirit: asking a memory-only
+// daemon to checkpoint is a client error (400), a durable store
+// failing to persist is a server error (500), and a draining server
+// refuses (503) — its own drain checkpoint is already scheduled.
+func (s *Server) handleCheckpoint(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.unavail.Add(1)
+		writeErrJSON(w, http.StatusServiceUnavailable, "server draining")
+		return
+	}
+	if err := s.Checkpoint(); err != nil {
+		if errors.Is(err, graph.ErrNotDurable) {
+			s.badRequest.Add(1)
+			writeErrJSON(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		writeErrJSON(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	d := s.cfg.DB.DurableStats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"checkpointed": true,
+		"epoch":        d.LastCheckpoint,
+		"wal_bytes":    d.WALBytes,
+	})
 }
 
 func (s *Server) handleListQueries(w http.ResponseWriter, r *http.Request) {

@@ -605,3 +605,84 @@ func TestFaultDeltaBFSFallback(t *testing.T) {
 		t.Fatalf("statz cache counters = %+v, want incremental > 0", st.Cache)
 	}
 }
+
+// TestAdminCheckpoint drives POST /admin/checkpoint: on a memory-only
+// store it is a 400 (not durable), on a durable store it persists the
+// current epoch and /statz reports the durability block with a bounded
+// WAL.
+func TestAdminCheckpoint(t *testing.T) {
+	_, ts := newTestServer(t, "ab", Config{})
+	resp, err := http.Post(ts.URL+"/admin/checkpoint", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("checkpoint on memory store: status %d, want 400", resp.StatusCode)
+	}
+
+	g, err := graph.OpenDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	prev := g.AddNode("v0")
+	for i, r := range "abab" {
+		next := g.AddNode(fmt.Sprintf("v%d", i+1))
+		g.AddEdge(prev, r, next)
+		prev = next
+	}
+	srv, ts2 := newTestServer(t, "", Config{DB: g})
+	resp, err = http.Post(ts2.URL+"/admin/checkpoint", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ck struct {
+		Checkpointed bool   `json:"checkpointed"`
+		Epoch        uint64 `json:"epoch"`
+		WALBytes     int64  `json:"wal_bytes"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&ck); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !ck.Checkpointed {
+		t.Fatalf("checkpoint: status %d, body %+v", resp.StatusCode, ck)
+	}
+	if ck.Epoch != g.Epoch() {
+		t.Fatalf("checkpointed at epoch %d, store at %d", ck.Epoch, g.Epoch())
+	}
+	var st Stats
+	getJSON(t, ts2.URL+"/statz", &st)
+	if st.Checkpoints != 1 {
+		t.Fatalf("stats checkpoints = %d, want 1", st.Checkpoints)
+	}
+	if st.Durable == nil || st.Durable.LastCheckpoint != ck.Epoch {
+		t.Fatalf("stats durable block = %+v", st.Durable)
+	}
+	if st.Durable.Recovery.SegmentEpoch != 0 {
+		t.Fatalf("fresh dir recovered segment epoch %d, want 0", st.Durable.Recovery.SegmentEpoch)
+	}
+	_ = srv
+}
+
+// TestAdminCheckpointDraining: a draining server refuses checkpoints
+// with 503 like every other mutation path.
+func TestAdminCheckpointDraining(t *testing.T) {
+	g, err := graph.OpenDir(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	g.AddNode("v0")
+	srv, ts := newTestServer(t, "", Config{DB: g})
+	srv.BeginDrain()
+	resp, err := http.Post(ts.URL+"/admin/checkpoint", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("checkpoint while draining: status %d, want 503", resp.StatusCode)
+	}
+}

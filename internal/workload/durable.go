@@ -1,0 +1,55 @@
+package workload
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/graph"
+)
+
+// BuildDurableServing materializes the Scale_MixedReadWrite serving
+// graph (~100k edges, the NewMixedServing workload at the given seed)
+// twice under dir: as a checkpointed durable store in dir/store —
+// built with one bulk import so recovery is replay-free — and as graph
+// text in dir/graph.txt, the input of the full-reload boot baseline.
+// The returned MixedServing's in-memory Graph is the reference both
+// copies must agree with.
+func BuildDurableServing(dir string, seed int64) (storeDir, textPath string, m *MixedServing, err error) {
+	m = NewMixedServing(seed)
+	textPath = filepath.Join(dir, "graph.txt")
+	f, err := os.Create(textPath)
+	if err != nil {
+		return "", "", nil, err
+	}
+	if err := graph.WriteText(f, m.Graph); err != nil {
+		f.Close()
+		return "", "", nil, err
+	}
+	if err := f.Close(); err != nil {
+		return "", "", nil, err
+	}
+	storeDir = filepath.Join(dir, "store")
+	d, err := graph.OpenDir(storeDir)
+	if err != nil {
+		return "", "", nil, err
+	}
+	defer d.Close()
+	err = d.Bulk(func() error {
+		for v := 0; v < m.Graph.NumNodes(); v++ {
+			d.AddNode(m.Graph.Name(graph.Node(v)))
+		}
+		m.Graph.EachEdge(func(from graph.Node, label rune, to graph.Node) {
+			d.AddEdge(from, label, to)
+		})
+		return nil
+	})
+	if err != nil {
+		return "", "", nil, err
+	}
+	if d.NumEdges() != m.Graph.NumEdges() || d.NumNodes() != m.Graph.NumNodes() {
+		return "", "", nil, fmt.Errorf("workload: durable store diverged: %d/%d nodes, %d/%d edges",
+			d.NumNodes(), m.Graph.NumNodes(), d.NumEdges(), m.Graph.NumEdges())
+	}
+	return storeDir, textPath, m, nil
+}
